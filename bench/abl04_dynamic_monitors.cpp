@@ -1,0 +1,45 @@
+// Ablation: the three overload monitors the paper discusses for the
+// dynamic MRAI scheme (section 4.3): unfinished work (queue length x mean
+// processing delay -- the one the paper adopts), CPU utilization
+// ("promising results"), and received-message rate ("not very successful
+// as it was difficult to set the thresholds").
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Ablation 4: dynamic-MRAI overload monitors",
+      "the paper adopts unfinished work and reports utilization as promising and "
+      "message-rate as hard to tune; with our calibrated thresholds all three work, and "
+      "the faster-reacting monitors edge ahead on large failures -- the scheme is robust "
+      "to the choice of signal once thresholds fit");
+
+  using Monitor = schemes::DynamicMraiParams::Monitor;
+  struct Variant {
+    const char* name;
+    Monitor monitor;
+  };
+  const std::vector<Variant> variants{
+      {"unfinished-work", Monitor::kUnfinishedWork},
+      {"utilization", Monitor::kUtilization},
+      {"message-rate", Monitor::kMessageRate},
+  };
+
+  harness::Table table{{"failure", "unfinished-work", "utilization", "message-rate"}};
+  for (const double failure : {0.01, 0.05, 0.10, 0.20}) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (const auto& v : variants) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      schemes::DynamicMraiParams params;
+      params.monitor = v.monitor;
+      cfg.scheme = harness::SchemeSpec::dynamic_mrai(params);
+      const auto p = bench::measure(cfg);
+      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds)\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: the recovery flood. After the failed region comes back up, its
+// routers re-originate and every healed session exchanges a full table --
+// good news propagates, the Tup analogue of Labovitz's taxonomy. The same
+// overload mechanics apply (a burst of updates through finite CPUs), so the
+// paper's schemes help here too, even though the paper only studied the
+// failure direction.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Ablation 10: re-convergence after the failed region recovers",
+      "recovery (absorbing good news) is faster than failure convergence at the same "
+      "size; batching and dynamic MRAI keep helping because the full-table exchanges "
+      "still pile onto the queues");
+
+  struct Scheme {
+    const char* name;
+    harness::SchemeSpec spec;
+  };
+  const std::vector<Scheme> schemes{
+      {"const 0.5", harness::SchemeSpec::constant(0.5)},
+      {"const 2.25", harness::SchemeSpec::constant(2.25)},
+      {"dynamic", harness::SchemeSpec::dynamic_mrai()},
+      {"batching(0.5)", harness::SchemeSpec::constant(0.5, /*batch=*/true)},
+  };
+
+  harness::Table table{{"failure", "metric", "const 0.5", "const 2.25", "dynamic",
+                        "batching(0.5)"}};
+  for (const double failure : {0.05, 0.10, 0.20}) {
+    std::vector<std::string> fail_row{bench::pct(failure), "fail delay"};
+    std::vector<std::string> rec_row{"", "recover delay"};
+    for (const auto& s : schemes) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      cfg.scheme = s.spec;
+      cfg.measure_recovery = true;
+      const auto avg = harness::run_averaged(cfg, bench::seed_count());
+      double rec = 0.0;
+      for (const auto& r : avg.runs) rec += r.recovery_delay_s;
+      rec /= static_cast<double>(avg.runs.size());
+      fail_row.push_back(harness::Table::fmt(avg.delay.mean) +
+                         (avg.valid_fraction == 1.0 ? "" : "!"));
+      rec_row.push_back(harness::Table::fmt(rec));
+    }
+    table.add_row(std::move(fail_row));
+    table.add_row(std::move(rec_row));
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds; each failure row pairs with the recovery row below it)\n");
+  return 0;
+}

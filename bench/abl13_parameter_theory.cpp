@@ -1,0 +1,74 @@
+// Ablation: the analytic parameter theory (paper section 5, "currently
+// ongoing work") against measurement. For each topology the measured
+// delay-optimal constant MRAI at 5% failure is compared with the queueing
+// estimate M* = d_max x f x n x E[proc]; then the fully analytic dynamic
+// parameter set is raced against the paper's hand-tuned one.
+#include "bench_util.hpp"
+#include "schemes/calibration.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Ablation 13: analytic MRAI selection vs measurement",
+      "the queueing knee predicts the measured optimum within a small factor and orders "
+      "the topologies correctly; the analytically-calibrated dynamic scheme performs "
+      "like the hand-tuned one");
+
+  struct Variant {
+    const char* name;
+    topo::SkewSpec spec;
+    std::size_t max_degree;
+  };
+  const std::vector<Variant> variants{
+      {"50-50 (hubs 5/6)", topo::SkewSpec::s50_50(), 6},
+      {"70-30 (hubs 8)", topo::SkewSpec::s70_30(), 8},
+      {"85-15 (hubs 14)", topo::SkewSpec::s85_15(), 14},
+  };
+  const std::vector<double> grid{0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5};
+
+  harness::Table table{{"topology", "predicted M*", "measured M*", "measured delay"}};
+  for (const auto& v : variants) {
+    const auto predicted = schemes::estimate_optimal_mrai(
+        v.max_degree, bench::node_count(), 0.05, sim::SimTime::from_us(15500));
+    double best_delay = 1e18;
+    double best_mrai = grid.front();
+    for (const double mrai : grid) {
+      auto cfg = bench::paper_default();
+      cfg.topology.skew = v.spec;
+      cfg.failure_fraction = 0.05;
+      cfg.scheme = harness::SchemeSpec::constant(mrai);
+      const auto p = bench::measure(cfg);
+      if (p.delay_s < best_delay) {
+        best_delay = p.delay_s;
+        best_mrai = mrai;
+      }
+    }
+    table.add_row({v.name, harness::Table::fmt(predicted.to_seconds()) + "s",
+                   harness::Table::fmt(best_mrai) + "s", harness::Table::fmt(best_delay)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nAnalytic vs hand-tuned dynamic scheme (70-30):\n");
+  schemes::CalibrationInput input;
+  input.num_prefixes = bench::node_count();
+  const auto analytic = schemes::suggest_dynamic_params(input);
+  std::printf("analytic levels: {%.2f, %.2f, %.2f}s  upTh=%.2fs downTh=%.2fs\n",
+              analytic.levels[0].to_seconds(), analytic.levels[1].to_seconds(),
+              analytic.levels[2].to_seconds(), analytic.up_th.to_seconds(),
+              analytic.down_th.to_seconds());
+  harness::Table race{{"failure", "analytic dynamic", "hand-tuned dynamic"}};
+  for (const double failure : {0.01, 0.05, 0.10, 0.20}) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (const bool hand_tuned : {false, true}) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      cfg.scheme = harness::SchemeSpec::dynamic_mrai(
+          hand_tuned ? schemes::DynamicMraiParams{} : analytic);
+      const auto p = bench::measure(cfg);
+      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+    }
+    race.add_row(std::move(row));
+  }
+  race.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every fig* binary regenerates one figure of the paper: it sweeps the same
+// parameter grid, prints the measured series as a fixed-width table, and
+// states the paper's qualitative expectation next to it. Environment knobs:
+//   BGPSIM_SEEDS  replica count per point (default 3)
+//   BGPSIM_N      node count for flat topologies (default 120, the paper's)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace bgpsim::bench {
+
+inline std::size_t env_or(const char* name, std::size_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+inline std::size_t node_count() { return env_or("BGPSIM_N", 120); }
+inline std::size_t seed_count() { return harness::bench_seeds(3); }
+
+/// The paper's baseline configuration: 120 nodes, 70-30 skew (avg degree
+/// 3.8), U(1,30) ms processing, 25 ms links, per-peer jittered MRAI.
+inline harness::ExperimentConfig paper_default() {
+  harness::ExperimentConfig cfg;
+  cfg.topology.kind = harness::TopologySpec::Kind::kSkewed;
+  cfg.topology.n = node_count();
+  cfg.topology.skew = topo::SkewSpec::s70_30();
+  cfg.seed = 1;
+  return cfg;
+}
+
+/// The paper's failure-size grid (percent of nodes, contiguous at centre).
+inline std::vector<double> failure_grid() { return {0.01, 0.025, 0.05, 0.10, 0.15, 0.20}; }
+
+struct Point {
+  double delay_s = 0.0;
+  double messages = 0.0;
+  bool all_valid = true;
+};
+
+inline Point measure(const harness::ExperimentConfig& cfg) {
+  const auto avg = harness::run_averaged(cfg, seed_count());
+  Point p;
+  p.delay_s = avg.delay.mean;
+  p.messages = avg.messages.mean;
+  p.all_valid = avg.valid_fraction == 1.0;
+  if (!p.all_valid) {
+    for (const auto& r : avg.runs) {
+      if (!r.routes_valid) {
+        std::fprintf(stderr, "AUDIT FAILURE (seed %llu): %s\n",
+                     static_cast<unsigned long long>(cfg.seed), r.audit_error.c_str());
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_expectation) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("Paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("Setup: %zu nodes, %zu seed(s) per point. [BGPSIM_N / BGPSIM_SEEDS to change]\n\n",
+              node_count(), seed_count());
+}
+
+inline std::string pct(double fraction) {
+  return harness::Table::fmt(fraction * 100.0, fraction * 100.0 < 10 ? 1 : 0) + "%";
+}
+
+}  // namespace bgpsim::bench

@@ -1,0 +1,28 @@
+// Fig 5: Effect of the average degree: two 50-50 skews, one with hubs of
+// degree 5/6 (avg 3.8) and one with hubs of 13/14 (avg 7.6).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Fig 5: effect of the average degree (5% failure, 50-50 skew)",
+      "both the optimal MRAI and the minimum delay are larger for avg degree 7.6 than for "
+      "3.8 -- heavier hubs overload longer and more alternate paths must be explored");
+
+  harness::Table table{{"MRAI(s)", "avg deg 3.8", "avg deg 7.6"}};
+  for (const double mrai : {0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5}) {
+    std::vector<std::string> row{harness::Table::fmt(mrai)};
+    for (const bool dense : {false, true}) {
+      auto cfg = bench::paper_default();
+      cfg.topology.skew = dense ? topo::SkewSpec::s50_50_dense() : topo::SkewSpec::s50_50();
+      cfg.failure_fraction = 0.05;
+      cfg.scheme = harness::SchemeSpec::constant(mrai);
+      const auto p = bench::measure(cfg);
+      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds)\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig 8: Sensitivity of the dynamic scheme to upTh (downTh fixed at 0, as
+// in the paper's sweep).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Fig 8: effect of upTh on the dynamic scheme (downTh = 0)",
+      "a low upTh behaves like a constant high MRAI (bad for small failures, good for "
+      "large); raising it improves small failures and hurts large ones, but results stay "
+      "good across a wide band (0.65s vs 1.25s barely differ)");
+
+  const std::vector<double> upths{0.10, 0.35, 0.65, 1.25};
+  harness::Table table{{"failure", "upTh=0.10s", "upTh=0.35s", "upTh=0.65s", "upTh=1.25s"}};
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (const double upth : upths) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      schemes::DynamicMraiParams params;
+      params.up_th = sim::SimTime::seconds(upth);
+      params.down_th = sim::SimTime::zero();
+      cfg.scheme = harness::SchemeSpec::dynamic_mrai(params);
+      const auto p = bench::measure(cfg);
+      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds)\n");
+  return 0;
+}

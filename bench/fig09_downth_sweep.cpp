@@ -1,0 +1,31 @@
+// Fig 9: Sensitivity of the dynamic scheme to downTh (upTh fixed at 0.65 s).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Fig 9: effect of downTh on the dynamic scheme (upTh = 0.65s)",
+      "raising downTh makes more nodes drop back to low MRAIs, increasing the delay for "
+      "larger failures; results stay similar across a range of values");
+
+  const std::vector<double> downths{0.0, 0.05, 0.20, 0.45};
+  harness::Table table{
+      {"failure", "downTh=0s", "downTh=0.05s", "downTh=0.20s", "downTh=0.45s"}};
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (const double downth : downths) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      schemes::DynamicMraiParams params;
+      params.up_th = sim::SimTime::seconds(0.65);
+      params.down_th = sim::SimTime::seconds(downth);
+      cfg.scheme = harness::SchemeSpec::dynamic_mrai(params);
+      const auto p = bench::measure(cfg);
+      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds)\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig 12: Effect of batching at different MRAI values (5% failure, 70-30
+// skew). Batching only matters when nodes are overloaded, i.e. below the
+// optimal MRAI.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace bgpsim;
+  bench::print_header(
+      "Fig 12: batching with different MRAIs (5% failure)",
+      "below the optimal MRAI batching cuts the delay dramatically; at or above the "
+      "optimum the queues stay short and batching changes little");
+
+  harness::Table table{{"MRAI(s)", "FIFO", "batched", "speedup"}};
+  for (const double mrai : {0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 3.0}) {
+    auto cfg = bench::paper_default();
+    cfg.failure_fraction = 0.05;
+    cfg.scheme = harness::SchemeSpec::constant(mrai, /*batch=*/false);
+    const auto fifo = bench::measure(cfg);
+    cfg.scheme = harness::SchemeSpec::constant(mrai, /*batch=*/true);
+    const auto batched = bench::measure(cfg);
+    table.add_row({harness::Table::fmt(mrai),
+                   harness::Table::fmt(fifo.delay_s) + (fifo.all_valid ? "" : "!"),
+                   harness::Table::fmt(batched.delay_s) + (batched.all_valid ? "" : "!"),
+                   harness::Table::fmt(batched.delay_s > 0 ? fifo.delay_s / batched.delay_s : 0.0,
+                                       1) +
+                       "x"});
+  }
+  table.print(std::cout);
+  std::printf("\n(delays in seconds)\n");
+  return 0;
+}

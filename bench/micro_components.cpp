@@ -1,0 +1,97 @@
+// Micro-benchmarks (google-benchmark) for the hot components of the
+// simulator: event scheduling, input-queue disciplines, the decision
+// process, topology realisation, and a full small experiment.
+#include <benchmark/benchmark.h>
+
+#include "bgp/input_queue.hpp"
+#include "bgp/types.hpp"
+#include "harness/experiment.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/degree_sequence.hpp"
+
+namespace {
+
+using namespace bgpsim;
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_at(sim::SimTime::from_ns(static_cast<std::int64_t>((i * 7919) % 1000000)),
+                    [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerPushPop)->Arg(1000)->Arg(10000);
+
+void BM_InputQueueFifo(benchmark::State& state) {
+  for (auto _ : state) {
+    bgp::InputQueue q{bgp::QueueDiscipline::kFifo};
+    std::uint64_t dropped = 0;
+    for (int i = 0; i < 1000; ++i) {
+      bgp::WorkItem w;
+      w.from = static_cast<bgp::NodeId>(i % 8);
+      w.prefix = static_cast<bgp::Prefix>(i % 120);
+      q.push(std::move(w));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop_batch(dropped));
+  }
+}
+BENCHMARK(BM_InputQueueFifo);
+
+void BM_InputQueueBatched(benchmark::State& state) {
+  for (auto _ : state) {
+    bgp::InputQueue q{bgp::QueueDiscipline::kBatched};
+    std::uint64_t dropped = 0;
+    for (int i = 0; i < 1000; ++i) {
+      bgp::WorkItem w;
+      w.from = static_cast<bgp::NodeId>(i % 8);
+      w.prefix = static_cast<bgp::Prefix>(i % 120);
+      q.push(std::move(w));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop_batch(dropped));
+    benchmark::DoNotOptimize(dropped);
+  }
+}
+BENCHMARK(BM_InputQueueBatched);
+
+void BM_AsPathPrepend(benchmark::State& state) {
+  bgp::AsPath p{{1, 2, 3, 4, 5}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.prepended(99));
+  }
+}
+BENCHMARK(BM_AsPathPrepend);
+
+void BM_RealizeSkewedTopology(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::Rng rng{seed++};
+    auto degrees = topo::skewed_sequence(n, topo::SkewSpec::s70_30(), rng);
+    benchmark::DoNotOptimize(topo::realize_degree_sequence(std::move(degrees), rng));
+  }
+}
+BENCHMARK(BM_RealizeSkewedTopology)->Arg(120)->Arg(240);
+
+void BM_FullExperiment(benchmark::State& state) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 60;
+  cfg.failure_fraction = 0.05;
+  cfg.scheme = harness::SchemeSpec::constant(1.25);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    cfg.seed = seed++;
+    benchmark::DoNotOptimize(harness::run_experiment(cfg));
+  }
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

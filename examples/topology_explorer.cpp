@@ -1,0 +1,73 @@
+// Topology explorer: generates one instance of every topology family in
+// the library and prints its vital statistics, including the degree
+// histogram. Demonstrates the topo API (skewed sequences, BRITE-style
+// generators, hierarchical multi-router ASes).
+//
+// Run: ./build/examples/topology_explorer
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "topo/degree_sequence.hpp"
+#include "topo/generators.hpp"
+#include "topo/hierarchical.hpp"
+
+using namespace bgpsim;
+
+namespace {
+
+void describe(const std::string& name, const topo::Graph& g) {
+  std::map<std::size_t, int> histogram;
+  for (topo::NodeId v = 0; v < g.size(); ++v) ++histogram[g.degree(v)];
+  std::printf("%-22s %4zu nodes  %5zu edges  avg deg %4.2f  max deg %2zu  %s\n", name.c_str(),
+              g.size(), g.edge_count(), g.average_degree(), g.max_degree(),
+              g.is_connected() ? "connected" : "DISCONNECTED");
+  std::printf("%22s degree histogram: ", "");
+  for (const auto& [deg, count] : histogram) std::printf("%zu:%d ", deg, count);
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  sim::Rng rng{2026};
+
+  for (const auto& [name, spec] :
+       std::initializer_list<std::pair<const char*, topo::SkewSpec>>{
+           {"skewed 70-30", topo::SkewSpec::s70_30()},
+           {"skewed 50-50", topo::SkewSpec::s50_50()},
+           {"skewed 85-15", topo::SkewSpec::s85_15()},
+           {"skewed 50-50 dense", topo::SkewSpec::s50_50_dense()}}) {
+    auto degrees = topo::skewed_sequence(120, spec, rng);
+    describe(name, topo::realize_degree_sequence(std::move(degrees), rng));
+  }
+
+  {
+    auto degrees = topo::internet_like_sequence(120, 40, 3.4, rng);
+    describe("internet-like (cap 40)", topo::realize_degree_sequence(std::move(degrees), rng));
+  }
+
+  topo::WaxmanParams wax;
+  wax.n = 120;
+  describe("waxman", topo::waxman(wax, rng));
+
+  topo::BaParams ba;
+  ba.n = 120;
+  describe("barabasi-albert m=2", topo::barabasi_albert(ba, rng));
+
+  topo::GlpParams glp_params;
+  glp_params.n = 120;
+  describe("GLP", topo::glp(glp_params, rng));
+
+  topo::HierParams hier;
+  hier.num_ases = 60;
+  hier.max_total_routers = 200;
+  const auto h = topo::hierarchical(hier, rng);
+  std::printf("%-22s %4zu routers in %zu ASes, %zu sessions (iBGP meshes + eBGP)\n",
+              "hierarchical", h.num_routers(), h.num_ases(), h.sessions.size());
+  std::printf("%22s AS-level graph: ", "");
+  std::printf("avg inter-AS degree %.2f, max %zu, largest AS %zu routers\n",
+              h.as_graph.average_degree(), h.as_graph.max_degree(),
+              h.routers_of_as.front().size());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// BGP model configuration knobs.
+//
+// Defaults reproduce the paper's experimental setup (section 3.2): 25 ms
+// one-way link delay, per-update processing delay U(1 ms, 30 ms), per-peer
+// MRAI with RFC 1771 jitter (reduction of up to 25%), withdrawals exempt
+// from the MRAI, FIFO update processing.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::bgp {
+
+/// Route-flap damping (RFC 2439), the other classic BGP stability
+/// mechanism of the paper's era. Each (peer, prefix) accumulates a penalty
+/// on withdrawals and attribute changes, decaying exponentially; routes
+/// whose penalty crosses `suppress_threshold` are excluded from the
+/// decision process until it decays below `reuse_threshold`. The defaults
+/// follow common router configs but with a half-life scaled to simulation
+/// timescales. During large failures damping prunes path exploration
+/// (fewer updates, often an earlier aggregate convergence) at the price of
+/// per-prefix reachability gaps when the last surviving route is
+/// suppressed -- bench abl09_flap_damping and damping_test.cpp show both
+/// sides.
+struct DampingConfig {
+  bool enabled = false;
+  double withdrawal_penalty = 1.0;
+  double attribute_change_penalty = 0.5;
+  double suppress_threshold = 3.0;
+  double reuse_threshold = 1.0;
+  double max_penalty = 16.0;
+  double half_life_s = 30.0;
+};
+
+/// Input-queue discipline at a router.
+///  - kFifo: default BGP, strict arrival order.
+///  - kBatched: the paper's scheme (section 4.4): per-destination logical
+///    queues, all updates for one destination processed together, stale
+///    updates from the same neighbor deleted unprocessed.
+///  - kTcpBatch: the "batching carried out in BGP routers today" the paper
+///    contrasts against (section 4.4, last paragraph): one TCP buffer's
+///    worth of consecutive updates from a single peer is processed as one
+///    batch (route changes pushed once per batch); nothing is deleted, and
+///    same-destination hits within a batch are a matter of luck.
+enum class QueueDiscipline { kFifo, kBatched, kTcpBatch };
+
+/// How the work caused by a peer session going down is charged.
+/// kPerPeer: one processing-delay draw removes all routes from the peer
+/// (route scan modelled as one unit of work). kPerPrefix: one draw per
+/// affected prefix (heavier, stresses the queue immediately).
+enum class TeardownCost { kPerPeer, kPerPrefix };
+
+struct BgpConfig {
+  sim::SimTime link_delay = sim::SimTime::from_ms(25);
+  sim::SimTime proc_min = sim::SimTime::from_ms(1);
+  sim::SimTime proc_max = sim::SimTime::from_ms(30);
+  bool jitter_timers = true;
+  /// Per-destination MRAI timers instead of the per-peer scheme that the
+  /// paper (and the Internet) uses. Kept for ablation.
+  bool per_destination_mrai = false;
+  /// RFC 1771 exempts withdrawals from the MRAI; true rate-limits them too.
+  bool mrai_applies_to_withdrawals = false;
+  QueueDiscipline queue = QueueDiscipline::kFifo;
+  TeardownCost teardown = TeardownCost::kPerPeer;
+  /// Improved batching (paper section 5, future work: "remove
+  /// conflicting/superfluous updates"): queued updates that would not
+  /// change the Adj-RIB-In are recognised by a cheap pre-filter and charged
+  /// no processing time. Only meaningful with kBatched.
+  bool free_redundant_updates = false;
+  /// Deshpande/Sikdar (GLOBECOM'04) baseline: in per-destination MRAI mode,
+  /// the timer is applied to a destination only after its route has changed
+  /// at least this many times in the recent window (0 = always apply).
+  int dest_mrai_min_changes = 0;
+  /// kTcpBatch: maximum updates from one peer per processing batch (one
+  /// "TCP buffer" worth).
+  std::size_t tcp_batch_limit = 16;
+  /// Session-failure detection delay (BGP hold timer). The paper assumes
+  /// immediate detection (0); with a positive value each survivor notices a
+  /// dead peer after U(0.5, 1.0) x this delay.
+  sim::SimTime failure_detection_delay = sim::SimTime::zero();
+  /// Sender-side loop detection (SSLD): do not advertise a route to an
+  /// eBGP peer whose AS already appears in the path -- the peer would
+  /// reject it anyway. Off by default (the paper models receiver-side
+  /// checks only).
+  bool sender_side_loop_detection = false;
+  /// Route-flap damping (off by default; the paper does not model it).
+  DampingConfig damping{};
+  /// Number of prefixes each origin announces (default 1, the paper's
+  /// one-prefix-per-AS model). Larger values scale the routing-table size
+  /// the way the paper's closing discussion anticipates for the real
+  /// Internet.
+  std::uint32_t prefixes_per_origin = 1;
+  /// Origination times are spread uniformly over this window at start-up so
+  /// the cold-start convergence is not artificially synchronised.
+  sim::SimTime origination_spread = sim::SimTime::seconds(1.0);
+
+  sim::SimTime mean_processing_delay() const {
+    return sim::SimTime::from_ns((proc_min.ns() + proc_max.ns()) / 2);
+  }
+};
+
+}  // namespace bgpsim::bgp

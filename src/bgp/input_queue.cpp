@@ -1,0 +1,90 @@
+#include "bgp/input_queue.hpp"
+
+namespace bgpsim::bgp {
+
+void InputQueue::push(WorkItem item) {
+  ++size_;
+  switch (mode_) {
+    case QueueDiscipline::kFifo:
+      fifo_.push_back(std::move(item));
+      return;
+    case QueueDiscipline::kBatched: {
+      const Prefix key = item.kind == WorkItem::Kind::kPeerDown ? kTeardownKey : item.prefix;
+      auto [it, inserted] = by_dest_.try_emplace(key);
+      if (inserted || it->second.empty()) dest_order_.push_back(key);
+      it->second.push_back(std::move(item));
+      return;
+    }
+    case QueueDiscipline::kTcpBatch: {
+      auto [it, inserted] = by_peer_.try_emplace(item.from);
+      if (inserted || it->second.empty()) peer_order_.push_back(item.from);
+      it->second.push_back(std::move(item));
+      return;
+    }
+  }
+}
+
+std::vector<WorkItem> InputQueue::pop_batch(std::uint64_t& dropped) {
+  std::vector<WorkItem> out;
+  if (size_ == 0) return out;
+  switch (mode_) {
+    case QueueDiscipline::kFifo:
+      out.push_back(std::move(fifo_.front()));
+      fifo_.pop_front();
+      --size_;
+      return out;
+    case QueueDiscipline::kBatched:
+      return pop_destination_batch(dropped);
+    case QueueDiscipline::kTcpBatch:
+      return pop_peer_batch();
+  }
+  return out;
+}
+
+std::vector<WorkItem> InputQueue::pop_destination_batch(std::uint64_t& dropped) {
+  std::vector<WorkItem> out;
+  const Prefix key = dest_order_.front();
+  dest_order_.pop_front();
+  auto& items = by_dest_[key];
+  size_ -= items.size();
+  // Keep only the newest item per neighbor, preserving arrival order of the
+  // survivors; everything older is stale. (For the teardown pseudo-
+  // destination this just collapses duplicate teardowns from one peer.)
+  std::unordered_map<NodeId, std::size_t> last_index;
+  for (std::size_t i = 0; i < items.size(); ++i) last_index[items[i].from] = i;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (last_index[items[i].from] == i) {
+      out.push_back(std::move(items[i]));
+    } else {
+      ++dropped;
+    }
+  }
+  items.clear();
+  return out;
+}
+
+std::vector<WorkItem> InputQueue::pop_peer_batch() {
+  std::vector<WorkItem> out;
+  const NodeId peer = peer_order_.front();
+  peer_order_.pop_front();
+  auto& items = by_peer_[peer];
+  while (!items.empty() && out.size() < tcp_limit_) {
+    out.push_back(std::move(items.front()));
+    items.pop_front();
+    --size_;
+  }
+  // Round-robin: a peer with remaining updates goes to the back of the line.
+  if (!items.empty()) peer_order_.push_back(peer);
+  return out;
+}
+
+void InputQueue::clear() {
+  fifo_.clear();
+  dest_order_.clear();
+  by_dest_.clear();
+  peer_order_.clear();
+  by_peer_.clear();
+  size_ = 0;
+}
+
+}  // namespace bgpsim::bgp

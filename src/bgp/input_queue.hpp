@@ -1,0 +1,77 @@
+// Router input queue: FIFO (default BGP), per-destination batched (paper
+// section 4.4), or per-peer TCP batched (the coarse batching deployed in
+// real routers, which the paper contrasts against).
+//
+// kBatched keeps a logical per-destination sub-queue. pop_batch() returns
+// *all* queued updates for the destination at the head of the arrival
+// order, collapsed to the newest update per neighbor; older updates from
+// the same neighbor are stale and deleted without being processed (their
+// processing cost is saved -- that is the point of the scheme).
+// Peer-teardown work items are kept as their own pseudo-destination so they
+// are never reordered against each other.
+//
+// kTcpBatch keeps a per-peer sub-queue (each peer's updates arrive over
+// their own TCP connection) and serves peers round-robin, handing out up to
+// tcp_batch_limit updates of one peer per batch. Nothing is deleted: the
+// only benefit is that route changes are pushed once per batch, so
+// same-destination updates that happen to share a batch collapse.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/types.hpp"
+
+namespace bgpsim::bgp {
+
+struct WorkItem {
+  enum class Kind { kUpdate, kPeerDown };
+  Kind kind = Kind::kUpdate;
+  NodeId from = 0;
+  Prefix prefix = 0;  ///< kTeardownKey for kPeerDown items
+  bool withdraw = false;
+  AsPath path;
+};
+
+/// Pseudo-destination under which kPeerDown items are queued in kBatched.
+inline constexpr Prefix kTeardownKey = 0xFFFFFFFFu;
+
+class InputQueue {
+ public:
+  explicit InputQueue(QueueDiscipline mode, std::size_t tcp_batch_limit = 16)
+      : mode_{mode}, tcp_limit_{tcp_batch_limit == 0 ? 1 : tcp_batch_limit} {}
+
+  void push(WorkItem item);
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Pops the next unit of CPU work: a single item (kFifo), the collapsed
+  /// batch for the head destination (kBatched), or up to tcp_batch_limit
+  /// items of one peer (kTcpBatch). `dropped` is incremented by the number
+  /// of stale items deleted without processing (kBatched only).
+  std::vector<WorkItem> pop_batch(std::uint64_t& dropped);
+
+  void clear();
+
+ private:
+  std::vector<WorkItem> pop_destination_batch(std::uint64_t& dropped);
+  std::vector<WorkItem> pop_peer_batch();
+
+  QueueDiscipline mode_;
+  std::size_t tcp_limit_;
+  std::size_t size_ = 0;
+  // kFifo state.
+  std::deque<WorkItem> fifo_;
+  // kBatched state: arrival order of destinations with queued work.
+  std::deque<Prefix> dest_order_;
+  std::unordered_map<Prefix, std::vector<WorkItem>> by_dest_;
+  // kTcpBatch state: round-robin order of peers with queued work.
+  std::deque<NodeId> peer_order_;
+  std::unordered_map<NodeId, std::deque<WorkItem>> by_peer_;
+};
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,62 @@
+// Network-wide counters used to measure convergence delay and message load.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::bgp {
+
+struct NetMetrics {
+  std::uint64_t updates_sent = 0;       ///< advertisements + withdrawals
+  std::uint64_t adverts_sent = 0;
+  std::uint64_t withdrawals_sent = 0;
+  std::uint64_t messages_processed = 0; ///< work items that paid processing cost
+  std::uint64_t batch_dropped = 0;      ///< stale items deleted by batching
+  std::uint64_t rib_changes = 0;        ///< Loc-RIB best-route changes
+  sim::SimTime last_rib_change;         ///< time of the most recent Loc-RIB change
+  sim::SimTime last_activity;           ///< most recent send or processing completion
+};
+
+/// Exponentially-decayed accumulator, used for the utilization- and
+/// message-rate-based dynamic-MRAI variants (paper section 4.3). `add`
+/// folds an amount in at time `now`; `rate` reads the decayed per-second
+/// average. tau is the decay time constant in seconds.
+class DecayingRate {
+ public:
+  explicit DecayingRate(double tau_seconds) : tau_{tau_seconds} {}
+
+  void add(sim::SimTime now, double amount) {
+    decay_to(now);
+    value_ += amount;
+  }
+
+  /// Decayed amount per second of window (e.g. busy-seconds per second for
+  /// utilization, messages per second for arrival rate).
+  double rate(sim::SimTime now) {
+    decay_to(now);
+    return value_ / tau_;
+  }
+
+  /// Decayed raw accumulation (e.g. "events in the recent window").
+  double value(sim::SimTime now) {
+    decay_to(now);
+    return value_;
+  }
+
+ private:
+  void decay_to(sim::SimTime now) {
+    const double dt = (now - last_).to_seconds();
+    if (dt > 0) {
+      value_ *= std::exp(-dt / tau_);
+      last_ = now;
+    }
+  }
+
+  double tau_;
+  double value_ = 0.0;
+  sim::SimTime last_;
+};
+
+}  // namespace bgpsim::bgp

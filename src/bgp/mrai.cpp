@@ -1,0 +1,12 @@
+#include "bgp/mrai.hpp"
+
+#include "bgp/router.hpp"
+
+namespace bgpsim::bgp {
+
+sim::SimTime FixedMrai::interval(Router& r, NodeId /*peer*/) {
+  if (!per_node_.empty() && r.id() < per_node_.size()) return per_node_[r.id()];
+  return default_;
+}
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,44 @@
+// MRAI selection policies.
+//
+// A router consults its network's MraiController every time it is about to
+// (re)start an MRAI timer -- this is exactly the hook the paper's dynamic
+// scheme uses ("the change takes effect only when the timers are restarted
+// after an update has been sent", section 4.3). Constant and per-node
+// (degree-dependent) MRAIs are FixedMrai; the adaptive controller lives in
+// schemes/dynamic_mrai.hpp.
+#pragma once
+
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::bgp {
+
+class Router;
+
+class MraiController {
+ public:
+  virtual ~MraiController() = default;
+
+  /// Base (un-jittered) MRAI for router `r`'s timer towards `peer`.
+  /// Called at every timer (re)start; may update internal adaptive state.
+  virtual sim::SimTime interval(Router& r, NodeId peer) = 0;
+};
+
+/// Constant MRAI, optionally overridden per node (used for the paper's
+/// degree-dependent scheme, section 4.2).
+class FixedMrai final : public MraiController {
+ public:
+  explicit FixedMrai(sim::SimTime value) : default_{value} {}
+  FixedMrai(sim::SimTime default_value, std::vector<sim::SimTime> per_node)
+      : default_{default_value}, per_node_{std::move(per_node)} {}
+
+  sim::SimTime interval(Router& r, NodeId peer) override;
+
+ private:
+  sim::SimTime default_;
+  std::vector<sim::SimTime> per_node_;  ///< empty => default for everyone
+};
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,143 @@
+#include "bgp/network.hpp"
+
+#include <stdexcept>
+
+namespace bgpsim::bgp {
+
+Network::Network(const topo::Graph& g, BgpConfig cfg, std::shared_ptr<MraiController> mrai,
+                 std::uint64_t seed)
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
+  if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
+  const auto n = static_cast<NodeId>(g.size());
+  routers_.reserve(n);
+  positions_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    routers_.push_back(std::make_unique<Router>(*this, v, /*as=*/v, /*originates=*/true));
+    positions_.push_back(g.position(v));
+  }
+  for (const auto& [a, b] : g.edges()) {
+    routers_[a]->add_session(b, /*peer_as=*/b, /*ebgp=*/true);
+    routers_[b]->add_session(a, /*peer_as=*/a, /*ebgp=*/true);
+  }
+  if (cfg_.prefixes_per_origin > 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      routers_[v]->set_origin_range(v * cfg_.prefixes_per_origin, cfg_.prefixes_per_origin);
+    }
+  }
+}
+
+Network::Network(const topo::HierTopology& h, BgpConfig cfg,
+                 std::shared_ptr<MraiController> mrai, std::uint64_t seed)
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
+  if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
+  const auto n = static_cast<NodeId>(h.num_routers());
+  routers_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto as = h.as_of_router[v];
+    const bool origin = h.origin_router[as] == v;
+    routers_.push_back(std::make_unique<Router>(*this, v, as, origin));
+  }
+  positions_ = h.router_pos;
+  for (const auto& s : h.sessions) {
+    routers_[s.a]->add_session(s.b, h.as_of_router[s.b], s.ebgp);
+    routers_[s.b]->add_session(s.a, h.as_of_router[s.a], s.ebgp);
+  }
+  if (cfg_.prefixes_per_origin > 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      routers_[v]->set_origin_range(h.as_of_router[v] * cfg_.prefixes_per_origin,
+                                    cfg_.prefixes_per_origin);
+    }
+  }
+}
+
+Network::Network(const topo::AsRelGraph& ar, BgpConfig cfg,
+                 std::shared_ptr<MraiController> mrai, std::uint64_t seed)
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed}, policy_routing_{true} {
+  if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
+  const auto& g = ar.graph;
+  const auto n = static_cast<NodeId>(g.size());
+  routers_.reserve(n);
+  positions_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    routers_.push_back(std::make_unique<Router>(*this, v, /*as=*/v, /*originates=*/true));
+    positions_.push_back(g.position(v));
+  }
+  for (const auto& [a, b] : g.edges()) {
+    PeerRelation a_sees_b = PeerRelation::kPeer;
+    PeerRelation b_sees_a = PeerRelation::kPeer;
+    if (ar.relationship(a, b) == topo::Relationship::kProviderCustomer) {
+      if (ar.is_provider(a, b)) {
+        a_sees_b = PeerRelation::kCustomer;  // b is a's customer
+        b_sees_a = PeerRelation::kProvider;
+      } else {
+        a_sees_b = PeerRelation::kProvider;
+        b_sees_a = PeerRelation::kCustomer;
+      }
+    }
+    routers_[a]->add_session(b, /*peer_as=*/b, /*ebgp=*/true, a_sees_b);
+    routers_[b]->add_session(a, /*peer_as=*/a, /*ebgp=*/true, b_sees_a);
+  }
+  if (cfg_.prefixes_per_origin > 1) {
+    for (NodeId v = 0; v < n; ++v) {
+      routers_[v]->set_origin_range(v * cfg_.prefixes_per_origin, cfg_.prefixes_per_origin);
+    }
+  }
+}
+
+void Network::start() {
+  for (auto& r : routers_) {
+    if (!r->originates()) continue;
+    const sim::SimTime delay =
+        cfg_.origination_spread > sim::SimTime::zero()
+            ? rng_.uniform_time(sim::SimTime::zero(), cfg_.origination_spread)
+            : sim::SimTime::zero();
+    sched_.schedule_after(delay, [router = r.get()] { router->originate(); });
+  }
+}
+
+void Network::fail_nodes(const std::vector<NodeId>& victims) {
+  for (const NodeId v : victims) router(v).fail();
+  for (const NodeId v : victims) {
+    for (const NodeId peer : router(v).peers()) {
+      if (!router(peer).alive()) continue;
+      if (cfg_.failure_detection_delay <= sim::SimTime::zero()) {
+        router(peer).peer_failed(v);
+      } else {
+        // BGP hold timer: each survivor notices the dead peer after
+        // U(0.5, 1.0) x the configured detection delay.
+        const auto delay = cfg_.failure_detection_delay * rng_.uniform(0.5, 1.0);
+        sched_.schedule_after(delay, [this, peer, v] {
+          if (routers_[peer]->alive()) routers_[peer]->peer_failed(v);
+        });
+      }
+    }
+  }
+}
+
+void Network::recover_nodes(const std::vector<NodeId>& nodes) {
+  for (const NodeId v : nodes) router(v).recover();
+  for (const NodeId v : nodes) {
+    for (const NodeId peer : router(v).peers()) {
+      if (!router(peer).alive()) continue;
+      router(v).session_established(peer);
+      router(peer).session_established(v);
+    }
+  }
+  for (const NodeId v : nodes) router(v).originate();
+}
+
+std::vector<NodeId> Network::alive_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < routers_.size(); ++v) {
+    if (routers_[v]->alive()) out.push_back(v);
+  }
+  return out;
+}
+
+void Network::transmit(UpdateMessage msg) {
+  sched_.schedule_after(cfg_.link_delay, [this, m = std::move(msg)] {
+    routers_[m.to]->deliver(m);
+  });
+}
+
+}  // namespace bgpsim::bgp

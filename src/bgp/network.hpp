@@ -1,0 +1,101 @@
+// The simulated BGP network: owns the scheduler, RNG, routers and links.
+//
+// Two constructors mirror the paper's two families of topologies: a flat
+// graph (one BGP router per AS, every edge an eBGP session) and a
+// hierarchical HierTopology (multi-router ASes, iBGP full mesh + eBGP
+// border sessions).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/metrics.hpp"
+#include "bgp/mrai.hpp"
+#include "bgp/router.hpp"
+#include "bgp/trace.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/graph.hpp"
+#include "topo/hierarchical.hpp"
+#include "topo/io.hpp"
+
+namespace bgpsim::bgp {
+
+class Network {
+ public:
+  /// Flat network: node i is AS i's single router and originates prefix i.
+  Network(const topo::Graph& g, BgpConfig cfg, std::shared_ptr<MraiController> mrai,
+          std::uint64_t seed);
+
+  /// Hierarchical network from a multi-router-AS topology.
+  Network(const topo::HierTopology& h, BgpConfig cfg, std::shared_ptr<MraiController> mrai,
+          std::uint64_t seed);
+
+  /// Policy-routing network from an annotated AS graph (e.g. CAIDA as-rel
+  /// data): sessions carry Gao-Rexford relations, selection prefers
+  /// customer routes, and exports are valley-free.
+  Network(const topo::AsRelGraph& ar, BgpConfig cfg, std::shared_ptr<MraiController> mrai,
+          std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Schedules every origin's initial announcement (spread over
+  /// cfg.origination_spread) -- call once before running.
+  void start();
+
+  /// Runs the event loop until no events remain; returns the time of the
+  /// last event.
+  sim::SimTime run_to_quiescence() { return sched_.run(); }
+
+  /// Fails `victims` at the current simulation time: the routers die and
+  /// every surviving neighbor's session drops immediately.
+  void fail_nodes(const std::vector<NodeId>& victims);
+
+  /// Brings previously-failed routers back up at the current simulation
+  /// time: cold RIBs, sessions to live peers re-established (each side
+  /// resends its full table), own prefixes re-originated.
+  void recover_nodes(const std::vector<NodeId>& nodes);
+
+  std::size_t size() const { return routers_.size(); }
+  Router& router(NodeId id) { return *routers_.at(id); }
+  const Router& router(NodeId id) const { return *routers_.at(id); }
+  std::vector<NodeId> alive_nodes() const;
+  topo::Point position(NodeId id) const { return positions_.at(id); }
+  const std::vector<topo::Point>& positions() const { return positions_; }
+
+  sim::Scheduler& scheduler() { return sched_; }
+  sim::Rng& rng() { return rng_; }
+  const BgpConfig& config() const { return cfg_; }
+  /// True when sessions carry Gao-Rexford relations (affects what the
+  /// route audit may assume about reachability).
+  bool policy_routing() const { return policy_routing_; }
+  NetMetrics& metrics() { return metrics_; }
+  const NetMetrics& metrics() const { return metrics_; }
+  MraiController& mrai() { return *mrai_; }
+
+  /// Sends `msg` over the (from -> to) link; delivery after link_delay.
+  void transmit(UpdateMessage msg);
+
+  /// Installs a trace sink (non-owning; pass nullptr to disable). With no
+  /// sink, routers skip event construction entirely.
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  bool tracing() const { return trace_ != nullptr; }
+  void emit_trace(const TraceEvent& event) {
+    if (trace_ != nullptr) trace_->on_event(event);
+  }
+
+ private:
+  BgpConfig cfg_;
+  std::shared_ptr<MraiController> mrai_;
+  sim::Scheduler sched_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<topo::Point> positions_;
+  NetMetrics metrics_;
+  TraceSink* trace_ = nullptr;
+  bool policy_routing_ = false;
+};
+
+}  // namespace bgpsim::bgp

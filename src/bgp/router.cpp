@@ -1,0 +1,571 @@
+#include "bgp/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bgp/network.hpp"
+
+namespace bgpsim::bgp {
+
+namespace {
+constexpr double kLoadTauSeconds = 2.0;  // decay window for overload signals
+// Route losses indicate the *extent* of a failure, which stays relevant for
+// the whole convergence episode -- decay much more slowly than load.
+constexpr double kLossTauSeconds = 15.0;
+}
+
+Router::Router(Network& net, NodeId id, AsId as, bool originates)
+    : net_{net},
+      id_{id},
+      as_{as},
+      originates_{originates},
+      queue_{net.config().queue, net.config().tcp_batch_limit},
+      busy_tracker_{kLoadTauSeconds},
+      msg_tracker_{kLoadTauSeconds},
+      loss_tracker_{kLossTauSeconds} {
+  // Default origin range: one prefix, numbered by the AS (the paper's
+  // model). Network overrides via set_origin_range for multi-prefix runs.
+  origin_base_ = as_;
+  origin_count_ = originates_ ? 1 : 0;
+}
+
+void Router::set_origin_range(Prefix base, std::uint32_t count) {
+  origin_base_ = base;
+  origin_count_ = originates_ ? count : 0;
+}
+
+void Router::add_session(NodeId peer, AsId peer_as, bool ebgp, PeerRelation relation) {
+  session_index_.emplace(peer, sessions_.size());
+  auto& s = sessions_.emplace_back();
+  s.peer = peer;
+  s.peer_as = peer_as;
+  s.ebgp = ebgp;
+  s.relation = relation;
+}
+
+Router::PeerSession* Router::session(NodeId peer) {
+  const auto it = session_index_.find(peer);
+  return it == session_index_.end() ? nullptr : &sessions_[it->second];
+}
+
+const Router::PeerSession* Router::session(NodeId peer) const {
+  const auto it = session_index_.find(peer);
+  return it == session_index_.end() ? nullptr : &sessions_[it->second];
+}
+
+// --- simulation entry points -----------------------------------------------
+
+void Router::originate() {
+  if (!alive_ || !originates_) return;
+  for (std::uint32_t k = 0; k < origin_count_; ++k) {
+    const Prefix p = origin_base_ + k;
+    trace(TraceEvent::Kind::kOriginated, 0, p);
+    trace(TraceEvent::Kind::kRibChanged, 0, p);
+    RouteEntry local;
+    local.local = true;
+    loc_rib_[p] = local;
+    ++net_.metrics().rib_changes;
+    net_.metrics().last_rib_change = net_.scheduler().now();
+    for (auto& s : sessions_) route_changed(s, p);
+  }
+}
+
+void Router::deliver(const UpdateMessage& msg) {
+  if (!alive_) return;
+  msg_tracker_.add(net_.scheduler().now(), 1.0);
+  trace(TraceEvent::Kind::kUpdateReceived, msg.from, msg.prefix, msg.withdraw);
+  WorkItem item;
+  item.kind = WorkItem::Kind::kUpdate;
+  item.from = msg.from;
+  item.prefix = msg.prefix;
+  item.withdraw = msg.withdraw;
+  item.path = msg.path;
+  queue_.push(std::move(item));
+  maybe_start_processing();
+}
+
+void Router::peer_failed(NodeId peer) {
+  if (!alive_) return;
+  PeerSession* s = session(peer);
+  if (s == nullptr || !s->up) return;
+  trace(TraceEvent::Kind::kPeerDown, peer);
+  s->up = false;
+  s->timer.cancel();
+  s->timer_running = false;
+  s->pending.clear();
+  for (auto& [p, h] : s->dest_timers) h.cancel();
+  s->dest_timers.clear();
+  s->dest_pending.clear();
+  s->adj_out.clear();
+
+  if (net_.config().teardown == TeardownCost::kPerPeer) {
+    WorkItem item;
+    item.kind = WorkItem::Kind::kPeerDown;
+    item.from = peer;
+    item.prefix = kTeardownKey;
+    queue_.push(std::move(item));
+  } else {
+    // One withdrawal-equivalent work item per route learned from the peer.
+    std::vector<Prefix> prefixes;
+    prefixes.reserve(s->adj_in.size());
+    for (const auto& [p, path] : s->adj_in) prefixes.push_back(p);
+    std::sort(prefixes.begin(), prefixes.end());  // deterministic order
+    for (const Prefix p : prefixes) {
+      WorkItem item;
+      item.kind = WorkItem::Kind::kUpdate;
+      item.from = peer;
+      item.prefix = p;
+      item.withdraw = true;
+      queue_.push(std::move(item));
+    }
+  }
+  maybe_start_processing();
+}
+
+void Router::fail() {
+  if (!alive_) return;
+  trace(TraceEvent::Kind::kRouterFailed);
+  alive_ = false;
+  for (auto& s : sessions_) {
+    s.timer.cancel();
+    s.timer_running = false;
+    for (auto& [p, h] : s.dest_timers) h.cancel();
+    s.dest_timers.clear();
+    for (auto& [p, d] : s.damping) d.reuse_timer.cancel();
+    s.damping.clear();
+  }
+  queue_.clear();
+  cpu_busy_ = false;
+}
+
+void Router::recover() {
+  if (alive_) return;
+  alive_ = true;
+  trace(TraceEvent::Kind::kRouterRecovered);
+  loc_rib_.clear();
+  queue_.clear();
+  cpu_busy_ = false;
+  for (auto& s : sessions_) {
+    s.up = false;  // until session_established()
+    s.adj_in.clear();
+    s.adj_out.clear();
+    s.pending.clear();
+    s.dest_pending.clear();
+  }
+}
+
+void Router::session_established(NodeId peer) {
+  if (!alive_) return;
+  PeerSession* s = session(peer);
+  if (s == nullptr || s->up) return;
+  s->up = true;
+  s->adj_in.clear();
+  s->adj_out.clear();
+  s->pending.clear();
+  trace(TraceEvent::Kind::kSessionEstablished, peer);
+  // A fresh BGP session starts with a full table exchange: queue every
+  // Loc-RIB entry for this peer (MRAI applies as usual).
+  for (const auto& [p, e] : loc_rib_) route_changed(*s, p);
+}
+
+// --- processing pipeline ----------------------------------------------------
+
+void Router::maybe_start_processing() {
+  if (!alive_ || cpu_busy_ || queue_.empty()) return;
+  cpu_busy_ = true;
+  auto batch = queue_.pop_batch(net_.metrics().batch_dropped);
+  sim::SimTime cost;
+  for (const auto& item : batch) {
+    // Improved batching (future-work extension): a cheap pre-filter spots
+    // updates that cannot change the Adj-RIB-In and skips their full
+    // processing cost.
+    if (net_.config().free_redundant_updates && !would_change(item)) continue;
+    cost += net_.rng().uniform_time(net_.config().proc_min, net_.config().proc_max);
+  }
+  net_.scheduler().schedule_after(cost, [this, b = std::move(batch), cost]() mutable {
+    if (!alive_) return;
+    busy_tracker_.add(net_.scheduler().now(), cost.to_seconds());
+    finish_processing(std::move(b));
+  });
+}
+
+void Router::finish_processing(std::vector<WorkItem> batch) {
+  cpu_busy_ = false;
+  net_.metrics().messages_processed += batch.size();
+  net_.metrics().last_activity = net_.scheduler().now();
+  trace(TraceEvent::Kind::kBatchProcessed, 0, 0, false, batch.size());
+  std::set<Prefix> affected;
+  for (const auto& item : batch) apply(item, affected);
+  for (const Prefix p : affected) run_decision(p);
+  maybe_start_processing();
+}
+
+void Router::apply(const WorkItem& item, std::set<Prefix>& affected) {
+  PeerSession* s = session(item.from);
+  if (s == nullptr) return;
+
+  if (item.kind == WorkItem::Kind::kPeerDown) {
+    for (const auto& [p, path] : s->adj_in) affected.insert(p);
+    s->adj_in.clear();
+    return;
+  }
+
+  if (item.withdraw) {
+    // Withdrawals apply even if the session has since gone down: they only
+    // remove state (and model in-flight withdrawals from a dying region).
+    if (s->adj_in.erase(item.prefix) > 0) {
+      affected.insert(item.prefix);
+      if (net_.config().damping.enabled && s->up) {
+        damping_penalize(*s, item.prefix, net_.config().damping.withdrawal_penalty);
+      }
+    }
+    return;
+  }
+  if (!s->up) return;  // stale advertisement from a fallen peer
+  if (item.path.contains(as_)) {
+    // AS-path loop: the peer's best route goes through us, so this prefix
+    // is unreachable via this peer (an implicit withdrawal).
+    if (s->adj_in.erase(item.prefix) > 0) {
+      affected.insert(item.prefix);
+      if (net_.config().damping.enabled) {
+        damping_penalize(*s, item.prefix, net_.config().damping.withdrawal_penalty);
+      }
+    }
+    return;
+  }
+  auto it = s->adj_in.find(item.prefix);
+  if (it != s->adj_in.end() && it->second == item.path) return;  // no change
+  if (net_.config().damping.enabled && it != s->adj_in.end()) {
+    damping_penalize(*s, item.prefix, net_.config().damping.attribute_change_penalty);
+  }
+  s->adj_in[item.prefix] = item.path;
+  affected.insert(item.prefix);
+}
+
+bool Router::would_change(const WorkItem& item) const {
+  const PeerSession* s = session(item.from);
+  if (s == nullptr) return false;
+  if (item.kind == WorkItem::Kind::kPeerDown) return !s->adj_in.empty();
+  if (item.withdraw) return s->adj_in.contains(item.prefix);
+  if (!s->up) return false;  // stale advertisement, will be dropped
+  const auto it = s->adj_in.find(item.prefix);
+  if (item.path.contains(as_)) return it != s->adj_in.end();  // loop => erase
+  return it == s->adj_in.end() || it->second != item.path;
+}
+
+std::optional<RouteEntry> Router::compute_best(Prefix p) const {
+  std::optional<RouteEntry> best;
+  if (originates_ && p >= origin_base_ && p < origin_base_ + origin_count_) {
+    RouteEntry local;
+    local.local = true;
+    return local;
+  }
+  for (const auto& s : sessions_) {
+    const auto it = s.adj_in.find(p);
+    if (it == s.adj_in.end()) continue;
+    if (net_.config().damping.enabled) {
+      const auto d = s.damping.find(p);
+      if (d != s.damping.end() && d->second.suppressed) continue;
+    }
+    RouteEntry cand;
+    cand.path = it->second;
+    cand.learned_from = s.peer;
+    cand.ebgp_learned = s.ebgp;
+    cand.learned_rel = s.relation;
+    if (!best || better_route(cand, *best)) best = std::move(cand);
+  }
+  return best;
+}
+
+void Router::run_decision(Prefix p) {
+  auto nb = compute_best(p);
+  const auto cur = loc_rib_.find(p);
+  const bool had = cur != loc_rib_.end();
+  if (had && nb && cur->second == *nb) return;
+  if (!had && !nb) return;
+  if (nb) {
+    loc_rib_[p] = *nb;
+  } else {
+    loc_rib_.erase(p);
+    loss_tracker_.add(net_.scheduler().now(), 1.0);
+  }
+  ++net_.metrics().rib_changes;
+  net_.metrics().last_rib_change = net_.scheduler().now();
+  trace(TraceEvent::Kind::kRibChanged, 0, p);
+  if (net_.config().per_destination_mrai && net_.config().dest_mrai_min_changes > 0) {
+    change_counts_.try_emplace(p, kLoadTauSeconds).first->second.add(net_.scheduler().now(),
+                                                                     1.0);
+  }
+  for (auto& s : sessions_) route_changed(s, p);
+}
+
+// --- advertisement scheduling ------------------------------------------------
+
+std::optional<AsPath> Router::advert_content(const PeerSession& s, Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  if (it == loc_rib_.end()) return std::nullopt;
+  const RouteEntry& e = it->second;
+  if (e.local) return s.ebgp ? AsPath{{as_}} : AsPath{};
+  if (e.learned_from == s.peer) return std::nullopt;   // never advertise back
+  if (!e.ebgp_learned && !s.ebgp) return std::nullopt; // iBGP-learned: not to iBGP
+  // Gao-Rexford export (valley-free): routes learned from a peer or a
+  // provider are only exported to customers. Customer-learned and local
+  // routes go to everyone. Policy-free sessions (kNone) skip the rule.
+  if (s.relation != PeerRelation::kNone &&
+      (e.learned_rel == PeerRelation::kPeer || e.learned_rel == PeerRelation::kProvider) &&
+      s.relation != PeerRelation::kCustomer) {
+    return std::nullopt;
+  }
+  if (net_.config().sender_side_loop_detection && s.ebgp && e.path.contains(s.peer_as)) {
+    return std::nullopt;  // SSLD: the peer would reject this path anyway
+  }
+  return s.ebgp ? e.path.prepended(as_) : e.path;
+}
+
+void Router::route_changed(PeerSession& s, Prefix p) {
+  if (!s.up) return;
+  if (net_.config().per_destination_mrai) {
+    route_changed_per_dest(s, p);
+    return;
+  }
+  if (!net_.config().mrai_applies_to_withdrawals) {
+    if (!advert_content(s, p)) {
+      // Current state is "no route": withdrawals bypass the MRAI (RFC 1771).
+      s.pending.erase(p);
+      if (s.adj_out.erase(p) > 0) send(s, p, std::nullopt);
+      return;
+    }
+  }
+  s.pending.insert(p);
+  if (!s.timer_running) flush_pending(s);
+}
+
+void Router::flush_pending(PeerSession& s) {
+  bool advert_sent = false;
+  for (const Prefix p : s.pending) advert_sent = sync_to_peer(s, p) || advert_sent;
+  s.pending.clear();
+  if (advert_sent) start_mrai(s);
+}
+
+bool Router::sync_to_peer(PeerSession& s, Prefix p) {
+  const auto content = advert_content(s, p);
+  if (content) {
+    const auto it = s.adj_out.find(p);
+    if (it != s.adj_out.end() && it->second == *content) return false;  // no news
+    s.adj_out[p] = *content;
+    send(s, p, content);
+    return true;
+  }
+  if (s.adj_out.erase(p) > 0) {
+    send(s, p, std::nullopt);
+    return net_.config().mrai_applies_to_withdrawals;
+  }
+  return false;
+}
+
+void Router::send(PeerSession& s, Prefix p, const std::optional<AsPath>& content) {
+  UpdateMessage msg;
+  msg.from = id_;
+  msg.to = s.peer;
+  msg.prefix = p;
+  msg.withdraw = !content.has_value();
+  if (content) msg.path = *content;
+  auto& m = net_.metrics();
+  ++m.updates_sent;
+  if (msg.withdraw) {
+    ++m.withdrawals_sent;
+  } else {
+    ++m.adverts_sent;
+  }
+  m.last_activity = net_.scheduler().now();
+  trace(TraceEvent::Kind::kUpdateSent, s.peer, p, msg.withdraw);
+  net_.transmit(std::move(msg));
+}
+
+void Router::start_mrai(PeerSession& s) {
+  const sim::SimTime base = net_.mrai().interval(*this, s.peer);
+  if (base <= sim::SimTime::zero()) return;  // MRAI disabled
+  const sim::SimTime ivl = net_.config().jitter_timers ? net_.rng().jittered(base) : base;
+  s.timer_running = true;
+  trace(TraceEvent::Kind::kMraiStarted, s.peer);
+  s.timer = net_.scheduler().schedule_after(
+      ivl, [this, peer = s.peer] { on_mrai_expiry(peer); });
+}
+
+void Router::on_mrai_expiry(NodeId peer) {
+  if (!alive_) return;
+  trace(TraceEvent::Kind::kMraiExpired, peer);
+  PeerSession* s = session(peer);
+  s->timer_running = false;
+  if (s->up && !s->pending.empty()) flush_pending(*s);
+}
+
+// --- per-destination MRAI variant --------------------------------------------
+
+void Router::route_changed_per_dest(PeerSession& s, Prefix p) {
+  if (!net_.config().mrai_applies_to_withdrawals && !advert_content(s, p)) {
+    s.dest_pending.erase(p);
+    if (s.adj_out.erase(p) > 0) send(s, p, std::nullopt);
+    return;
+  }
+  // Deshpande/Sikdar gating: stable destinations (few recent changes) skip
+  // the MRAI entirely; only flapping ones are rate-limited.
+  if (const int min_changes = net_.config().dest_mrai_min_changes; min_changes > 0) {
+    const auto cc = change_counts_.find(p);
+    const double recent =
+        cc == change_counts_.end() ? 0.0 : cc->second.value(net_.scheduler().now());
+    if (recent < static_cast<double>(min_changes)) {
+      sync_to_peer(s, p);  // immediate, no timer
+      return;
+    }
+  }
+  const auto it = s.dest_timers.find(p);
+  if (it != s.dest_timers.end() && it->second.pending()) {
+    s.dest_pending.insert(p);
+    return;
+  }
+  if (sync_to_peer(s, p)) {
+    const sim::SimTime base = net_.mrai().interval(*this, s.peer);
+    if (base <= sim::SimTime::zero()) return;
+    const sim::SimTime ivl = net_.config().jitter_timers ? net_.rng().jittered(base) : base;
+    s.dest_timers[p] = net_.scheduler().schedule_after(
+        ivl, [this, peer = s.peer, p] { on_dest_mrai_expiry(peer, p); });
+  }
+}
+
+void Router::on_dest_mrai_expiry(NodeId peer, Prefix p) {
+  if (!alive_) return;
+  PeerSession* s = session(peer);
+  s->dest_timers.erase(p);
+  if (!s->up) return;
+  if (s->dest_pending.erase(p) > 0) {
+    if (sync_to_peer(*s, p)) {
+      const sim::SimTime base = net_.mrai().interval(*this, s->peer);
+      if (base <= sim::SimTime::zero()) return;
+      const sim::SimTime ivl =
+          net_.config().jitter_timers ? net_.rng().jittered(base) : base;
+      s->dest_timers[p] = net_.scheduler().schedule_after(
+          ivl, [this, peer, p] { on_dest_mrai_expiry(peer, p); });
+    }
+  }
+}
+
+// --- introspection ------------------------------------------------------------
+
+sim::SimTime Router::unfinished_work() const {
+  const auto mean = net_.config().mean_processing_delay();
+  return sim::SimTime::from_ns(static_cast<std::int64_t>(queue_.size()) * mean.ns());
+}
+
+double Router::recent_utilization() { return busy_tracker_.rate(net_.scheduler().now()); }
+
+double Router::recent_message_rate() { return msg_tracker_.rate(net_.scheduler().now()); }
+
+double Router::recent_route_losses() { return loss_tracker_.value(net_.scheduler().now()); }
+
+std::optional<RouteEntry> Router::best(Prefix p) const {
+  const auto it = loc_rib_.find(p);
+  if (it == loc_rib_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Prefix> Router::known_prefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(loc_rib_.size());
+  for (const auto& [p, e] : loc_rib_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<AsPath> Router::adj_in(NodeId peer, Prefix p) const {
+  const PeerSession* s = session(peer);
+  if (s == nullptr) return std::nullopt;
+  const auto it = s->adj_in.find(p);
+  if (it == s->adj_in.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<AsPath> Router::adj_out(NodeId peer, Prefix p) const {
+  const PeerSession* s = session(peer);
+  if (s == nullptr) return std::nullopt;
+  const auto it = s->adj_out.find(p);
+  if (it == s->adj_out.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Router::peer_session_up(NodeId peer) const {
+  const PeerSession* s = session(peer);
+  return s != nullptr && s->up;
+}
+
+std::vector<NodeId> Router::peers() const {
+  std::vector<NodeId> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s.peer);
+  return out;
+}
+
+void Router::damping_penalize(PeerSession& s, Prefix p, double amount) {
+  const auto& cfg = net_.config().damping;
+  const auto now = net_.scheduler().now();
+  auto& d = s.damping[p];
+  // Lazy exponential decay since the last touch.
+  if (d.last_decay < now && d.penalty > 0.0) {
+    const double dt = (now - d.last_decay).to_seconds();
+    d.penalty *= std::exp2(-dt / cfg.half_life_s);
+  }
+  d.last_decay = now;
+  d.penalty = std::min(d.penalty + amount, cfg.max_penalty);
+  if (!d.suppressed && d.penalty >= cfg.suppress_threshold) {
+    d.suppressed = true;
+    trace(TraceEvent::Kind::kRouteSuppressed, s.peer, p);
+  }
+  if (d.suppressed) {
+    // (Re)schedule the reuse check for when the penalty will have decayed
+    // to the reuse threshold.
+    d.reuse_timer.cancel();
+    const double wait_s = cfg.half_life_s * std::log2(d.penalty / cfg.reuse_threshold);
+    d.reuse_timer = net_.scheduler().schedule_after(
+        sim::SimTime::seconds(std::max(wait_s, 0.001)),
+        [this, peer = s.peer, p] { damping_reuse_check(peer, p); });
+  }
+}
+
+void Router::damping_reuse_check(NodeId peer, Prefix p) {
+  if (!alive_) return;
+  PeerSession* s = session(peer);
+  if (s == nullptr) return;
+  const auto it = s->damping.find(p);
+  if (it == s->damping.end() || !it->second.suppressed) return;
+  auto& d = it->second;
+  const auto now = net_.scheduler().now();
+  const double dt = (now - d.last_decay).to_seconds();
+  d.penalty *= std::exp2(-dt / net_.config().damping.half_life_s);
+  d.last_decay = now;
+  if (d.penalty <= net_.config().damping.reuse_threshold) {
+    d.suppressed = false;
+    trace(TraceEvent::Kind::kRouteReused, peer, p);
+    run_decision(p);  // the suppressed route is eligible again
+  } else {
+    const double wait_s = net_.config().damping.half_life_s *
+                          std::log2(d.penalty / net_.config().damping.reuse_threshold);
+    d.reuse_timer = net_.scheduler().schedule_after(
+        sim::SimTime::seconds(std::max(wait_s, 0.001)),
+        [this, peer, p] { damping_reuse_check(peer, p); });
+  }
+}
+
+void Router::trace(TraceEvent::Kind kind, NodeId peer, Prefix prefix, bool withdraw,
+                   std::size_t batch_size) {
+  if (!net_.tracing()) return;
+  TraceEvent event;
+  event.kind = kind;
+  event.at = net_.scheduler().now();
+  event.router = id_;
+  event.peer = peer;
+  event.prefix = prefix;
+  event.withdraw = withdraw;
+  event.batch_size = batch_size;
+  net_.emit_trace(event);
+}
+}  // namespace bgpsim::bgp

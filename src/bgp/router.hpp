@@ -1,0 +1,190 @@
+// A BGP router: RIBs, decision process, serial update-processing CPU, and
+// per-peer (or per-destination) MRAI-limited advertisement scheduling.
+//
+// The processing model is the paper's: every received update occupies the
+// router's single CPU for an independent U(proc_min, proc_max) draw; route
+// changes discovered while the MRAI timer runs are held in a pending set
+// and flushed at expiry. Overload (a growing input queue) is therefore an
+// emergent property, and is what the dynamic-MRAI and batching schemes act
+// on.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/input_queue.hpp"
+#include "bgp/metrics.hpp"
+#include "bgp/trace.hpp"
+#include "bgp/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::bgp {
+
+class Network;
+
+class Router {
+ public:
+  Router(Network& net, NodeId id, AsId as, bool originates);
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  void add_session(NodeId peer, AsId peer_as, bool ebgp,
+                   PeerRelation relation = PeerRelation::kNone);
+
+  // --- simulation entry points (driven by Network) ---
+
+  /// Installs the locally-originated prefix and announces it to all peers.
+  void originate();
+
+  /// Called at message-arrival time; enqueues the update for processing.
+  void deliver(const UpdateMessage& msg);
+
+  /// A neighboring router died: the session drops and teardown work is
+  /// enqueued per BgpConfig::teardown.
+  void peer_failed(NodeId peer);
+
+  /// This router dies: stops all activity.
+  void fail();
+
+  /// This router comes back up with cold RIBs; sessions stay down until
+  /// session_established() fires for each live peer (Network drives this).
+  void recover();
+
+  /// (Re)establishes the session to `peer` and -- like a real BGP session
+  /// start -- resends the entire Adj-RIB-Out for it.
+  void session_established(NodeId peer);
+
+  /// Sets the range of prefixes this router originates (Network assigns
+  /// [base, base + count) when prefixes_per_origin > 1).
+  void set_origin_range(Prefix base, std::uint32_t count);
+  std::pair<Prefix, std::uint32_t> origin_range() const { return {origin_base_, origin_count_}; }
+
+  // --- introspection (schemes, audits, tests) ---
+
+  bool alive() const { return alive_; }
+  NodeId id() const { return id_; }
+  AsId as() const { return as_; }
+  bool originates() const { return originates_; }
+  std::size_t degree() const { return sessions_.size(); }
+
+  std::size_t input_queue_length() const { return queue_.size(); }
+  /// Queue length converted to time via the mean processing delay -- the
+  /// paper's "unfinished work" overload signal (section 4.3).
+  sim::SimTime unfinished_work() const;
+  /// Decayed CPU utilization estimate in [0, ~1].
+  double recent_utilization();
+  /// Decayed received-update rate (messages/second).
+  double recent_message_rate();
+  /// Decayed count of prefixes whose selected route was recently *lost*
+  /// (Loc-RIB entry removed) -- a direct observable for the extent of a
+  /// failure (paper section 5, future work).
+  double recent_route_losses();
+
+  /// Loc-RIB lookup; nullopt when the prefix has no selected route.
+  std::optional<RouteEntry> best(Prefix p) const;
+  /// All prefixes with a selected route.
+  std::vector<Prefix> known_prefixes() const;
+  /// Adj-RIB-In lookup (route advertised to us by `peer`), for tests.
+  std::optional<AsPath> adj_in(NodeId peer, Prefix p) const;
+  /// Last content advertised to `peer` for `p` (Adj-RIB-Out), for tests.
+  std::optional<AsPath> adj_out(NodeId peer, Prefix p) const;
+
+  bool peer_session_up(NodeId peer) const;
+  std::vector<NodeId> peers() const;
+
+ private:
+  /// RFC 2439 flap-damping bookkeeping for one (peer, prefix).
+  struct DampState {
+    double penalty = 0.0;
+    sim::SimTime last_decay;
+    bool suppressed = false;
+    sim::EventHandle reuse_timer;
+  };
+
+  struct PeerSession {
+    NodeId peer = 0;
+    AsId peer_as = 0;
+    bool ebgp = true;
+    bool up = true;
+    PeerRelation relation = PeerRelation::kNone;
+    // Advertised state (Adj-RIB-Out): absent => withdrawn / never sent.
+    std::unordered_map<Prefix, AsPath> adj_out;
+    // Routes learned from this peer (Adj-RIB-In).
+    std::unordered_map<Prefix, AsPath> adj_in;
+    // Per-peer MRAI state.
+    bool timer_running = false;
+    sim::EventHandle timer;
+    std::set<Prefix> pending;  ///< ordered => deterministic flush order
+    // Per-destination MRAI state (only when cfg.per_destination_mrai).
+    std::set<Prefix> dest_pending;
+    std::unordered_map<Prefix, sim::EventHandle> dest_timers;
+    // Flap-damping state (only when cfg.damping.enabled).
+    std::unordered_map<Prefix, DampState> damping;
+  };
+
+  PeerSession* session(NodeId peer);
+  const PeerSession* session(NodeId peer) const;
+
+  // Processing pipeline.
+  void maybe_start_processing();
+  void finish_processing(std::vector<WorkItem> batch);
+  /// Applies one work item to the Adj-RIB-In; returns prefixes whose
+  /// decision process must re-run.
+  void apply(const WorkItem& item, std::set<Prefix>& affected);
+  /// True if applying `item` would modify the Adj-RIB-In (pre-filter for
+  /// BgpConfig::free_redundant_updates).
+  bool would_change(const WorkItem& item) const;
+  void run_decision(Prefix p);
+  std::optional<RouteEntry> compute_best(Prefix p) const;
+
+  // Advertisement scheduling.
+  void route_changed(PeerSession& s, Prefix p);
+  void flush_pending(PeerSession& s);
+  /// What we would advertise to `s` for `p`; nullopt => withdraw.
+  std::optional<AsPath> advert_content(const PeerSession& s, Prefix p) const;
+  /// Brings the peer's Adj-RIB-Out in sync with the Loc-RIB; returns true
+  /// if an *advertisement* was sent (withdrawals do not restart the MRAI
+  /// unless configured to).
+  bool sync_to_peer(PeerSession& s, Prefix p);
+  void start_mrai(PeerSession& s);
+  void on_mrai_expiry(NodeId peer);
+  // Per-destination MRAI variant.
+  void route_changed_per_dest(PeerSession& s, Prefix p);
+  void on_dest_mrai_expiry(NodeId peer, Prefix p);
+  void send(PeerSession& s, Prefix p, const std::optional<AsPath>& content);
+  void trace(TraceEvent::Kind kind, NodeId peer = 0, Prefix prefix = 0, bool withdraw = false,
+             std::size_t batch_size = 0);
+  // Flap damping.
+  void damping_penalize(PeerSession& s, Prefix p, double amount);
+  void damping_reuse_check(NodeId peer, Prefix p);
+
+  Network& net_;
+  NodeId id_;
+  AsId as_;
+  bool originates_;
+  bool alive_ = true;
+  Prefix origin_base_ = 0;
+  std::uint32_t origin_count_ = 0;
+
+  std::vector<PeerSession> sessions_;
+  std::unordered_map<NodeId, std::size_t> session_index_;
+
+  std::unordered_map<Prefix, RouteEntry> loc_rib_;
+
+  InputQueue queue_;
+  bool cpu_busy_ = false;
+
+  DecayingRate busy_tracker_;
+  DecayingRate msg_tracker_;
+  DecayingRate loss_tracker_;
+  /// Recent per-prefix route-change counts (Deshpande/Sikdar-style gating
+  /// of the per-destination MRAI).
+  std::unordered_map<Prefix, DecayingRate> change_counts_;
+};
+
+}  // namespace bgpsim::bgp

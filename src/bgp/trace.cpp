@@ -1,0 +1,82 @@
+#include "bgp/trace.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace bgpsim::bgp {
+
+const char* to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kOriginated:
+      return "originated";
+    case TraceEvent::Kind::kUpdateSent:
+      return "update-sent";
+    case TraceEvent::Kind::kUpdateReceived:
+      return "update-received";
+    case TraceEvent::Kind::kBatchProcessed:
+      return "batch-processed";
+    case TraceEvent::Kind::kRibChanged:
+      return "rib-changed";
+    case TraceEvent::Kind::kMraiStarted:
+      return "mrai-started";
+    case TraceEvent::Kind::kMraiExpired:
+      return "mrai-expired";
+    case TraceEvent::Kind::kPeerDown:
+      return "peer-down";
+    case TraceEvent::Kind::kRouterFailed:
+      return "router-failed";
+    case TraceEvent::Kind::kRouterRecovered:
+      return "router-recovered";
+    case TraceEvent::Kind::kSessionEstablished:
+      return "session-established";
+    case TraceEvent::Kind::kRouteSuppressed:
+      return "route-suppressed";
+    case TraceEvent::Kind::kRouteReused:
+      return "route-reused";
+  }
+  return "?";
+}
+
+std::string TraceEvent::to_string() const {
+  std::ostringstream os;
+  os << at.to_seconds() << "s r" << router << " " << bgp::to_string(kind);
+  switch (kind) {
+    case Kind::kUpdateSent:
+    case Kind::kUpdateReceived:
+      os << (withdraw ? " withdraw" : " advert") << " prefix " << prefix << " peer " << peer;
+      break;
+    case Kind::kRibChanged:
+    case Kind::kOriginated:
+      os << " prefix " << prefix;
+      break;
+    case Kind::kMraiStarted:
+    case Kind::kMraiExpired:
+    case Kind::kPeerDown:
+    case Kind::kSessionEstablished:
+      os << " peer " << peer;
+      break;
+    case Kind::kRouteSuppressed:
+    case Kind::kRouteReused:
+      os << " prefix " << prefix << " peer " << peer;
+      break;
+    case Kind::kBatchProcessed:
+      os << " batch " << batch_size;
+      break;
+    case Kind::kRouterFailed:
+    case Kind::kRouterRecovered:
+      break;
+  }
+  return std::move(os).str();
+}
+
+std::uint64_t CountingSink::total() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+void StreamSink::on_event(const TraceEvent& event) {
+  if (only_ && event.kind != *only_) return;
+  os_ << event.to_string() << '\n';
+}
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,133 @@
+// Structured event tracing.
+//
+// A Network can be given a TraceSink; the protocol then reports every
+// interesting event (update sent/received, batch processed, Loc-RIB
+// change, MRAI start/expiry, session teardown, router failure). Tracing is
+// strictly pay-for-use: with no sink installed the routers skip event
+// construction entirely.
+//
+// Sinks included: CountingSink (per-kind totals, cheap enough to leave on),
+// RecordingSink (bounded in-memory log for tests/inspection) and
+// StreamSink (human-readable text, optionally filtered by kind).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::bgp {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kOriginated,      ///< router installed its local prefix
+    kUpdateSent,      ///< advertisement or withdrawal put on the wire
+    kUpdateReceived,  ///< update delivered into the input queue
+    kBatchProcessed,  ///< CPU finished a processing batch
+    kRibChanged,      ///< Loc-RIB best route changed
+    kMraiStarted,     ///< MRAI timer (re)started towards a peer
+    kMraiExpired,     ///< MRAI timer fired
+    kPeerDown,        ///< session to a dead peer torn down
+    kRouterFailed,    ///< the router itself died
+    kRouterRecovered, ///< the router came back up (cold RIBs)
+    kSessionEstablished,  ///< session (re)established; full table resent
+    kRouteSuppressed, ///< flap damping suppressed a (peer, prefix)
+    kRouteReused,     ///< flap damping released a suppressed route
+  };
+  static constexpr std::size_t kNumKinds = 13;
+
+  Kind kind = Kind::kOriginated;
+  sim::SimTime at;
+  NodeId router = 0;
+  NodeId peer = 0;        ///< valid for Sent/Received/Mrai*/PeerDown
+  Prefix prefix = 0;      ///< valid for Sent/Received/RibChanged/Originated
+  bool withdraw = false;  ///< valid for Sent/Received
+  std::size_t batch_size = 0;  ///< valid for BatchProcessed
+
+  std::string to_string() const;
+};
+
+const char* to_string(TraceEvent::Kind kind);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Counts events per kind.
+class CountingSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override {
+    ++counts_[static_cast<std::size_t>(event.kind)];
+  }
+
+  std::uint64_t count(TraceEvent::Kind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total() const;
+  void reset() { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, TraceEvent::kNumKinds> counts_{};
+};
+
+/// Records events in memory, up to a cap (older events are kept; once full,
+/// new events are counted but not stored).
+class RecordingSink final : public TraceSink {
+ public:
+  explicit RecordingSink(std::size_t max_events = 100'000) : max_events_{max_events} {}
+
+  void on_event(const TraceEvent& event) override {
+    if (events_.size() < max_events_) {
+      events_.push_back(event);
+    } else {
+      ++overflow_;
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t overflow() const { return overflow_; }
+  void clear() {
+    events_.clear();
+    overflow_ = 0;
+  }
+
+ private:
+  std::size_t max_events_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Writes one line per event to a stream; optionally only a single kind.
+class StreamSink final : public TraceSink {
+ public:
+  explicit StreamSink(std::ostream& os, std::optional<TraceEvent::Kind> only = std::nullopt)
+      : os_{os}, only_{only} {}
+
+  void on_event(const TraceEvent& event) override;
+
+ private:
+  std::ostream& os_;
+  std::optional<TraceEvent::Kind> only_;
+};
+
+/// Fans an event out to several sinks.
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_{std::move(sinks)} {}
+
+  void on_event(const TraceEvent& event) override {
+    for (auto* s : sinks_) s->on_event(event);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,38 @@
+#include "bgp/types.hpp"
+
+namespace bgpsim::bgp {
+
+std::string AsPath::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(hops_[i]);
+  }
+  out += ']';
+  return out;
+}
+
+int relation_rank(PeerRelation rel) {
+  switch (rel) {
+    case PeerRelation::kCustomer:
+      return 0;
+    case PeerRelation::kNone:
+    case PeerRelation::kPeer:
+      return 1;
+    case PeerRelation::kProvider:
+      return 2;
+  }
+  return 1;
+}
+
+bool better_route(const RouteEntry& a, const RouteEntry& b) {
+  if (a.local != b.local) return a.local;
+  const int ra = relation_rank(a.learned_rel);
+  const int rb = relation_rank(b.learned_rel);
+  if (ra != rb) return ra < rb;
+  if (a.as_hops() != b.as_hops()) return a.as_hops() < b.as_hops();
+  if (a.ebgp_learned != b.ebgp_learned) return a.ebgp_learned;
+  return a.learned_from < b.learned_from;
+}
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,93 @@
+// Core BGP value types: AS paths, routes, update messages.
+//
+// The model is a path-vector protocol over AS-level paths: one prefix per
+// AS (the prefix id *is* the origin AS id), shortest-AS-path route
+// selection, no policy (paper section 3.2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace bgpsim::bgp {
+
+using NodeId = topo::NodeId;  ///< router index within a Network
+using AsId = std::uint32_t;
+using Prefix = std::uint32_t;  ///< one prefix per AS; equals the origin AsId
+
+/// An AS-level path as carried in UPDATE messages. Empty paths are valid:
+/// they appear on iBGP advertisements of locally-originated prefixes.
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<AsId> hops) : hops_{std::move(hops)} {}
+
+  std::size_t length() const { return hops_.size(); }
+  bool empty() const { return hops_.empty(); }
+
+  bool contains(AsId as) const {
+    return std::find(hops_.begin(), hops_.end(), as) != hops_.end();
+  }
+
+  /// Returns a copy with `as` prepended (eBGP export).
+  AsPath prepended(AsId as) const {
+    std::vector<AsId> h;
+    h.reserve(hops_.size() + 1);
+    h.push_back(as);
+    h.insert(h.end(), hops_.begin(), hops_.end());
+    return AsPath{std::move(h)};
+  }
+
+  const std::vector<AsId>& hops() const { return hops_; }
+
+  bool operator==(const AsPath&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<AsId> hops_;
+};
+
+/// Business relationship of a BGP session, from the local router's point of
+/// view ("the peer is my ..."). kNone = policy-free routing (the paper's
+/// setup); the others enable Gao-Rexford policy routing: prefer
+/// customer-learned routes, export peer/provider-learned routes only to
+/// customers (valley-free paths).
+enum class PeerRelation : std::uint8_t { kNone, kCustomer, kPeer, kProvider };
+
+/// Gao-Rexford preference rank (lower preferred): customer-learned routes
+/// first, then peer-learned (and policy-free), then provider-learned.
+int relation_rank(PeerRelation rel);
+
+/// A Loc-RIB entry: the currently selected best route for a prefix.
+struct RouteEntry {
+  AsPath path;             ///< as received (no local-AS prepend)
+  NodeId learned_from = 0; ///< peer the route came from (unused when local)
+  bool ebgp_learned = false;
+  bool local = false;      ///< locally originated
+  PeerRelation learned_rel = PeerRelation::kNone;  ///< relation of the sender
+
+  std::size_t as_hops() const { return local ? 0 : path.length(); }
+
+  bool operator==(const RouteEntry&) const = default;
+};
+
+/// Returns true if `a` is strictly preferred over `b`: local origin first,
+/// then the Gao-Rexford relation rank (a no-op in policy-free networks),
+/// then shortest AS path, then eBGP over iBGP, then lowest sender id
+/// (deterministic tie-break).
+bool better_route(const RouteEntry& a, const RouteEntry& b);
+
+struct UpdateMessage {
+  NodeId from = 0;
+  NodeId to = 0;
+  Prefix prefix = 0;
+  bool withdraw = false;
+  AsPath path;  ///< meaningful only when !withdraw
+};
+
+}  // namespace bgpsim::bgp

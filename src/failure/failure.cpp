@@ -1,0 +1,41 @@
+#include "failure/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace bgpsim::failure {
+
+std::vector<topo::NodeId> geographic(const std::vector<topo::Point>& positions,
+                                     std::size_t count, topo::Point center) {
+  const std::size_t n = positions.size();
+  count = std::min(count, n);
+  std::vector<topo::NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::stable_sort(ids.begin(), ids.end(), [&](topo::NodeId a, topo::NodeId b) {
+    return distance(positions[a], center) < distance(positions[b], center);
+  });
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<topo::NodeId> geographic_fraction(const std::vector<topo::Point>& positions,
+                                              double fraction, topo::Point center) {
+  const auto n = static_cast<double>(positions.size());
+  const auto count = static_cast<std::size_t>(
+      std::clamp(std::llround(fraction * n), 0LL, static_cast<long long>(positions.size())));
+  return geographic(positions, count, center);
+}
+
+std::vector<topo::NodeId> random_nodes(std::size_t n, std::size_t count, sim::Rng& rng) {
+  count = std::min(count, n);
+  std::vector<topo::NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  rng.shuffle(ids);
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace bgpsim::failure

@@ -1,0 +1,31 @@
+// Failure selection (paper section 3.1/3.2).
+//
+// Large-scale failures are modelled as geographically contiguous: all
+// routers in an area of the grid fail simultaneously (the paper uses the
+// grid centre to avoid edge effects). Scattered random failures are kept
+// for comparison.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::failure {
+
+/// The `count` nodes closest to `center` (ties broken by node id). This is
+/// the contiguous-area failure: the result is exactly the contents of the
+/// smallest disk around `center` holding `count` nodes.
+std::vector<topo::NodeId> geographic(const std::vector<topo::Point>& positions,
+                                     std::size_t count, topo::Point center);
+
+/// Fraction-of-network variant; count = round(fraction * n), clamped to
+/// [0, n].
+std::vector<topo::NodeId> geographic_fraction(const std::vector<topo::Point>& positions,
+                                              double fraction, topo::Point center);
+
+/// `count` distinct nodes chosen uniformly at random (scattered failure).
+std::vector<topo::NodeId> random_nodes(std::size_t n, std::size_t count, sim::Rng& rng);
+
+}  // namespace bgpsim::failure

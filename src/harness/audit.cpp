@@ -1,0 +1,93 @@
+#include "harness/audit.hpp"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace bgpsim::harness {
+
+namespace {
+
+std::string describe(const char* what, bgp::NodeId router, bgp::Prefix prefix) {
+  return std::string{what} + " (router " + std::to_string(router) + ", prefix " +
+         std::to_string(prefix) + ")";
+}
+
+}  // namespace
+
+std::optional<std::string> audit_routes(bgp::Network& net) {
+  const auto alive = net.alive_nodes();
+  std::vector<bool> is_alive(net.size(), false);
+  for (const auto v : alive) is_alive[v] = true;
+
+  // Connected components of the survivor session graph.
+  std::vector<std::size_t> comp(net.size(), SIZE_MAX);
+  std::size_t num_comp = 0;
+  for (const auto start : alive) {
+    if (comp[start] != SIZE_MAX) continue;
+    std::deque<bgp::NodeId> q{start};
+    comp[start] = num_comp;
+    while (!q.empty()) {
+      const auto v = q.front();
+      q.pop_front();
+      for (const auto w : net.router(v).peers()) {
+        if (is_alive[w] && net.router(v).peer_session_up(w) && comp[w] == SIZE_MAX) {
+          comp[w] = num_comp;
+          q.push_back(w);
+        }
+      }
+    }
+    ++num_comp;
+  }
+
+  // Origin router of each live prefix (each origin may announce a range).
+  std::unordered_map<bgp::Prefix, bgp::NodeId> origin_of;
+  for (const auto v : alive) {
+    if (!net.router(v).originates()) continue;
+    const auto [base, count] = net.router(v).origin_range();
+    for (std::uint32_t k = 0; k < count; ++k) origin_of[base + k] = v;
+  }
+
+  for (const auto v : alive) {
+    const auto& r = net.router(v);
+    // (1) Reachability <=> route presence. Only in policy-free networks:
+    // valley-free export legitimately hides reachable prefixes.
+    if (!net.policy_routing()) {
+      for (const auto& [prefix, origin] : origin_of) {
+        const bool reachable = comp[origin] == comp[v];
+        const bool has = r.best(prefix).has_value();
+        if (reachable && !has) return describe("missing route to reachable prefix", v, prefix);
+        if (!reachable && has) return describe("route to unreachable prefix", v, prefix);
+      }
+    }
+    // (2) No routes to dead prefixes; (3) next-hop chains terminate at the
+    // origin without loops.
+    for (const auto prefix : r.known_prefixes()) {
+      if (!origin_of.contains(prefix)) {
+        return describe("route to prefix with dead origin", v, prefix);
+      }
+      bgp::NodeId cur = v;
+      std::size_t steps = 0;
+      while (true) {
+        const auto entry = net.router(cur).best(prefix);
+        if (!entry) return describe("next-hop chain hit a router without a route", v, prefix);
+        if (entry->local) {
+          if (cur != origin_of[prefix]) {
+            return describe("chain ended at a non-origin local route", v, prefix);
+          }
+          break;
+        }
+        const auto next = entry->learned_from;
+        if (!is_alive[next]) return describe("next hop is a dead router", v, prefix);
+        if (!net.router(cur).peer_session_up(next)) {
+          return describe("next hop over a down session", v, prefix);
+        }
+        cur = next;
+        if (++steps > net.size()) return describe("forwarding loop", v, prefix);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,24 @@
+// Post-convergence route audit.
+//
+// After the network quiesces the Loc-RIBs must be mutually consistent:
+//  - every alive router has a best route for every prefix whose (alive)
+//    origin it can reach over up sessions, and no route for any other
+//    prefix (in particular none for prefixes of failed origins);
+//  - following learned_from next-hops reaches the origin without loops.
+// This is the end-to-end correctness property of the BGP implementation;
+// the property-based tests sweep it across topologies, seeds and failure
+// sizes.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bgp/network.hpp"
+
+namespace bgpsim::harness {
+
+/// Returns std::nullopt when all routes are consistent; otherwise a
+/// description of the first violation found.
+std::optional<std::string> audit_routes(bgp::Network& net);
+
+}  // namespace bgpsim::harness

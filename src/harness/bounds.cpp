@@ -1,0 +1,31 @@
+#include "harness/bounds.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::harness {
+
+DelayBounds clique_withdrawal_bounds(std::size_t n, double mrai_s, bool jittered,
+                                     double link_delay_s, double proc_max_s) {
+  DelayBounds b;
+  if (n < 4) {
+    // Too small for path exploration: everything resolves in propagation
+    // time.
+    b.lower_s = 0.0;
+    b.upper_s = 2.0 * link_delay_s + static_cast<double>(n) * proc_max_s + mrai_s;
+    return b;
+  }
+  // Labovitz best case: (n-3) MRAI-paced exploration rounds; jitter can
+  // shrink every round to 75% of the configured interval.
+  const double round_min = (jittered ? 0.75 : 1.0) * mrai_s;
+  b.lower_s = static_cast<double>(n - 3) * round_min;
+  // Upper bound: per-peer timers interleave advertisements and withdrawals,
+  // at most doubling the round count to 2(n-3) (plus one residual flush);
+  // each round costs at most one full MRAI plus one propagation +
+  // queue-free processing sweep across the mesh.
+  const double round_max =
+      mrai_s + 2.0 * link_delay_s + static_cast<double>(n) * proc_max_s;
+  b.upper_s = static_cast<double>(2 * (n - 3) + 1) * round_max;
+  return b;
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,42 @@
+// Analytic convergence-delay bounds from the literature the paper builds
+// on, used to cross-check the simulator:
+//
+//  - Labovitz et al. (SIGCOMM 2000): withdrawal convergence in a full mesh
+//    of n nodes is paced by the MRAI; the best case explores one
+//    path-length class per MRAI round, giving ~(n-3) rounds.
+//  - Labovitz et al. (INFOCOM 2001) / Pei et al. (Computer Networks 2006):
+//    convergence is upper-bounded by (rounds) x (MRAI + propagation +
+//    processing), where the round count is bounded by the number of
+//    distinct backup-path lengths.
+//
+// These are sanity envelopes, not tight bounds; the bounds_test suite
+// checks simulated clique withdrawals land inside them.
+#pragma once
+
+#include <cstddef>
+
+namespace bgpsim::harness {
+
+struct DelayBounds {
+  double lower_s = 0.0;
+  double upper_s = 0.0;
+};
+
+/// Bounds for the convergence delay after the origin of one prefix fails
+/// in an n-node full mesh (n >= 4), with per-peer MRAI `mrai_s` seconds
+/// applied to withdrawals as well (Labovitz's setting: the BGP
+/// implementations he measured rate-limited withdrawals). Path exploration
+/// then takes between (n-3) and 2(n-3) MRAI-paced rounds. `jittered`
+/// accounts for RFC 1771 jitter shrinking each round by up to 25%.
+/// `link_delay_s` and `proc_max_s` bound the per-round propagation and
+/// processing overhead (no-overload regime).
+///
+/// Note: with RFC 1771's withdrawal *exemption* (this library's default)
+/// the exploration collapses to a few propagation rounds -- immediate
+/// withdrawals plus implicit-withdraw loop rejection invalidate all backup
+/// paths without waiting for MRAI-paced re-advertisements. bounds_test
+/// demonstrates both regimes.
+DelayBounds clique_withdrawal_bounds(std::size_t n, double mrai_s, bool jittered,
+                                     double link_delay_s, double proc_max_s);
+
+}  // namespace bgpsim::harness

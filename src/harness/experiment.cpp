@@ -1,0 +1,241 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "failure/failure.hpp"
+#include "harness/audit.hpp"
+#include "schemes/degree_mrai.hpp"
+#include "topo/relations.hpp"
+
+namespace bgpsim::harness {
+
+namespace {
+
+struct BuiltTopology {
+  std::optional<topo::Graph> graph;          // flat kinds
+  std::optional<topo::HierTopology> hier;    // hierarchical
+  std::optional<topo::AsRelGraph> as_rel;    // flat + policy routing
+  std::vector<std::size_t> degrees;          // per-router session count
+};
+
+BuiltTopology build_topology(const TopologySpec& spec, sim::Rng& rng) {
+  BuiltTopology out;
+  auto finish_flat = [&](topo::Graph&& g) {
+    out.degrees.resize(g.size());
+    for (topo::NodeId v = 0; v < g.size(); ++v) out.degrees[v] = g.degree(v);
+    out.graph = std::move(g);
+  };
+  switch (spec.kind) {
+    case TopologySpec::Kind::kSkewed: {
+      auto degrees = topo::skewed_sequence(spec.n, spec.skew, rng);
+      auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+      g.place_randomly(spec.grid, spec.grid, rng);
+      finish_flat(std::move(g));
+      return out;
+    }
+    case TopologySpec::Kind::kInternetLike: {
+      auto degrees = topo::internet_like_sequence(spec.n, spec.max_degree, spec.target_avg, rng);
+      auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+      g.place_randomly(spec.grid, spec.grid, rng);
+      finish_flat(std::move(g));
+      return out;
+    }
+    case TopologySpec::Kind::kWaxman: {
+      auto p = spec.waxman;
+      p.n = spec.n;
+      p.grid = spec.grid;
+      finish_flat(topo::waxman(p, rng));
+      return out;
+    }
+    case TopologySpec::Kind::kBarabasiAlbert: {
+      auto p = spec.ba;
+      p.n = spec.n;
+      p.grid = spec.grid;
+      finish_flat(topo::barabasi_albert(p, rng));
+      return out;
+    }
+    case TopologySpec::Kind::kGlp: {
+      auto p = spec.glp;
+      p.n = spec.n;
+      p.grid = spec.grid;
+      finish_flat(topo::glp(p, rng));
+      return out;
+    }
+    case TopologySpec::Kind::kHierarchical: {
+      auto h = topo::hierarchical(spec.hier, rng);
+      out.degrees.resize(h.num_routers(), 0);
+      for (const auto& s : h.sessions) {
+        ++out.degrees[s.a];
+        ++out.degrees[s.b];
+      }
+      out.hier = std::move(h);
+      return out;
+    }
+  }
+  throw std::logic_error{"build_topology: unknown kind"};
+}
+
+struct BuiltScheme {
+  std::shared_ptr<bgp::MraiController> controller;
+  std::shared_ptr<schemes::DynamicMrai> dynamic;  // set when adaptive
+};
+
+BuiltScheme build_scheme(const SchemeSpec& spec, const std::vector<std::size_t>& degrees) {
+  BuiltScheme out;
+  switch (spec.mrai) {
+    case SchemeSpec::Mrai::kConstant:
+      out.controller = std::make_shared<bgp::FixedMrai>(spec.constant_mrai);
+      return out;
+    case SchemeSpec::Mrai::kDegreeDependent:
+      out.controller = schemes::degree_dependent_mrai(degrees, spec.high_degree_threshold,
+                                                      spec.low_mrai, spec.high_mrai);
+      return out;
+    case SchemeSpec::Mrai::kDynamic:
+      out.dynamic = std::make_shared<schemes::DynamicMrai>(spec.dynamic);
+      out.controller = out.dynamic;
+      return out;
+    case SchemeSpec::Mrai::kExtent:
+      out.controller = std::make_shared<schemes::ExtentMrai>(spec.extent);
+      return out;
+  }
+  throw std::logic_error{"build_scheme: unknown kind"};
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& cfg) {
+  sim::Rng rng{cfg.seed};
+  sim::Rng topo_rng = rng.fork();
+  const auto net_seed = rng.engine()();
+
+  auto built = build_topology(cfg.topology, topo_rng);
+  if (cfg.topology.policy_routing) {
+    if (!built.graph) {
+      throw std::invalid_argument{"policy routing requires a flat topology"};
+    }
+    built.as_rel = topo::infer_relations(*built.graph, cfg.topology.peer_tolerance);
+  }
+  auto scheme = build_scheme(cfg.scheme, built.degrees);
+
+  auto bgp_cfg = cfg.bgp;
+  // The scheme's batching flag turns the paper's scheme on; otherwise the
+  // BgpConfig's own discipline (kFifo default, kTcpBatch for the deployed-
+  // router baseline) is preserved.
+  if (cfg.scheme.batching) bgp_cfg.queue = bgp::QueueDiscipline::kBatched;
+
+  auto net = built.hier ? std::make_unique<bgp::Network>(*built.hier, bgp_cfg,
+                                                         scheme.controller, net_seed)
+             : built.as_rel
+                 ? std::make_unique<bgp::Network>(*built.as_rel, bgp_cfg, scheme.controller,
+                                                  net_seed)
+                 : std::make_unique<bgp::Network>(*built.graph, bgp_cfg, scheme.controller,
+                                                  net_seed);
+
+  RunResult res;
+  res.routers = net->size();
+
+  // Phase 1: cold-start convergence.
+  net->start();
+  const sim::SimTime quiet = net->run_to_quiescence();
+  res.initial_convergence_s = quiet.to_seconds();
+
+  // The paper's dynamic scheme starts every node at the lowest MRAI level.
+  if (scheme.dynamic) scheme.dynamic->reset();
+
+  // Phase 2: contiguous failure at the grid centre.
+  const topo::Point center{cfg.topology.grid / 2.0, cfg.topology.grid / 2.0};
+  const auto victims =
+      failure::geographic_fraction(net->positions(), cfg.failure_fraction, center);
+  res.failed_routers = victims.size();
+
+  const std::uint64_t msgs_before = net->metrics().updates_sent;
+  const std::uint64_t adv_before = net->metrics().adverts_sent;
+  const std::uint64_t wdr_before = net->metrics().withdrawals_sent;
+
+  const sim::SimTime t_fail = net->scheduler().now() + cfg.pre_failure_gap;
+  net->scheduler().schedule_at(t_fail, [&net, &victims] { net->fail_nodes(victims); });
+  net->run_to_quiescence();
+
+  {
+    const auto& m = net->metrics();
+    res.convergence_delay_s =
+        m.last_rib_change > t_fail ? (m.last_rib_change - t_fail).to_seconds() : 0.0;
+    res.messages_after_failure = m.updates_sent - msgs_before;
+    res.adverts_after_failure = m.adverts_sent - adv_before;
+    res.withdrawals_after_failure = m.withdrawals_sent - wdr_before;
+  }
+
+  // Phase 3 (optional): the failed region comes back and the network must
+  // re-absorb its prefixes (the "recovery flood", the Tup analogue).
+  if (cfg.measure_recovery && !victims.empty()) {
+    const std::uint64_t msgs_pre_rec = net->metrics().updates_sent;
+    const sim::SimTime t_rec = net->scheduler().now() + cfg.pre_failure_gap;
+    net->scheduler().schedule_at(t_rec, [&net, &victims] { net->recover_nodes(victims); });
+    net->run_to_quiescence();
+    const auto& m = net->metrics();
+    res.recovery_delay_s =
+        m.last_rib_change > t_rec ? (m.last_rib_change - t_rec).to_seconds() : 0.0;
+    res.messages_after_recovery = m.updates_sent - msgs_pre_rec;
+  }
+
+  const auto& m = net->metrics();
+  res.messages_total = m.updates_sent;
+  res.messages_processed = m.messages_processed;
+  res.batch_dropped = m.batch_dropped;
+  res.events = net->scheduler().executed_events();
+
+  const auto audit = audit_routes(*net);
+  res.routes_valid = !audit.has_value();
+  if (audit) res.audit_error = *audit;
+  return res;
+}
+
+Stats Stats::of(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
+  AveragedResult out;
+  std::vector<double> delays;
+  std::vector<double> msgs;
+  std::size_t valid = 0;
+  for (std::size_t i = 0; i < num_seeds; ++i) {
+    auto c = cfg;
+    c.seed = cfg.seed + i;
+    auto r = run_experiment(c);
+    delays.push_back(r.convergence_delay_s);
+    msgs.push_back(static_cast<double>(r.messages_after_failure));
+    if (r.routes_valid) ++valid;
+    out.runs.push_back(std::move(r));
+  }
+  out.delay = Stats::of(delays);
+  out.messages = Stats::of(msgs);
+  out.valid_fraction = num_seeds == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(num_seeds);
+  return out;
+}
+
+std::size_t bench_seeds(std::size_t fallback) {
+  if (const char* env = std::getenv("BGPSIM_SEEDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,155 @@
+// Experiment harness: one (config, seed) pair -> one measured run.
+//
+// A run follows the paper's protocol: build the topology, bring the network
+// to cold-start convergence under the configured scheme, then fail a
+// contiguous set of nodes at the grid centre and measure (a) the
+// convergence delay -- time from the failure to the last Loc-RIB change in
+// the network -- and (b) the number of update messages generated after the
+// failure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/config.hpp"
+#include "bgp/network.hpp"
+#include "schemes/dynamic_mrai.hpp"
+#include "schemes/extent_mrai.hpp"
+#include "topo/degree_sequence.hpp"
+#include "topo/generators.hpp"
+#include "topo/hierarchical.hpp"
+
+namespace bgpsim::harness {
+
+struct TopologySpec {
+  enum class Kind { kSkewed, kInternetLike, kWaxman, kBarabasiAlbert, kGlp, kHierarchical };
+  Kind kind = Kind::kSkewed;
+  std::size_t n = 120;          ///< node count (flat kinds)
+  double grid = 1000.0;
+  topo::SkewSpec skew = topo::SkewSpec::s70_30();
+  int max_degree = 40;          ///< kInternetLike
+  double target_avg = 3.4;      ///< kInternetLike
+  topo::WaxmanParams waxman{};
+  topo::BaParams ba{};
+  topo::GlpParams glp{};
+  topo::HierParams hier{};
+  /// Flat kinds only: annotate the generated graph with degree-inferred
+  /// Gao-Rexford relations and run with policy routing (customer
+  /// preference + valley-free export).
+  bool policy_routing = false;
+  std::size_t peer_tolerance = 1;  ///< degree difference still counting as a peering
+};
+
+struct SchemeSpec {
+  enum class Mrai { kConstant, kDegreeDependent, kDynamic, kExtent };
+  Mrai mrai = Mrai::kConstant;
+
+  sim::SimTime constant_mrai = sim::SimTime::seconds(30.0);  ///< Internet default
+
+  // kDegreeDependent
+  std::size_t high_degree_threshold = 5;
+  sim::SimTime low_mrai = sim::SimTime::seconds(0.5);
+  sim::SimTime high_mrai = sim::SimTime::seconds(2.25);
+
+  // kDynamic
+  schemes::DynamicMraiParams dynamic{};
+
+  // kExtent (future-work extension: MRAI set from the observed failure
+  // extent, see schemes/extent_mrai.hpp)
+  schemes::ExtentMraiParams extent{};
+
+  /// The paper's batching scheme (independent of the MRAI policy).
+  bool batching = false;
+
+  static SchemeSpec constant(double mrai_seconds, bool batch = false) {
+    SchemeSpec s;
+    s.mrai = Mrai::kConstant;
+    s.constant_mrai = sim::SimTime::seconds(mrai_seconds);
+    s.batching = batch;
+    return s;
+  }
+  static SchemeSpec degree_dependent(double low_s, double high_s, std::size_t threshold = 5) {
+    SchemeSpec s;
+    s.mrai = Mrai::kDegreeDependent;
+    s.low_mrai = sim::SimTime::seconds(low_s);
+    s.high_mrai = sim::SimTime::seconds(high_s);
+    s.high_degree_threshold = threshold;
+    return s;
+  }
+  static SchemeSpec dynamic_mrai(schemes::DynamicMraiParams p = {}, bool batch = false) {
+    SchemeSpec s;
+    s.mrai = Mrai::kDynamic;
+    s.dynamic = std::move(p);
+    s.batching = batch;
+    return s;
+  }
+  static SchemeSpec extent_mrai(schemes::ExtentMraiParams p = {}, bool batch = false) {
+    SchemeSpec s;
+    s.mrai = Mrai::kExtent;
+    s.extent = std::move(p);
+    s.batching = batch;
+    return s;
+  }
+};
+
+struct ExperimentConfig {
+  TopologySpec topology{};
+  SchemeSpec scheme{};
+  bgp::BgpConfig bgp{};
+  double failure_fraction = 0.05;  ///< of all routers, contiguous at grid centre
+  std::uint64_t seed = 1;
+  /// Quiet gap inserted between cold-start convergence and the failure.
+  sim::SimTime pre_failure_gap = sim::SimTime::seconds(1.0);
+  /// When true, after the post-failure convergence quiesces the failed
+  /// region is brought back up and the re-convergence ("recovery flood") is
+  /// measured into RunResult::recovery_delay_s.
+  bool measure_recovery = false;
+};
+
+struct RunResult {
+  double initial_convergence_s = 0.0;  ///< cold start -> quiescent
+  double convergence_delay_s = 0.0;    ///< failure -> last Loc-RIB change
+  double recovery_delay_s = 0.0;       ///< recovery -> last Loc-RIB change (if measured)
+  std::uint64_t messages_after_recovery = 0;
+  std::uint64_t messages_after_failure = 0;
+  std::uint64_t adverts_after_failure = 0;
+  std::uint64_t withdrawals_after_failure = 0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t messages_processed = 0;
+  std::uint64_t batch_dropped = 0;   ///< stale updates deleted by batching
+  std::uint64_t events = 0;
+  std::size_t routers = 0;
+  std::size_t failed_routers = 0;
+  bool routes_valid = false;         ///< post-failure audit verdict
+  std::string audit_error;           ///< first violation, when !routes_valid
+};
+
+RunResult run_experiment(const ExperimentConfig& cfg);
+
+struct Stats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+
+  static Stats of(const std::vector<double>& xs);
+};
+
+struct AveragedResult {
+  Stats delay;     ///< convergence delay, seconds
+  Stats messages;  ///< messages after failure
+  double valid_fraction = 0.0;
+  std::vector<RunResult> runs;
+};
+
+/// Runs `num_seeds` independent replicas (seeds cfg.seed, cfg.seed+1, ...).
+AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds);
+
+/// Number of replica seeds benches should use: the BGPSIM_SEEDS environment
+/// variable if set, else `fallback`.
+std::size_t bench_seeds(std::size_t fallback = 3);
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,82 @@
+#include "harness/options.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bgpsim::harness {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options out;
+  int i = 0;
+  // Positional arguments come first.
+  while (i < argc && std::string_view{argv[i]}.substr(0, 2) != "--") {
+    out.positional_.emplace_back(argv[i]);
+    ++i;
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    if (token.substr(0, 2) != "--" || token.size() == 2) {
+      throw std::invalid_argument{"unexpected argument: '" + token + "'"};
+    }
+    token.erase(0, 2);
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      out.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      ++i;
+      continue;
+    }
+    if (i + 1 < argc && std::string_view{argv[i + 1]}.substr(0, 2) != "--") {
+      out.values_[token] = argv[i + 1];
+      i += 2;
+    } else {
+      out.values_[token] = "";  // bare flag
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> Options::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Options::get_or(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"--" + key + " expects a number, got '" + *v + "'"};
+  }
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument{"--" + key + " expects an integer, got '" + *v + "'"};
+  }
+}
+
+bool Options::flag(const std::string& key) const {
+  const auto v = get(key);
+  if (!v) return false;
+  return *v != "false" && *v != "0";
+}
+
+std::vector<std::string> Options::unknown_keys(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,44 @@
+// Minimal command-line option parsing for the CLI tools.
+//
+// Syntax: `--key value`, `--key=value`, or bare `--flag`; anything before
+// the first `--` option is positional. A token following `--key` is taken
+// as its value unless it starts with `--`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bgpsim::harness {
+
+class Options {
+ public:
+  /// Parses argv (excluding argv[0]); throws std::invalid_argument on a
+  /// token that is neither an option nor positional-before-options.
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  /// Value of `--key`; empty optional if absent, empty string for a bare
+  /// flag.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// True if `--key` appears (with or without a value, unless the value is
+  /// "false" or "0").
+  bool flag(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys present but not in `known` (for friendly error messages).
+  std::vector<std::string> unknown_keys(const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,34 @@
+#include "harness/prefix_stats.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::harness {
+
+std::vector<bgp::Prefix> PrefixConvergenceSink::touched_prefixes() const {
+  std::vector<bgp::Prefix> out;
+  out.reserve(stats_.size());
+  for (const auto& [p, s] : stats_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::pair<bgp::Prefix, double> PrefixConvergenceSink::slowest() const {
+  bgp::Prefix worst = 0;
+  sim::SimTime worst_t = epoch_;
+  for (const auto& [p, s] : stats_) {
+    if (s.last_change > worst_t) {
+      worst_t = s.last_change;
+      worst = p;
+    }
+  }
+  return {worst, (worst_t - epoch_).to_seconds()};
+}
+
+double PrefixConvergenceSink::mean_delay_s() const {
+  if (stats_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [p, s] : stats_) sum += (s.last_change - epoch_).to_seconds();
+  return sum / static_cast<double>(stats_.size());
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,66 @@
+// Per-prefix convergence statistics, computed from the trace stream.
+//
+// Labovitz et al. classify convergence events by what happens to the
+// prefix: Tdown (the origin disappears; the network must withdraw) is the
+// slow, exploration-heavy case, while Tup (a new/recovered origin) is fast.
+// This sink watches kRibChanged events after a marked instant (typically
+// the failure time) and reports, per prefix: when it last changed anywhere,
+// and how many Loc-RIB changes it caused network-wide -- the per-prefix
+// view of the aggregate convergence delay the harness reports.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/trace.hpp"
+
+namespace bgpsim::harness {
+
+class PrefixConvergenceSink final : public bgp::TraceSink {
+ public:
+  void on_event(const bgp::TraceEvent& event) override {
+    if (event.kind != bgp::TraceEvent::Kind::kRibChanged) return;
+    if (event.at < epoch_) return;
+    auto& s = stats_[event.prefix];
+    ++s.rib_changes;
+    if (event.at > s.last_change) s.last_change = event.at;
+  }
+
+  /// Ignore events before `t` (call at failure-injection time).
+  void set_epoch(sim::SimTime t) { epoch_ = t; }
+  void reset() { stats_.clear(); }
+
+  struct PrefixStats {
+    std::uint64_t rib_changes = 0;
+    sim::SimTime last_change;
+  };
+
+  /// Per-prefix convergence delay relative to the epoch, seconds.
+  double convergence_delay_s(bgp::Prefix p) const {
+    const auto it = stats_.find(p);
+    if (it == stats_.end()) return 0.0;
+    return (it->second.last_change - epoch_).to_seconds();
+  }
+
+  std::uint64_t rib_changes(bgp::Prefix p) const {
+    const auto it = stats_.find(p);
+    return it == stats_.end() ? 0 : it->second.rib_changes;
+  }
+
+  /// Prefixes that changed at all since the epoch.
+  std::vector<bgp::Prefix> touched_prefixes() const;
+
+  /// The slowest prefix and its delay -- by definition this equals the
+  /// aggregate convergence delay of the episode.
+  std::pair<bgp::Prefix, double> slowest() const;
+
+  /// Mean per-prefix convergence delay over touched prefixes.
+  double mean_delay_s() const;
+
+ private:
+  sim::SimTime epoch_;
+  std::unordered_map<bgp::Prefix, PrefixStats> stats_;
+};
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,24 @@
+// Fixed-width table printing for bench output (one table per paper figure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgpsim::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bgpsim::harness

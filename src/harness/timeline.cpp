@@ -1,0 +1,81 @@
+#include "harness/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace bgpsim::harness {
+
+TimelineRecorder::TimelineRecorder(bgp::Network& net, sim::SimTime interval,
+                                   sim::SimTime overload_threshold)
+    : net_{net}, interval_{interval}, threshold_{overload_threshold} {}
+
+void TimelineRecorder::start() {
+  last_sent_ = net_.metrics().updates_sent;
+  last_processed_ = net_.metrics().messages_processed;
+  last_rib_ = net_.metrics().rib_changes;
+  net_.scheduler().schedule_after(interval_, [this] { sample(); });
+}
+
+void TimelineRecorder::sample() {
+  TimelineSample s;
+  s.t_seconds = net_.scheduler().now().to_seconds();
+  const auto& m = net_.metrics();
+  s.updates_sent = m.updates_sent - last_sent_;
+  s.processed = m.messages_processed - last_processed_;
+  s.rib_changes = m.rib_changes - last_rib_;
+  last_sent_ = m.updates_sent;
+  last_processed_ = m.messages_processed;
+  last_rib_ = m.rib_changes;
+  for (const auto v : net_.alive_nodes()) {
+    auto& r = net_.router(v);
+    s.max_queue = std::max(s.max_queue, r.input_queue_length());
+    if (r.unfinished_work() > threshold_) ++s.overloaded;
+  }
+  samples_.push_back(s);
+  // Keep sampling only while the network itself still has events; our own
+  // next sample is not yet scheduled, so an empty queue means quiescence.
+  if (net_.scheduler().pending_events() > 0) {
+    net_.scheduler().schedule_after(interval_, [this] { sample(); });
+  }
+}
+
+std::size_t TimelineRecorder::peak_overloaded() const {
+  std::size_t best = 0;
+  for (const auto& s : samples_) best = std::max(best, s.overloaded);
+  return best;
+}
+
+std::size_t TimelineRecorder::peak_queue() const {
+  std::size_t best = 0;
+  for (const auto& s : samples_) best = std::max(best, s.max_queue);
+  return best;
+}
+
+std::uint64_t TimelineRecorder::peak_interval_updates() const {
+  std::uint64_t best = 0;
+  for (const auto& s : samples_) best = std::max(best, s.updates_sent);
+  return best;
+}
+
+void TimelineRecorder::print(std::ostream& os, std::size_t max_rows) const {
+  os << std::setw(9) << "t(s)" << std::setw(10) << "sent" << std::setw(10) << "processed"
+     << std::setw(9) << "ribchg" << std::setw(9) << "maxq" << "  overloaded routers\n";
+  const auto row = [&](const TimelineSample& s) {
+    os << std::setw(9) << std::fixed << std::setprecision(1) << s.t_seconds << std::setw(10)
+       << s.updates_sent << std::setw(10) << s.processed << std::setw(9) << s.rib_changes
+       << std::setw(9) << s.max_queue << "  " << std::string(s.overloaded, '#') << " "
+       << s.overloaded << "\n";
+  };
+  if (samples_.size() <= max_rows || max_rows < 4) {
+    for (const auto& s : samples_) row(s);
+    return;
+  }
+  const std::size_t head = max_rows / 2;
+  const std::size_t tail = max_rows - head;
+  for (std::size_t i = 0; i < head; ++i) row(samples_[i]);
+  os << "     ...   (" << samples_.size() - max_rows << " samples elided)\n";
+  for (std::size_t i = samples_.size() - tail; i < samples_.size(); ++i) row(samples_[i]);
+}
+
+}  // namespace bgpsim::harness

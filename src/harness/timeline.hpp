@@ -1,0 +1,62 @@
+// Time-series instrumentation of a running network.
+//
+// A TimelineRecorder samples the network at a fixed simulated interval
+// while there is activity: update/processing throughput in the interval,
+// the deepest input queue, and how many routers are currently "overloaded"
+// (unfinished work above a threshold -- by default the paper's upTh).
+// Sampling stops by itself when the event queue drains, so
+// run_to_quiescence() still terminates.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/network.hpp"
+
+namespace bgpsim::harness {
+
+struct TimelineSample {
+  double t_seconds = 0.0;            ///< absolute simulation time
+  std::uint64_t updates_sent = 0;    ///< in this interval
+  std::uint64_t processed = 0;       ///< work items finished in this interval
+  std::uint64_t rib_changes = 0;     ///< in this interval
+  std::size_t max_queue = 0;         ///< deepest input queue right now
+  std::size_t overloaded = 0;        ///< routers with work > threshold
+};
+
+class TimelineRecorder {
+ public:
+  /// Starts sampling `net` every `interval`, beginning one interval from
+  /// now. `overload_threshold` defaults to the paper's upTh (0.65 s of
+  /// unfinished work).
+  TimelineRecorder(bgp::Network& net, sim::SimTime interval,
+                   sim::SimTime overload_threshold = sim::SimTime::seconds(0.65));
+
+  void start();
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+  /// Peak values over the recorded window.
+  std::size_t peak_overloaded() const;
+  std::size_t peak_queue() const;
+  std::uint64_t peak_interval_updates() const;
+
+  /// Prints the series as an aligned table with a bar for the overloaded-
+  /// router count. With more than `max_rows` samples the middle of the
+  /// series is elided.
+  void print(std::ostream& os, std::size_t max_rows = 40) const;
+
+ private:
+  void sample();
+
+  bgp::Network& net_;
+  sim::SimTime interval_;
+  sim::SimTime threshold_;
+  std::vector<TimelineSample> samples_;
+  std::uint64_t last_sent_ = 0;
+  std::uint64_t last_processed_ = 0;
+  std::uint64_t last_rib_ = 0;
+};
+
+}  // namespace bgpsim::harness

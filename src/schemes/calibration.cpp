@@ -1,0 +1,48 @@
+#include "schemes/calibration.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::schemes {
+
+sim::SimTime estimate_optimal_mrai(std::size_t max_degree, std::size_t num_prefixes,
+                                   double failure_fraction, sim::SimTime mean_processing) {
+  // One MRAI round delivers ~max_degree updates per affected prefix to the
+  // busiest router; it must clear them within the round.
+  const double affected = failure_fraction * static_cast<double>(num_prefixes);
+  const double work_s =
+      static_cast<double>(max_degree) * affected * mean_processing.to_seconds();
+  return sim::SimTime::seconds(work_s);
+}
+
+DynamicMraiParams suggest_dynamic_params(const CalibrationInput& input) {
+  DynamicMraiParams params;
+  auto knee = [&](double f) {
+    const auto m =
+        estimate_optimal_mrai(input.max_degree, input.num_prefixes, f, input.mean_processing);
+    return std::max(m, input.floor);
+  };
+  auto l0 = knee(input.small);
+  auto l1 = knee(input.medium);
+  auto l2 = knee(input.large);
+  // Strictly increasing levels (the controller requires it).
+  if (l1 <= l0) l1 = l0 + sim::SimTime::from_ms(250);
+  if (l2 <= l1) l2 = l1 + sim::SimTime::from_ms(250);
+  params.levels = {l0, l1, l2};
+  // Overload thresholds: a queue worth half a small-failure round of work
+  // should trigger escalation; an almost-empty queue de-escalates.
+  params.up_th = l1 * 0.5;
+  params.down_th = l0 * 0.1;
+  if (params.down_th >= params.up_th) params.down_th = params.up_th * 0.1;
+  return params;
+}
+
+DynamicMraiParams suggest_dynamic_params(const topo::Graph& g,
+                                         sim::SimTime mean_processing) {
+  CalibrationInput input;
+  input.max_degree = g.max_degree();
+  input.num_prefixes = g.size();
+  input.mean_processing = mean_processing;
+  return suggest_dynamic_params(input);
+}
+
+}  // namespace bgpsim::schemes

@@ -1,0 +1,66 @@
+// Analytic parameter selection for the MRAI schemes -- the theory the
+// paper's section 5 calls for ("In order to use this type of scheme in real
+// networks, it is necessary to develop a suitable theory for choosing
+// various parameters. This work is currently ongoing.").
+//
+// The queueing argument: during re-convergence after a failure of extent f
+// (fraction of a network with n prefixes), a router of degree d receives on
+// the order of d x r x (f n) updates per MRAI round, where r is the number
+// of updates per affected prefix per round a neighbor emits (r ~ 1 with
+// Adj-RIB-Out deduplication). The router stays un-overloaded iff it can
+// process one round's arrivals within one MRAI:
+//
+//      M*(f)  >=  d_max x f x n x E[proc]
+//
+// Below M* queues grow without bound (the left branch of the paper's
+// V-curve); above it delay rises linearly with M (the right branch), so M*
+// is the knee. The estimator returns that knee, and suggest_dynamic_params
+// builds a DynamicMraiParams level set from the knees of three
+// representative failure sizes, with thresholds scaled the same way the
+// paper chose theirs (upTh comparable to half the smallest non-trivial
+// knee, downTh a small fraction of it).
+//
+// bench/abl13_parameter_theory compares these predictions against the
+// measured optima; predictions land within a small constant factor (~2-3x,
+// always on the low side because exploration needs more than one update
+// per prefix per round) and order the paper's topologies correctly --
+// enough to seed the dynamic scheme without a measurement campaign.
+#pragma once
+
+#include <cstddef>
+
+#include "schemes/dynamic_mrai.hpp"
+#include "sim/time.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::schemes {
+
+/// Estimated delay-optimal constant MRAI for a failure of fraction
+/// `failure_fraction` in a network of `num_prefixes` destinations whose
+/// busiest router has degree `max_degree`, with mean per-update processing
+/// delay `mean_processing`.
+sim::SimTime estimate_optimal_mrai(std::size_t max_degree, std::size_t num_prefixes,
+                                   double failure_fraction, sim::SimTime mean_processing);
+
+/// Builds a full dynamic-MRAI parameter set from the analytic knees at
+/// `small`, `medium` and `large` failure fractions (defaults: the paper's
+/// 1% / 5% / 15% regimes). Levels are clamped to at least `floor` (0.5 s by
+/// default, the smallest MRAI the paper considers deployable) and forced to
+/// be strictly increasing.
+struct CalibrationInput {
+  std::size_t max_degree = 8;
+  std::size_t num_prefixes = 120;
+  sim::SimTime mean_processing = sim::SimTime::from_us(15500);
+  double small = 0.01;
+  double medium = 0.05;
+  double large = 0.15;
+  sim::SimTime floor = sim::SimTime::seconds(0.5);
+};
+
+DynamicMraiParams suggest_dynamic_params(const CalibrationInput& input);
+
+/// Convenience: reads max_degree from a flat topology graph.
+DynamicMraiParams suggest_dynamic_params(const topo::Graph& g,
+                                         sim::SimTime mean_processing);
+
+}  // namespace bgpsim::schemes

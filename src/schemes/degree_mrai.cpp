@@ -1,0 +1,26 @@
+#include "schemes/degree_mrai.hpp"
+
+namespace bgpsim::schemes {
+
+std::shared_ptr<bgp::FixedMrai> degree_dependent_mrai(const std::vector<std::size_t>& degrees,
+                                                      std::size_t high_degree_threshold,
+                                                      sim::SimTime low_mrai,
+                                                      sim::SimTime high_mrai) {
+  std::vector<sim::SimTime> per_node;
+  per_node.reserve(degrees.size());
+  for (const auto d : degrees) {
+    per_node.push_back(d >= high_degree_threshold ? high_mrai : low_mrai);
+  }
+  return std::make_shared<bgp::FixedMrai>(low_mrai, std::move(per_node));
+}
+
+std::shared_ptr<bgp::FixedMrai> degree_dependent_mrai(const topo::Graph& g,
+                                                      std::size_t high_degree_threshold,
+                                                      sim::SimTime low_mrai,
+                                                      sim::SimTime high_mrai) {
+  std::vector<std::size_t> degrees(g.size());
+  for (topo::NodeId v = 0; v < g.size(); ++v) degrees[v] = g.degree(v);
+  return degree_dependent_mrai(degrees, high_degree_threshold, low_mrai, high_mrai);
+}
+
+}  // namespace bgpsim::schemes

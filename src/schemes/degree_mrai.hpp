@@ -1,0 +1,31 @@
+// Degree-dependent MRAI (paper section 4.2).
+//
+// The convergence behaviour for large failures is dominated by the
+// high-degree nodes (they receive the most updates and overload first), so
+// the scheme assigns a larger static MRAI to nodes whose degree reaches a
+// threshold and a smaller one to everybody else.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/mrai.hpp"
+#include "sim/time.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::schemes {
+
+/// Builds a per-node FixedMrai from node degrees: degree >= threshold gets
+/// high_mrai, else low_mrai.
+std::shared_ptr<bgp::FixedMrai> degree_dependent_mrai(const std::vector<std::size_t>& degrees,
+                                                      std::size_t high_degree_threshold,
+                                                      sim::SimTime low_mrai,
+                                                      sim::SimTime high_mrai);
+
+/// Convenience overload reading degrees from a flat topology graph.
+std::shared_ptr<bgp::FixedMrai> degree_dependent_mrai(const topo::Graph& g,
+                                                      std::size_t high_degree_threshold,
+                                                      sim::SimTime low_mrai,
+                                                      sim::SimTime high_mrai);
+
+}  // namespace bgpsim::schemes

@@ -1,0 +1,71 @@
+#include "schemes/dynamic_mrai.hpp"
+
+namespace bgpsim::schemes {
+
+DynamicMrai::DynamicMrai(DynamicMraiParams params) : params_{std::move(params)} {
+  if (params_.levels.empty()) throw std::invalid_argument{"DynamicMrai: no levels"};
+  for (std::size_t i = 1; i < params_.levels.size(); ++i) {
+    if (params_.levels[i] <= params_.levels[i - 1]) {
+      throw std::invalid_argument{"DynamicMrai: levels must be strictly increasing"};
+    }
+  }
+  if (params_.down_th >= params_.up_th) {
+    throw std::invalid_argument{"DynamicMrai: downTh must be < upTh"};
+  }
+}
+
+bool DynamicMrai::over_up_threshold(bgp::Router& r) const {
+  switch (params_.monitor) {
+    case DynamicMraiParams::Monitor::kUnfinishedWork:
+      return r.unfinished_work() > params_.up_th;
+    case DynamicMraiParams::Monitor::kUtilization:
+      return r.recent_utilization() > params_.up_util;
+    case DynamicMraiParams::Monitor::kMessageRate:
+      return r.recent_message_rate() > params_.up_rate;
+  }
+  return false;
+}
+
+bool DynamicMrai::under_down_threshold(bgp::Router& r) const {
+  switch (params_.monitor) {
+    case DynamicMraiParams::Monitor::kUnfinishedWork:
+      return r.unfinished_work() < params_.down_th;
+    case DynamicMraiParams::Monitor::kUtilization:
+      return r.recent_utilization() < params_.down_util;
+    case DynamicMraiParams::Monitor::kMessageRate:
+      return r.recent_message_rate() < params_.down_rate;
+  }
+  return false;
+}
+
+sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
+  if (r.id() >= level_.size()) level_.resize(r.id() + 1, 0);
+  if (params_.min_degree > 0 && r.degree() < params_.min_degree) {
+    return params_.levels.front();
+  }
+  std::size_t& lvl = level_[r.id()];
+  if (over_up_threshold(r)) {
+    if (lvl + 1 < params_.levels.size()) {
+      ++lvl;
+      ++ups_;
+    }
+  } else if (under_down_threshold(r)) {
+    if (lvl > 0) {
+      --lvl;
+      ++downs_;
+    }
+  }
+  return params_.levels[lvl];
+}
+
+void DynamicMrai::reset() {
+  for (auto& l : level_) l = 0;
+  ups_ = 0;
+  downs_ = 0;
+}
+
+std::size_t DynamicMrai::level(bgp::NodeId node) const {
+  return node < level_.size() ? level_[node] : 0;
+}
+
+}  // namespace bgpsim::schemes

@@ -1,0 +1,34 @@
+#include "schemes/extent_mrai.hpp"
+
+namespace bgpsim::schemes {
+
+ExtentMrai::ExtentMrai(ExtentMraiParams params) : params_{std::move(params)} {
+  if (params_.levels.empty()) throw std::invalid_argument{"ExtentMrai: no levels"};
+  if (params_.loss_thresholds.size() + 1 != params_.levels.size()) {
+    throw std::invalid_argument{"ExtentMrai: need one threshold per level transition"};
+  }
+  for (std::size_t i = 1; i < params_.loss_thresholds.size(); ++i) {
+    if (params_.loss_thresholds[i] <= params_.loss_thresholds[i - 1]) {
+      throw std::invalid_argument{"ExtentMrai: thresholds must be strictly increasing"};
+    }
+  }
+}
+
+std::size_t ExtentMrai::level_for(bgp::Router& r) const {
+  const double losses = r.recent_route_losses();
+  std::size_t level = 0;
+  for (const double th : params_.loss_thresholds) {
+    if (losses >= th) {
+      ++level;
+    } else {
+      break;
+    }
+  }
+  return level;
+}
+
+sim::SimTime ExtentMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
+  return params_.levels[level_for(r)];
+}
+
+}  // namespace bgpsim::schemes

@@ -1,0 +1,45 @@
+// Failure-extent-driven MRAI (the paper's section-5 future-work sketch:
+// "a scheme that can accurately and quickly set the MRAI consistent with
+// the extent of failure without significant overhead").
+//
+// Signal: the number of selected routes a router has *lost* in the recent
+// window (Loc-RIB removals, exponentially decayed). A large contiguous
+// failure withdraws many prefixes at once, so this count tracks the failure
+// extent directly and almost immediately -- unlike the queue-based dynamic
+// scheme, which has to wait for the backlog to build. The MRAI level is set
+// by threshold lookup (not one step per timer restart), so a large failure
+// jumps straight to the top level.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/mrai.hpp"
+#include "bgp/router.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::schemes {
+
+struct ExtentMraiParams {
+  std::vector<sim::SimTime> levels{sim::SimTime::seconds(0.5), sim::SimTime::seconds(1.25),
+                                   sim::SimTime::seconds(2.25)};
+  /// levels[i+1] is used once recent route losses reach thresholds[i];
+  /// must have exactly levels.size()-1 strictly increasing entries.
+  std::vector<double> loss_thresholds{3.0, 8.0};
+};
+
+class ExtentMrai final : public bgp::MraiController {
+ public:
+  explicit ExtentMrai(ExtentMraiParams params);
+
+  sim::SimTime interval(bgp::Router& r, bgp::NodeId peer) override;
+
+  /// Level the router would currently use (for tests/inspection).
+  std::size_t level_for(bgp::Router& r) const;
+
+ private:
+  ExtentMraiParams params_;
+};
+
+}  // namespace bgpsim::schemes

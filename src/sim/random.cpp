@@ -1,0 +1,36 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bgpsim::sim {
+
+std::int64_t Rng::bounded_pareto(double alpha, std::int64_t lo, std::int64_t hi) {
+  if (lo <= 0 || hi < lo) throw std::invalid_argument{"bounded_pareto: bad bounds"};
+  if (lo == hi) return lo;
+  const double l = static_cast<double>(lo);
+  const double h = static_cast<double>(hi) + 1.0;  // treat as continuous upper edge
+  const double u = uniform(0.0, 1.0);
+  // Inverse CDF of the bounded Pareto distribution on [l, h).
+  const double la = std::pow(l, alpha);
+  const double ha = std::pow(h, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  auto v = static_cast<std::int64_t>(x);
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return v;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) throw std::invalid_argument{"weighted_index: total weight must be > 0"};
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: r landed exactly on the total
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,70 @@
+// Seeded random-number utilities for deterministic simulation runs.
+//
+// Every experiment owns exactly one Rng; all stochastic choices (topology
+// wiring, placement, processing delays, timer jitter) flow through it, so a
+// run is a pure function of (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Uniform duration in [lo, hi); returns lo when the range is empty
+  /// (lo >= hi), so a degenerate [x, x) range is a deterministic delay.
+  SimTime uniform_time(SimTime lo, SimTime hi) {
+    if (hi <= lo) return lo;
+    return SimTime::from_ns(uniform_int(lo.ns(), hi.ns() - 1));
+  }
+
+  /// RFC 1771 timer jitter as applied in the paper: the configured interval
+  /// is reduced by up to 25%, i.e. scaled by U(0.75, 1.0).
+  SimTime jittered(SimTime base) { return base * uniform(0.75, 1.0); }
+
+  bool bernoulli(double p) { return std::bernoulli_distribution{p}(engine_); }
+
+  /// Bounded Pareto sample in [lo, hi] with shape alpha (heavy-tailed AS
+  /// sizes, paper section 3.1).
+  std::int64_t bounded_pareto(double alpha, std::int64_t lo, std::int64_t hi);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Total weight must be positive.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle (uses this engine, so results are reproducible).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (used to give each subsystem its
+  /// own stream without coupling their consumption patterns).
+  Rng fork() { return Rng{engine_()}; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bgpsim::sim

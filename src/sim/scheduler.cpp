@@ -1,0 +1,42 @@
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::sim {
+
+EventHandle Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::logic_error{"Scheduler: cannot schedule into the past"};
+  auto state = std::make_shared<EventHandle::State>();
+  state->fn = std::move(fn);
+  queue_.push(Entry{at, next_seq_++, state});
+  ++live_count_;
+  return EventHandle{state};
+}
+
+bool Scheduler::step(SimTime limit) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.at > limit) return false;
+    Entry entry = top;
+    queue_.pop();
+    if (entry.state->cancelled) {
+      --live_count_;
+      continue;
+    }
+    now_ = entry.at;
+    entry.state->fired = true;
+    --live_count_;
+    ++executed_;
+    entry.state->fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Scheduler::run() { return run_until(SimTime::max()); }
+
+SimTime Scheduler::run_until(SimTime limit) {
+  SimTime last = now_;
+  while (step(limit)) last = now_;
+  return last;
+}
+
+}  // namespace bgpsim::sim

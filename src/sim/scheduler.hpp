@@ -1,0 +1,103 @@
+// Discrete-event scheduler.
+//
+// A binary heap keyed by (time, insertion-sequence) so that events scheduled
+// for the same instant fire in insertion order -- this makes every run fully
+// deterministic. Scheduled events can be cancelled through the returned
+// EventHandle (cancellation is lazy: the heap entry is skipped on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+/// Handle to a scheduled event; allows cancellation and liveness queries.
+/// Copyable; all copies refer to the same scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel() {
+    if (auto s = state_.lock()) s->cancelled = true;
+  }
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const {
+    auto s = state_.lock();
+    return s && !s->cancelled && !s->fired;
+  }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::weak_ptr<State> state) : state_{std::move(state)} {}
+  std::weak_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. `at` must not be in the
+  /// past (== now is allowed; such events run after the current event).
+  EventHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after the current time.
+  EventHandle schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  SimTime now() const { return now_; }
+
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of scheduled events. Entries cancelled through their handle are
+  /// only reclaimed when popped, so between runs this is an upper bound; it
+  /// is exact after a full run().
+  std::size_t pending_events() const { return live_count_; }
+
+  /// Runs until no events remain. Returns the time of the last event.
+  SimTime run();
+
+  /// Runs until the queue drains or `limit` is passed; events strictly after
+  /// `limit` stay queued. Returns the time of the last executed event (or
+  /// now() if none executed).
+  SimTime run_until(SimTime limit);
+
+  /// Total events executed (cancelled events are not counted).
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the next live event; returns false if none remain at or
+  /// before `limit`.
+  bool step(SimTime limit);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,61 @@
+// Simulation time: a strongly-typed wrapper over integer nanoseconds.
+//
+// Integer time keeps the discrete-event kernel fully deterministic (no
+// floating-point drift when summing delays) while nanosecond resolution is
+// far finer than any interval the BGP model uses (>= 1 ms).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace bgpsim::sim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr SimTime from_ns(std::int64_t ns) { return SimTime{ns}; }
+  static constexpr SimTime from_us(std::int64_t us) { return SimTime{us * 1'000}; }
+  static constexpr SimTime from_ms(std::int64_t ms) { return SimTime{ms * 1'000'000}; }
+
+  /// Constructs from (possibly fractional) seconds; rounds to nearest ns.
+  static SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(std::llround(s * 1e9))};
+  }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+
+  /// Scales a duration (used for timer jitter); rounds to nearest ns.
+  friend SimTime operator*(SimTime a, double f) {
+    return SimTime{static_cast<std::int64_t>(std::llround(static_cast<double>(a.ns_) * f))};
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,202 @@
+#include "topo/degree_sequence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bgpsim::topo {
+
+double SkewSpec::expected_average() const {
+  const double low_avg = (static_cast<double>(low_min) + static_cast<double>(low_max)) / 2.0;
+  double high_avg = 0.0;
+  double total_w = 0.0;
+  for (std::size_t i = 0; i < high_degrees.size(); ++i) {
+    high_avg += static_cast<double>(high_degrees[i]) * high_weights.at(i);
+    total_w += high_weights.at(i);
+  }
+  high_avg /= total_w;
+  return frac_low * low_avg + (1.0 - frac_low) * high_avg;
+}
+
+std::vector<int> skewed_sequence(std::size_t n, const SkewSpec& spec, sim::Rng& rng) {
+  if (spec.high_degrees.empty() || spec.high_degrees.size() != spec.high_weights.size()) {
+    throw std::invalid_argument{"skewed_sequence: bad high-degree spec"};
+  }
+  const auto num_low = static_cast<std::size_t>(
+      std::llround(spec.frac_low * static_cast<double>(n)));
+  std::vector<int> degrees;
+  degrees.reserve(n);
+  for (std::size_t i = 0; i < num_low; ++i) {
+    degrees.push_back(static_cast<int>(rng.uniform_int(spec.low_min, spec.low_max)));
+  }
+  for (std::size_t i = num_low; i < n; ++i) {
+    degrees.push_back(spec.high_degrees[rng.weighted_index(spec.high_weights)]);
+  }
+  rng.shuffle(degrees);
+  return degrees;
+}
+
+double power_law_mean(double gamma, int max_degree) {
+  double num = 0.0;
+  double den = 0.0;
+  for (int d = 1; d <= max_degree; ++d) {
+    const double p = std::pow(static_cast<double>(d), -gamma);
+    num += static_cast<double>(d) * p;
+    den += p;
+  }
+  return num / den;
+}
+
+std::vector<int> internet_like_sequence(std::size_t n, int max_degree, double target_avg,
+                                        sim::Rng& rng) {
+  if (max_degree < 2) throw std::invalid_argument{"internet_like_sequence: max_degree < 2"};
+  // The mean is monotonically decreasing in gamma; bisect for the target.
+  double lo = 0.1;
+  double hi = 6.0;
+  if (target_avg >= power_law_mean(lo, max_degree) ||
+      target_avg <= power_law_mean(hi, max_degree)) {
+    throw std::invalid_argument{"internet_like_sequence: target average out of range"};
+  }
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (power_law_mean(mid, max_degree) > target_avg) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double gamma = 0.5 * (lo + hi);
+  std::vector<double> weights(static_cast<std::size_t>(max_degree));
+  for (int d = 1; d <= max_degree; ++d) {
+    weights[static_cast<std::size_t>(d - 1)] = std::pow(static_cast<double>(d), -gamma);
+  }
+  std::vector<int> degrees(n);
+  for (auto& d : degrees) d = static_cast<int>(rng.weighted_index(weights)) + 1;
+  return degrees;
+}
+
+namespace {
+
+/// Builds a spanning tree respecting degree capacities. Nodes are attached
+/// in descending-degree order, which guarantees the already-attached set
+/// always has spare capacity when sum(degrees) >= 2(n-1).
+void build_spanning_tree(Graph& g, const std::vector<int>& degrees, std::vector<int>& remaining,
+                         sim::Rng& rng) {
+  const std::size_t n = degrees.size();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);  // randomise ties before the stable sort
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return degrees[a] > degrees[b]; });
+
+  std::vector<NodeId> attached{order[0]};
+  for (std::size_t k = 1; k < n; ++k) {
+    const NodeId v = order[k];
+    std::vector<NodeId> eligible;
+    for (const NodeId u : attached) {
+      if (remaining[u] > 0) eligible.push_back(u);
+    }
+    if (eligible.empty()) {
+      throw std::invalid_argument{"realize_degree_sequence: sequence cannot span the graph"};
+    }
+    const NodeId u =
+        eligible[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(eligible.size()) - 1))];
+    g.add_edge(v, u);
+    --remaining[v];
+    --remaining[u];
+    attached.push_back(v);
+  }
+}
+
+/// Tries to place the stub pair (a, b) via a degree-preserving swap with an
+/// existing edge. Returns true on success.
+bool swap_in_pair(Graph& g, NodeId a, NodeId b, sim::Rng& rng) {
+  auto edges = g.edges();
+  rng.shuffle(edges);
+  for (const auto& [u, v] : edges) {
+    if (u == a || u == b || v == a || v == b) continue;
+    if (!g.has_edge(a, u) && !g.has_edge(b, v)) {
+      g.remove_edge(u, v);
+      g.add_edge(a, u);
+      g.add_edge(b, v);
+      return true;
+    }
+    if (!g.has_edge(a, v) && !g.has_edge(b, u)) {
+      g.remove_edge(u, v);
+      g.add_edge(a, v);
+      g.add_edge(b, u);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph realize_degree_sequence(std::vector<int> degrees, sim::Rng& rng, RealizeStats* stats) {
+  const std::size_t n = degrees.size();
+  if (n < 2) throw std::invalid_argument{"realize_degree_sequence: need >= 2 nodes"};
+  for (auto& d : degrees) {
+    if (d < 1) d = 1;
+    if (d > static_cast<int>(n) - 1) {
+      throw std::invalid_argument{"realize_degree_sequence: degree exceeds n-1"};
+    }
+  }
+  long long total = std::accumulate(degrees.begin(), degrees.end(), 0LL);
+  if (total % 2 != 0) {
+    // Bump one of the lowest-degree nodes to make the total even.
+    auto it = std::min_element(degrees.begin(), degrees.end());
+    ++*it;
+    ++total;
+  }
+  if (total < 2LL * (static_cast<long long>(n) - 1)) {
+    throw std::invalid_argument{"realize_degree_sequence: too few stubs for connectivity"};
+  }
+
+  Graph g{n};
+  std::vector<int> remaining = degrees;
+  build_spanning_tree(g, degrees, remaining, rng);
+
+  std::vector<NodeId> stubs;
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < remaining[v]; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+
+  std::vector<NodeId> leftover;
+  while (!stubs.empty()) {
+    const NodeId a = stubs.back();
+    stubs.pop_back();
+    bool matched = false;
+    // Scan from the back (cheap erase) for a compatible partner.
+    for (std::size_t i = stubs.size(); i-- > 0;) {
+      const NodeId b = stubs[i];
+      if (b != a && !g.has_edge(a, b)) {
+        g.add_edge(a, b);
+        stubs.erase(stubs.begin() + static_cast<std::ptrdiff_t>(i));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) leftover.push_back(a);
+  }
+
+  // Leftover stubs come in pairs (the total stub count is even). Each pair
+  // is either a self-pair or an already-present edge; resolve by rewiring.
+  for (std::size_t i = 0; i + 1 < leftover.size(); i += 2) {
+    const NodeId a = leftover[i];
+    const NodeId b = leftover[i + 1];
+    if (a != b && g.add_edge(a, b)) continue;
+    if (swap_in_pair(g, a, b, rng)) {
+      if (stats) ++stats->swaps;
+    } else {
+      if (stats) stats->dropped_stubs += 2;
+    }
+  }
+  if (leftover.size() % 2 != 0 && stats) ++stats->dropped_stubs;
+
+  return g;
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,71 @@
+// Degree-sequence construction and realisation.
+//
+// The paper's topologies are defined by simple "skewed" degree
+// distributions ("70-30", "50-50", "85-15": a fraction of low-degree nodes
+// with degree U{1..3} plus a fraction of high-degree nodes chosen to hit a
+// target average degree), and by an Internet-derived distribution capped at
+// degree 40 with average ~3.4. `realize_degree_sequence` turns any such
+// sequence into a *connected simple* graph: a spanning structure is built
+// first (guaranteeing connectivity), remaining stubs are matched at random,
+// and stuck stub pairs are resolved by degree-preserving edge swaps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::topo {
+
+/// Parameters of an "X-Y" skewed degree distribution (paper section 3.1).
+struct SkewSpec {
+  double frac_low = 0.7;          ///< fraction of low-degree nodes
+  int low_min = 1;                ///< low nodes draw degree U{low_min..low_max}
+  int low_max = 3;
+  std::vector<int> high_degrees;  ///< candidate degrees for high nodes
+  std::vector<double> high_weights;
+
+  /// "70-30": 70% degree U{1..3}, 30% degree 8 -> average 3.8.
+  static SkewSpec s70_30() { return SkewSpec{0.70, 1, 3, {8}, {1.0}}; }
+  /// "50-50": 50% degree U{1..3}, 50% degree 5 or 6 -> average 3.8.
+  static SkewSpec s50_50() { return SkewSpec{0.50, 1, 3, {5, 6}, {0.4, 0.6}}; }
+  /// "85-15": 85% degree U{1..3}, 15% degree 14 -> average 3.8.
+  static SkewSpec s85_15() { return SkewSpec{0.85, 1, 3, {14}, {1.0}}; }
+  /// "50-50" with high degree 13/14 -> average 7.6 (paper Fig 5).
+  static SkewSpec s50_50_dense() { return SkewSpec{0.50, 1, 3, {13, 14}, {0.8, 0.2}}; }
+
+  /// Expected average degree implied by the spec.
+  double expected_average() const;
+};
+
+/// Draws a degree sequence of length n from a skew spec. The number of low
+/// nodes is exactly round(frac_low * n); positions of low/high nodes within
+/// the sequence are randomised.
+std::vector<int> skewed_sequence(std::size_t n, const SkewSpec& spec, sim::Rng& rng);
+
+/// Power-law degree sequence P(d) ~ d^-gamma on [1, max_degree], with gamma
+/// chosen (by bisection) so the distribution mean equals target_avg. This
+/// mirrors the paper's use of the measured Internet AS degree distribution
+/// capped at 40 with average ~3.4 (~70% of ASes have degree < 4).
+std::vector<int> internet_like_sequence(std::size_t n, int max_degree, double target_avg,
+                                        sim::Rng& rng);
+
+/// Mean of the truncated power law P(d) ~ d^-gamma on [1, max_degree].
+/// Exposed so callers can clamp a target average into the feasible range.
+double power_law_mean(double gamma, int max_degree);
+
+/// Statistics from realising a degree sequence.
+struct RealizeStats {
+  std::size_t dropped_stubs = 0;  ///< stubs abandoned (degree shortfall)
+  std::size_t swaps = 0;          ///< degree-preserving rewires performed
+};
+
+/// Realises `degrees` as a connected simple graph. The sequence may be
+/// adjusted minimally (odd total bumped by one; zero degrees raised to one).
+/// Throws std::invalid_argument if the sequence cannot support a connected
+/// graph (sum < 2(n-1)) or any degree exceeds n-1.
+Graph realize_degree_sequence(std::vector<int> degrees, sim::Rng& rng,
+                              RealizeStats* stats = nullptr);
+
+}  // namespace bgpsim::topo

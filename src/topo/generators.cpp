@@ -1,0 +1,152 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace bgpsim::topo {
+
+namespace {
+
+/// Joins the connected components of g with the geographically shortest
+/// inter-component links (keeps Waxman graphs plausible after patching).
+void connect_components(Graph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::size_t> comp(n, SIZE_MAX);
+  std::size_t num_comp = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (comp[start] != SIZE_MAX) continue;
+    std::vector<NodeId> stack{start};
+    comp[start] = num_comp;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : g.neighbors(v)) {
+        if (comp[w] == SIZE_MAX) {
+          comp[w] = num_comp;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++num_comp;
+  }
+  while (num_comp > 1) {
+    // Merge component of node 0 with the closest node outside it.
+    double best = std::numeric_limits<double>::max();
+    NodeId ba = 0;
+    NodeId bb = 0;
+    for (NodeId a = 0; a < n; ++a) {
+      if (comp[a] != comp[0]) continue;
+      for (NodeId b = 0; b < n; ++b) {
+        if (comp[b] == comp[0]) continue;
+        const double d = distance(g.position(a), g.position(b));
+        if (d < best) {
+          best = d;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    g.add_edge(ba, bb);
+    const std::size_t absorbed = comp[bb];
+    for (auto& c : comp) {
+      if (c == absorbed) c = comp[0];
+    }
+    --num_comp;
+  }
+}
+
+}  // namespace
+
+Graph waxman(const WaxmanParams& params, sim::Rng& rng) {
+  Graph g{params.n};
+  g.place_randomly(params.grid, params.grid, rng);
+  const double scale = params.beta * params.grid * std::numbers::sqrt2;
+  for (NodeId i = 0; i < params.n; ++i) {
+    for (NodeId j = i + 1; j < params.n; ++j) {
+      const double d = distance(g.position(i), g.position(j));
+      if (rng.bernoulli(params.alpha * std::exp(-d / scale))) g.add_edge(i, j);
+    }
+  }
+  connect_components(g);
+  return g;
+}
+
+Graph barabasi_albert(const BaParams& params, sim::Rng& rng) {
+  if (params.m < 1 || params.n <= params.m) {
+    throw std::invalid_argument{"barabasi_albert: need n > m >= 1"};
+  }
+  Graph g{params.n};
+  g.place_randomly(params.grid, params.grid, rng);
+  // Seed: a small clique of m+1 nodes.
+  const auto seed = static_cast<NodeId>(params.m + 1);
+  for (NodeId i = 0; i < seed; ++i) {
+    for (NodeId j = i + 1; j < seed; ++j) g.add_edge(i, j);
+  }
+  for (NodeId v = seed; v < params.n; ++v) {
+    std::vector<double> weights(v);
+    for (NodeId u = 0; u < v; ++u) weights[u] = static_cast<double>(g.degree(u));
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    while (added < params.m && guard++ < 50 * params.m) {
+      const auto u = static_cast<NodeId>(rng.weighted_index(weights));
+      if (g.add_edge(v, u)) {
+        weights[u] = 0.0;  // at most one edge to each target
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph glp(const GlpParams& params, sim::Rng& rng) {
+  if (params.beta >= 1.0) throw std::invalid_argument{"glp: beta must be < 1"};
+  if (params.m < 1 || params.n <= params.m) throw std::invalid_argument{"glp: need n > m >= 1"};
+  Graph g{params.n};
+  g.place_randomly(params.grid, params.grid, rng);
+  const auto seed = static_cast<NodeId>(params.m + 1);
+  for (NodeId i = 0; i < seed; ++i) {
+    for (NodeId j = i + 1; j < seed; ++j) g.add_edge(i, j);
+  }
+  NodeId active = seed;  // nodes [0, active) are in the graph
+  auto pref_weights = [&](NodeId limit) {
+    std::vector<double> w(limit);
+    for (NodeId u = 0; u < limit; ++u) {
+      w[u] = std::max(static_cast<double>(g.degree(u)) - params.beta, 1e-9);
+    }
+    return w;
+  };
+  while (active < params.n) {
+    if (rng.bernoulli(params.p)) {
+      // Add m links between existing nodes, preferentially at both ends.
+      for (std::size_t k = 0; k < params.m; ++k) {
+        auto w = pref_weights(active);
+        std::size_t guard = 0;
+        while (guard++ < 100) {
+          const auto a = static_cast<NodeId>(rng.weighted_index(w));
+          const auto b = static_cast<NodeId>(rng.weighted_index(w));
+          if (g.add_edge(a, b)) break;
+        }
+      }
+    } else {
+      const NodeId v = active++;
+      auto w = pref_weights(v);
+      std::size_t added = 0;
+      std::size_t guard = 0;
+      while (added < params.m && guard++ < 50 * params.m) {
+        const auto u = static_cast<NodeId>(rng.weighted_index(w));
+        if (g.add_edge(v, u)) {
+          w[u] = 1e-9;
+          ++added;
+        }
+      }
+    }
+  }
+  connect_components(g);
+  return g;
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,56 @@
+// BRITE-style flat AS-level topology generators.
+//
+// The paper generated topologies with a modified BRITE, which supports
+// Waxman, Barabasi-Albert and GLP models alongside explicit degree
+// distributions. These generators are provided for generality (tests,
+// examples, sensitivity studies); the headline experiments use the skewed
+// degree sequences from degree_sequence.hpp.
+//
+// All generators return a *connected* graph with nodes already placed on
+// the grid.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/random.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::topo {
+
+struct WaxmanParams {
+  std::size_t n = 120;
+  double alpha = 0.15;  ///< overall link probability scale
+  double beta = 0.4;    ///< distance sensitivity (larger => longer links likelier)
+  double grid = 1000.0;
+};
+
+/// Waxman random graph: nodes placed on the grid, edge (i,j) added with
+/// probability alpha * exp(-d(i,j) / (beta * L)), then components joined by
+/// shortest bridging links so the result is connected.
+Graph waxman(const WaxmanParams& params, sim::Rng& rng);
+
+struct BaParams {
+  std::size_t n = 120;
+  std::size_t m = 2;  ///< links added per new node
+  double grid = 1000.0;
+};
+
+/// Barabasi-Albert preferential attachment (incremental growth, each new
+/// node connects to m distinct existing nodes with probability proportional
+/// to their degree).
+Graph barabasi_albert(const BaParams& params, sim::Rng& rng);
+
+struct GlpParams {
+  std::size_t n = 120;
+  std::size_t m = 2;    ///< links per growth event
+  double p = 0.45;      ///< probability of adding links between existing nodes
+  double beta = 0.64;   ///< GLP preference shift, < 1
+  double grid = 1000.0;
+};
+
+/// Generalized Linear Preference model (Bu & Towsley): with probability p,
+/// m new links are added between existing nodes; otherwise a new node joins
+/// with m links. Preference weight of node v is (degree(v) - beta).
+Graph glp(const GlpParams& params, sim::Rng& rng);
+
+}  // namespace bgpsim::topo

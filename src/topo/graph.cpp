@@ -1,0 +1,79 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace bgpsim::topo {
+
+double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool Graph::add_edge(NodeId a, NodeId b) {
+  if (a == b || a >= size() || b >= size()) return false;
+  if (!edge_keys_.insert(key(a, b)).second) return false;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  return true;
+}
+
+bool Graph::remove_edge(NodeId a, NodeId b) {
+  if (edge_keys_.erase(key(a, b)) == 0) return false;
+  std::erase(adj_[a], b);
+  std::erase(adj_[b], a);
+  return true;
+}
+
+double Graph::average_degree() const {
+  if (size() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) / static_cast<double>(size());
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+bool Graph::is_connected() const {
+  if (size() == 0) return true;
+  std::vector<bool> seen(size(), false);
+  std::deque<NodeId> frontier{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const NodeId w : adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return visited == size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count());
+  for (NodeId v = 0; v < size(); ++v) {
+    for (const NodeId w : adj_[v]) {
+      if (v < w) out.emplace_back(v, w);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Graph::place_randomly(double width, double height, sim::Rng& rng) {
+  for (NodeId v = 0; v < size(); ++v) {
+    set_position(v, Point{rng.uniform(0.0, width), rng.uniform(0.0, height)});
+  }
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,67 @@
+// Simple undirected graph with optional 2-D node positions.
+//
+// Nodes are dense indices [0, size). Self-loops and parallel edges are
+// rejected (BGP sessions are simple). Positions live on the paper's
+// 1000x1000 grid and drive geographic failure selection.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace bgpsim::topo {
+
+using NodeId = std::uint32_t;
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(Point a, Point b);
+
+class Graph {
+ public:
+  explicit Graph(std::size_t n) : adj_(n), pos_(n) {}
+
+  std::size_t size() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_keys_.size(); }
+
+  /// Adds an undirected edge; returns false (and does nothing) for
+  /// self-loops and duplicates.
+  bool add_edge(NodeId a, NodeId b);
+  bool remove_edge(NodeId a, NodeId b);
+  bool has_edge(NodeId a, NodeId b) const { return edge_keys_.contains(key(a, b)); }
+
+  std::size_t degree(NodeId v) const { return adj_.at(v).size(); }
+  const std::vector<NodeId>& neighbors(NodeId v) const { return adj_.at(v); }
+
+  double average_degree() const;
+  std::size_t max_degree() const;
+  bool is_connected() const;
+
+  /// All edges, each once, as (min, max) pairs in deterministic order.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+  void set_position(NodeId v, Point p) { pos_.at(v) = p; }
+  Point position(NodeId v) const { return pos_.at(v); }
+
+  /// Places every node uniformly at random on [0,width) x [0,height).
+  void place_randomly(double width, double height, sim::Rng& rng);
+
+ private:
+  static std::uint64_t key(NodeId a, NodeId b) {
+    const auto lo = a < b ? a : b;
+    const auto hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::unordered_set<std::uint64_t> edge_keys_;
+  std::vector<Point> pos_;
+};
+
+}  // namespace bgpsim::topo

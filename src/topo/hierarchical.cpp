@@ -1,0 +1,101 @@
+#include "topo/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+#include <stdexcept>
+
+#include "topo/degree_sequence.hpp"
+
+namespace bgpsim::topo {
+
+namespace {
+
+std::vector<std::int64_t> sample_as_sizes(const HierParams& p, sim::Rng& rng) {
+  std::vector<std::int64_t> sizes(p.num_ases);
+  for (auto& s : sizes) s = rng.bounded_pareto(p.size_alpha, p.min_as_size, p.max_as_size);
+  auto total = std::accumulate(sizes.begin(), sizes.end(), std::int64_t{0});
+  if (total > static_cast<std::int64_t>(p.max_total_routers)) {
+    const double scale = static_cast<double>(p.max_total_routers) / static_cast<double>(total);
+    for (auto& s : sizes) s = std::max<std::int64_t>(1, static_cast<std::int64_t>(std::floor(static_cast<double>(s) * scale)));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+HierTopology hierarchical(const HierParams& params, sim::Rng& rng) {
+  if (params.num_ases < 2) throw std::invalid_argument{"hierarchical: need >= 2 ASes"};
+
+  HierTopology topo;
+  auto sizes = sample_as_sizes(params, rng);
+  // Sort descending so AS 0 is the largest (highest inter-AS degree).
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+
+  // Inter-AS degree sequence: Internet-like, highest degrees to largest
+  // ASes. The target average is clamped into the range the truncated power
+  // law can reach (small degree caps compress it).
+  const int max_deg = std::min(params.max_inter_as_degree, static_cast<int>(params.num_ases) - 1);
+  const double hi_avg = power_law_mean(0.15, max_deg);
+  const double lo_avg = power_law_mean(5.5, max_deg);
+  const double target =
+      std::clamp(params.target_avg_inter_as_degree, lo_avg + 1e-6, hi_avg - 1e-6);
+  auto degrees = internet_like_sequence(params.num_ases, max_deg, target, rng);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  topo.as_graph = realize_degree_sequence(degrees, rng);
+
+  // Geography: AS centres random on the grid; AS radius ~ sqrt(size) so the
+  // covered area is proportional to the AS size (paper: perfect correlation).
+  topo.as_graph.place_randomly(params.grid, params.grid, rng);
+  const double radius_unit = params.grid / 50.0;  // radius of a single-router AS
+
+  topo.routers_of_as.resize(params.num_ases);
+  for (AsId as = 0; as < params.num_ases; ++as) {
+    const Point c = topo.as_graph.position(as);
+    const double radius = radius_unit * std::sqrt(static_cast<double>(sizes[as]));
+    for (std::int64_t k = 0; k < sizes[as]; ++k) {
+      const auto id = static_cast<NodeId>(topo.as_of_router.size());
+      topo.as_of_router.push_back(as);
+      topo.routers_of_as[as].push_back(id);
+      // Uniform point in the disk (sqrt for uniform area density), clamped
+      // to the grid.
+      const double ang = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      const double r = radius * std::sqrt(rng.uniform(0.0, 1.0));
+      Point p{c.x + r * std::cos(ang), c.y + r * std::sin(ang)};
+      p.x = std::clamp(p.x, 0.0, params.grid);
+      p.y = std::clamp(p.y, 0.0, params.grid);
+      topo.router_pos.push_back(p);
+    }
+  }
+
+  // iBGP: full mesh inside each AS.
+  for (AsId as = 0; as < params.num_ases; ++as) {
+    const auto& rs = topo.routers_of_as[as];
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      for (std::size_t j = i + 1; j < rs.size(); ++j) {
+        topo.sessions.push_back({rs[i], rs[j], /*ebgp=*/false});
+      }
+    }
+  }
+
+  // eBGP: one session per AS-level edge; border routers chosen round-robin.
+  std::vector<std::size_t> next_border(params.num_ases, 0);
+  auto pick_border = [&](AsId as) {
+    const auto& rs = topo.routers_of_as[as];
+    const NodeId r = rs[next_border[as] % rs.size()];
+    ++next_border[as];
+    return r;
+  };
+  for (const auto& [a, b] : topo.as_graph.edges()) {
+    topo.sessions.push_back({pick_border(a), pick_border(b), /*ebgp=*/true});
+  }
+
+  topo.origin_router.resize(params.num_ases);
+  for (AsId as = 0; as < params.num_ases; ++as) {
+    topo.origin_router[as] = topo.routers_of_as[as].front();
+  }
+  return topo;
+}
+
+}  // namespace bgpsim::topo

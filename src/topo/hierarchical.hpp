@@ -1,0 +1,57 @@
+// Hierarchical "realistic" topologies: multiple routers per AS.
+//
+// Mirrors the paper's section 3.1 construction for the Fig-13 experiments:
+//  - AS sizes (router counts) drawn from a heavy-tailed (bounded Pareto)
+//    distribution on [1, 100];
+//  - geographic area of an AS proportional to its size, routers placed in a
+//    disk around the AS centre;
+//  - inter-AS degree sequence follows the Internet-like distribution
+//    (capped at 40, average ~3.4), with the highest degrees assigned to the
+//    largest ASes;
+//  - BGP sessions: full iBGP mesh inside every AS, one eBGP session per
+//    AS-level adjacency (border routers chosen round-robin so large ASes
+//    spread eBGP load across routers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::topo {
+
+using AsId = std::uint32_t;
+
+struct HierParams {
+  std::size_t num_ases = 120;
+  std::int64_t min_as_size = 1;
+  std::int64_t max_as_size = 100;
+  double size_alpha = 1.5;              ///< bounded-Pareto shape for AS sizes
+  std::size_t max_total_routers = 400;  ///< sizes are rescaled if exceeded
+  int max_inter_as_degree = 40;
+  double target_avg_inter_as_degree = 3.4;
+  double grid = 1000.0;
+};
+
+struct HierTopology {
+  struct Session {
+    NodeId a = 0;
+    NodeId b = 0;
+    bool ebgp = false;
+  };
+
+  Graph as_graph{0};                            ///< AS-level adjacency (positions = AS centres)
+  std::vector<AsId> as_of_router;               ///< router -> AS
+  std::vector<std::vector<NodeId>> routers_of_as;
+  std::vector<Point> router_pos;
+  std::vector<Session> sessions;                ///< iBGP mesh + eBGP links
+  std::vector<NodeId> origin_router;            ///< per AS: router that originates its prefix
+
+  std::size_t num_routers() const { return as_of_router.size(); }
+  std::size_t num_ases() const { return routers_of_as.size(); }
+};
+
+HierTopology hierarchical(const HierParams& params, sim::Rng& rng);
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,119 @@
+#include "topo/io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bgpsim::topo {
+
+void save_graph(const Graph& g, std::ostream& os) {
+  // Full round-trip precision for the positions.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "bgpsim-graph v1 " << g.size() << "\n";
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const auto p = g.position(v);
+    os << "pos " << v << " " << p.x << " " << p.y << "\n";
+  }
+  for (const auto& [a, b] : g.edges()) {
+    os << "edge " << a << " " << b << "\n";
+  }
+}
+
+Graph load_graph(std::istream& is) {
+  std::string magic;
+  std::string version;
+  std::size_t n = 0;
+  if (!(is >> magic >> version >> n) || magic != "bgpsim-graph" || version != "v1") {
+    throw std::invalid_argument{"load_graph: bad header"};
+  }
+  Graph g{n};
+  std::string kind;
+  while (is >> kind) {
+    if (kind == "pos") {
+      NodeId v = 0;
+      Point p;
+      if (!(is >> v >> p.x >> p.y) || v >= n) {
+        throw std::invalid_argument{"load_graph: bad pos line"};
+      }
+      g.set_position(v, p);
+    } else if (kind == "edge") {
+      NodeId a = 0;
+      NodeId b = 0;
+      if (!(is >> a >> b) || a >= n || b >= n) {
+        throw std::invalid_argument{"load_graph: bad edge line"};
+      }
+      if (!g.add_edge(a, b)) {
+        throw std::invalid_argument{"load_graph: self-loop or duplicate edge"};
+      }
+    } else {
+      throw std::invalid_argument{"load_graph: unknown record '" + kind + "'"};
+    }
+  }
+  return g;
+}
+
+AsRelGraph load_as_rel(std::istream& is) {
+  struct Link {
+    std::uint64_t a;
+    std::uint64_t b;
+    int rel;
+  };
+  std::vector<Link> links;
+  // Ordered map so dense ids are assigned deterministically (by AS number).
+  std::map<std::uint64_t, NodeId> id_of;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    // Trim whitespace-only lines.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream ls{line};
+    std::string field;
+    Link link{};
+    bool ok = true;
+    try {
+      if (!std::getline(ls, field, '|')) ok = false;
+      if (ok) link.a = std::stoull(field);
+      if (ok && !std::getline(ls, field, '|')) ok = false;
+      if (ok) link.b = std::stoull(field);
+      if (ok && !std::getline(ls, field, '|')) ok = false;
+      if (ok) link.rel = std::stoi(field);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    if (!ok || (link.rel != 0 && link.rel != -1) || link.a == link.b) {
+      throw std::invalid_argument{"load_as_rel: malformed line " + std::to_string(lineno)};
+    }
+    links.push_back(link);
+    id_of.try_emplace(link.a, 0);
+    id_of.try_emplace(link.b, 0);
+  }
+
+  AsRelGraph out;
+  out.as_number.reserve(id_of.size());
+  NodeId next = 0;
+  for (auto& [asn, id] : id_of) {
+    id = next++;
+    out.as_number.push_back(asn);
+  }
+  out.graph = Graph{id_of.size()};
+  for (const auto& link : links) {
+    const NodeId a = id_of[link.a];
+    const NodeId b = id_of[link.b];
+    if (!out.graph.add_edge(a, b)) continue;  // duplicate link: keep the first
+    if (link.rel == -1) {
+      // CAIDA convention: <provider>|<customer>|-1.
+      out.provider[AsRelGraph::edge_key(a, b)] = a;
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,66 @@
+// Topology serialisation.
+//
+// Two formats:
+//  - the native text format (positions + edges), for saving generated
+//    topologies and replaying experiments on the exact same graph;
+//  - the CAIDA "as-rel" format (`<as>|<as>|<-1|0>`, '#' comments), the
+//    de-facto interchange format for measured Internet AS topologies
+//    (paper ref [18] published its data this way). AS numbers are remapped
+//    to dense node ids; business relationships (provider-customer /
+//    peer-peer) are preserved for policy-routing runs.
+#pragma once
+
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace bgpsim::topo {
+
+/// Native format:
+///   bgpsim-graph v1 <n>
+///   pos <id> <x> <y>      (n lines)
+///   edge <a> <b>          (m lines)
+void save_graph(const Graph& g, std::ostream& os);
+
+/// Parses the native format; throws std::invalid_argument on malformed
+/// input (bad header, out-of-range ids, duplicate edges).
+Graph load_graph(std::istream& is);
+
+/// Business relationship of an edge, from the lower-node-id endpoint's
+/// perspective is NOT meaningful -- use provider_of below.
+enum class Relationship { kPeerPeer, kProviderCustomer };
+
+struct AsRelGraph {
+  Graph graph{0};
+  /// Original AS number of each dense node id.
+  std::vector<std::uint64_t> as_number;
+  /// For provider-customer edges: provider node id, keyed by edge (see
+  /// edge_key). Peer-peer edges are absent from this map.
+  std::unordered_map<std::uint64_t, NodeId> provider;
+
+  static std::uint64_t edge_key(NodeId a, NodeId b) {
+    const auto lo = a < b ? a : b;
+    const auto hi = a < b ? b : a;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  Relationship relationship(NodeId a, NodeId b) const {
+    return provider.contains(edge_key(a, b)) ? Relationship::kProviderCustomer
+                                             : Relationship::kPeerPeer;
+  }
+  /// True if `p` is the provider on the (p, c) edge.
+  bool is_provider(NodeId p, NodeId c) const {
+    const auto it = provider.find(edge_key(p, c));
+    return it != provider.end() && it->second == p;
+  }
+};
+
+/// Parses CAIDA as-rel: lines `<provider>|<customer>|-1` or
+/// `<peer>|<peer>|0`; '#' starts a comment. Duplicate links keep the first
+/// relationship. Nodes are positioned on a grid afterwards by the caller if
+/// needed (positions default to the origin).
+AsRelGraph load_as_rel(std::istream& is);
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,128 @@
+#include "topo/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace bgpsim::topo {
+
+std::vector<std::size_t> degree_histogram(const Graph& g) {
+  std::vector<std::size_t> hist(g.max_degree() + 1, 0);
+  for (NodeId v = 0; v < g.size(); ++v) ++hist[g.degree(v)];
+  return hist;
+}
+
+double clustering_coefficient(const Graph& g) {
+  if (g.size() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    const std::size_t k = nbrs.size();
+    if (k < 2) continue;
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i + 1; j < k; ++j) {
+        if (g.has_edge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) / (static_cast<double>(k) * static_cast<double>(k - 1));
+  }
+  return total / static_cast<double>(g.size());
+}
+
+namespace {
+
+/// BFS distances from `start`; unreachable nodes get SIZE_MAX.
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId start) {
+  std::vector<std::size_t> dist(g.size(), std::numeric_limits<std::size_t>::max());
+  std::deque<NodeId> q{start};
+  dist[start] = 0;
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop_front();
+    for (const NodeId w : g.neighbors(v)) {
+      if (dist[w] == std::numeric_limits<std::size_t>::max()) {
+        dist[w] = dist[v] + 1;
+        q.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::size_t num_components(const Graph& g) {
+  std::vector<bool> seen(g.size(), false);
+  std::size_t components = 0;
+  for (NodeId start = 0; start < g.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::deque<NodeId> q{start};
+    seen[start] = true;
+    while (!q.empty()) {
+      const NodeId v = q.front();
+      q.pop_front();
+      for (const NodeId w : g.neighbors(v)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          q.push_back(w);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::size_t diameter(const Graph& g) {
+  if (g.size() < 2) return 0;
+  std::size_t best = 0;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const auto d : dist) {
+      if (d == std::numeric_limits<std::size_t>::max()) return d;  // disconnected
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+double average_path_length(const Graph& g) {
+  if (g.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (NodeId w = 0; w < g.size(); ++w) {
+      if (w == v || dist[w] == std::numeric_limits<std::size_t>::max()) continue;
+      total += static_cast<double>(dist[w]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+double degree_assortativity(const Graph& g) {
+  const auto edges = g.edges();
+  if (edges.size() < 2) return 0.0;
+  // Pearson correlation over the (deg(a), deg(b)) pairs, symmetrised.
+  double sx = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto m = static_cast<double>(2 * edges.size());
+  for (const auto& [a, b] : edges) {
+    const auto da = static_cast<double>(g.degree(a));
+    const auto db = static_cast<double>(g.degree(b));
+    sx += da + db;
+    sxx += da * da + db * db;
+    sxy += 2.0 * da * db;
+  }
+  const double mean = sx / m;
+  const double var = sxx / m - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sxy / m - mean * mean;
+  return cov / var;
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,37 @@
+// Structural graph metrics.
+//
+// Used to characterise generated topologies (tests assert the generators
+// hit the paper's structural targets; the topology_explorer example prints
+// them). All functions are O(n*m) or better -- fine for the paper-scale
+// graphs this library targets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace bgpsim::topo {
+
+/// histogram[d] = number of nodes with degree d (up to max_degree()).
+std::vector<std::size_t> degree_histogram(const Graph& g);
+
+/// Average local clustering coefficient (nodes with degree < 2 contribute
+/// 0, as is conventional).
+double clustering_coefficient(const Graph& g);
+
+/// Number of connected components.
+std::size_t num_components(const Graph& g);
+
+/// Longest shortest path, in hops. Returns 0 for graphs with < 2 nodes and
+/// SIZE_MAX if the graph is disconnected.
+std::size_t diameter(const Graph& g);
+
+/// Mean shortest-path length over all connected ordered pairs.
+double average_path_length(const Graph& g);
+
+/// Pearson correlation of degrees across edge endpoints (Newman's degree
+/// assortativity); 0 when undefined (fewer than 2 edges or zero variance).
+double degree_assortativity(const Graph& g);
+
+}  // namespace bgpsim::topo

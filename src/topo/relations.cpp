@@ -1,0 +1,50 @@
+#include "topo/relations.hpp"
+
+#include <cstdlib>
+
+namespace bgpsim::topo {
+
+AsRelGraph infer_relations(const Graph& g, std::size_t peer_tolerance,
+                           std::size_t peer_min_degree) {
+  AsRelGraph out;
+  out.graph = Graph{g.size()};
+  out.as_number.resize(g.size());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    out.as_number[v] = v;
+    out.graph.set_position(v, g.position(v));
+  }
+  for (const auto& [a, b] : g.edges()) {
+    out.graph.add_edge(a, b);
+    const auto da = g.degree(a);
+    const auto db = g.degree(b);
+    const auto diff = da > db ? da - db : db - da;
+    if (diff <= peer_tolerance && da >= peer_min_degree && db >= peer_min_degree) {
+      continue;  // peering between comparable, well-connected ASes
+    }
+    // Strict total order on (degree desc, id asc) orients the edge.
+    const bool a_is_provider = da > db || (da == db && a < b);
+    out.provider[AsRelGraph::edge_key(a, b)] = a_is_provider ? a : b;
+  }
+
+  // Tier-1 completion: mesh the provider-less ASes with peerings.
+  std::vector<NodeId> tops;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    bool has_provider = false;
+    for (const NodeId w : out.graph.neighbors(v)) {
+      const auto it = out.provider.find(AsRelGraph::edge_key(v, w));
+      if (it != out.provider.end() && it->second == w) {
+        has_provider = true;
+        break;
+      }
+    }
+    if (!has_provider) tops.push_back(v);
+  }
+  for (std::size_t i = 0; i < tops.size(); ++i) {
+    for (std::size_t j = i + 1; j < tops.size(); ++j) {
+      out.graph.add_edge(tops[i], tops[j]);  // no provider entry => peering
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim::topo

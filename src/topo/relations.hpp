@@ -1,0 +1,32 @@
+// Business-relationship inference for generated topologies.
+//
+// Measured AS graphs come annotated (see load_as_rel); generated ones need
+// relations synthesised. The heuristic mirrors what relationship-inference
+// algorithms recover from the real Internet: on each link the
+// better-connected endpoint acts as the provider, and links between
+// similarly-connected ASes are settlement-free peerings. Orientation
+// follows a strict total order on (degree, id), so the provider-customer
+// digraph is acyclic -- the precondition for Gao-Rexford convergence.
+#pragma once
+
+#include "topo/graph.hpp"
+#include "topo/io.hpp"
+
+namespace bgpsim::topo {
+
+/// Annotates `g` with inferred relations. An edge becomes a settlement-free
+/// peering only between comparable, well-connected ASes: endpoint degrees
+/// within `peer_tolerance` of each other AND both at least
+/// `peer_min_degree` (stub ASes buy transit; they do not provide it to each
+/// other). Every other edge is provider-customer with the higher-degree
+/// endpoint (ties: lower id) as the provider.
+///
+/// Finally, the provider-less ASes (the "tier 1" of the inferred
+/// hierarchy) are joined into a full peering mesh, mirroring the real
+/// Internet's transit-free clique -- without it, subtrees under different
+/// tops would be mutually unreachable over valley-free paths. These added
+/// links are the only edges not present in `g`.
+AsRelGraph infer_relations(const Graph& g, std::size_t peer_tolerance = 0,
+                           std::size_t peer_min_degree = 4);
+
+}  // namespace bgpsim::topo

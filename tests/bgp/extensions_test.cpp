@@ -1,0 +1,94 @@
+// Tests for the future-work extensions on the BGP core: the redundant-
+// update pre-filter (improved batching) and the Deshpande/Sikdar-style
+// change-count gating of the per-destination MRAI.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "harness/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+
+TEST(FreeRedundantUpdates, OutcomeMatchesPlainBatching) {
+  // The pre-filter only changes *costs*, never results: final RIBs must be
+  // identical in content to a plain batched run.
+  for (const bool free_redundant : {false, true}) {
+    harness::ExperimentConfig cfg;
+    cfg.topology.n = 40;
+    cfg.failure_fraction = 0.10;
+    cfg.scheme = harness::SchemeSpec::constant(0.5, /*batch=*/true);
+    cfg.bgp.free_redundant_updates = free_redundant;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.routes_valid) << r.audit_error;
+  }
+}
+
+TEST(FreeRedundantUpdates, NeverSlowerUnderOverload) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 60;
+  cfg.failure_fraction = 0.10;
+  cfg.scheme = harness::SchemeSpec::constant(0.5, /*batch=*/true);
+  const auto plain = harness::run_averaged(cfg, 3);
+  cfg.bgp.free_redundant_updates = true;
+  const auto filtered = harness::run_averaged(cfg, 3);
+  EXPECT_LE(filtered.delay.mean, plain.delay.mean * 1.10);
+}
+
+TEST(DestMraiGating, StableRoutesSkipTheTimer) {
+  // Hub-and-spoke with a huge per-destination MRAI and gating at 3 changes:
+  // during cold start every prefix changes only once or twice at the hub,
+  // so everything propagates immediately despite the 50 s MRAI.
+  auto cfg = deterministic_config();
+  cfg.per_destination_mrai = true;
+  cfg.dest_mrai_min_changes = 3;
+  const auto g = testing::star(4);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(50.0)), 1};
+  net.start();
+  net.run_to_quiescence();
+  EXPECT_LT(net.metrics().last_rib_change, sim::SimTime::seconds(1.0));
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    for (Prefix p = 0; p <= 4; ++p) EXPECT_TRUE(net.router(leaf).best(p).has_value());
+  }
+}
+
+TEST(DestMraiGating, ConvergesAfterFailure) {
+  auto cfg = deterministic_config();
+  cfg.per_destination_mrai = true;
+  cfg.dest_mrai_min_changes = 2;
+  const auto g = testing::clique(5);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(1.0)), 1};
+  net.start();
+  net.run_to_quiescence();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net.fail_nodes({0}); });
+  net.run_to_quiescence();
+  for (NodeId v = 1; v <= 4; ++v) {
+    EXPECT_FALSE(net.router(v).best(0).has_value());
+    for (Prefix p = 1; p <= 4; ++p) EXPECT_TRUE(net.router(v).best(p).has_value());
+  }
+}
+
+TEST(DestMraiGating, GatingIncreasesMessageCountUnderChurn) {
+  // Deshpande/Sikdar's reported trade-off: delay drops but message count
+  // rises, because flapping destinations get extra immediate updates.
+  harness::ExperimentConfig base;
+  base.topology.n = 60;
+  base.failure_fraction = 0.10;
+  base.scheme = harness::SchemeSpec::constant(1.0);
+  base.bgp.per_destination_mrai = true;
+
+  auto gated = base;
+  gated.bgp.dest_mrai_min_changes = 4;
+
+  const auto plain = harness::run_averaged(base, 3);
+  const auto fast = harness::run_averaged(gated, 3);
+  EXPECT_GE(fast.messages.mean, plain.messages.mean * 0.9);
+  EXPECT_EQ(fast.valid_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

@@ -1,0 +1,217 @@
+// Failure semantics: session teardown, withdrawal propagation, path
+// exploration, and the RFC 1771 withdrawal/MRAI interaction.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::clique;
+using testing::deterministic_config;
+using testing::line;
+
+std::unique_ptr<Network> make_net(const topo::Graph& g, double mrai_s,
+                                  BgpConfig cfg = deterministic_config()) {
+  return std::make_unique<Network>(
+      g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(mrai_s)), /*seed=*/1);
+}
+
+TEST(FailureBehavior, DeadRouterStopsAndSessionsDrop) {
+  const auto g = line(3);
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(0).alive());
+  EXPECT_FALSE(net->router(1).peer_session_up(0));
+  EXPECT_TRUE(net->router(1).peer_session_up(2));
+  EXPECT_EQ(net->alive_nodes(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(FailureBehavior, WithdrawalPropagatesDownALine) {
+  const auto g = line(4);
+  auto net = make_net(g, /*mrai=*/100.0);
+  net->start();
+  net->run_to_quiescence();
+  const auto t_fail = net->scheduler().now() + sim::SimTime::seconds(1.0);
+  net->scheduler().schedule_at(t_fail, [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  // No survivor keeps a route to the dead prefix; withdrawals are exempt
+  // from the (huge) MRAI, so this resolves in milliseconds, not 100 s.
+  for (NodeId v = 1; v <= 3; ++v) EXPECT_FALSE(net->router(v).best(0).has_value());
+  EXPECT_GT(net->metrics().withdrawals_sent, 0u);
+  EXPECT_LT((net->metrics().last_rib_change - t_fail).to_seconds(), 1.0);
+}
+
+TEST(FailureBehavior, SurvivorsKeepRoutesAmongThemselves) {
+  const auto g = line(4);
+  auto net = make_net(g, 1.0);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  for (NodeId v = 1; v <= 3; ++v) {
+    for (Prefix p = 1; p <= 3; ++p) {
+      EXPECT_TRUE(net->router(v).best(p).has_value()) << "router " << v << " prefix " << p;
+    }
+  }
+}
+
+TEST(FailureBehavior, PartitionDropsRoutesAcrossTheCut) {
+  const auto g = line(5);  // failing node 2 partitions {0,1} from {3,4}
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({2}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(0).best(3).has_value());
+  EXPECT_FALSE(net->router(0).best(4).has_value());
+  EXPECT_FALSE(net->router(4).best(1).has_value());
+  EXPECT_TRUE(net->router(0).best(1).has_value());
+  EXPECT_TRUE(net->router(3).best(4).has_value());
+}
+
+TEST(FailureBehavior, ReroutingFindsTheBackupPath) {
+  // Triangle: after 0-1's common neighbor dies, the long way around is used.
+  topo::Graph g{4};  // 0-1, 1-2, 2-3, 3-0: ring of 4
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->run_to_quiescence();
+  // Before: node 2 reaches prefix 0 in two hops via node 1.
+  ASSERT_EQ(net->router(2).best(0)->path.length(), 2u);
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({1}); });
+  net->run_to_quiescence();
+  const auto r = net->router(2).best(0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->path, AsPath({3, 0}));
+  EXPECT_EQ(r->learned_from, 3u);
+}
+
+TEST(FailureBehavior, CliqueWithdrawalExploresAndConverges) {
+  // The Labovitz scenario: withdrawal in a clique triggers path exploration
+  // over ever-longer backup paths, paced by the MRAI.
+  const auto g = clique(6);
+  const double mrai = 2.0;
+  auto net = make_net(g, mrai);
+  net->start();
+  net->run_to_quiescence();
+  const auto t_fail = net->scheduler().now() + sim::SimTime::seconds(1.0);
+  net->scheduler().schedule_at(t_fail, [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  for (NodeId v = 1; v <= 5; ++v) {
+    EXPECT_FALSE(net->router(v).best(0).has_value()) << "router " << v;
+    for (Prefix p = 1; p <= 5; ++p) {
+      EXPECT_TRUE(net->router(v).best(p).has_value());
+    }
+  }
+  const double delay = (net->metrics().last_rib_change - t_fail).to_seconds();
+  EXPECT_GT(delay, 0.0);
+  EXPECT_LT(delay, 6 * mrai);  // exploration is MRAI-paced and bounded
+}
+
+TEST(FailureBehavior, PerPrefixTeardownMatchesPerPeerOutcome) {
+  for (const auto teardown : {TeardownCost::kPerPeer, TeardownCost::kPerPrefix}) {
+    auto cfg = deterministic_config();
+    cfg.teardown = teardown;
+    const auto g = clique(5);
+    auto net = make_net(g, 0.5, cfg);
+    net->start();
+    net->run_to_quiescence();
+    net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+    net->run_to_quiescence();
+    for (NodeId v = 1; v <= 4; ++v) {
+      EXPECT_FALSE(net->router(v).best(0).has_value());
+      for (Prefix p = 1; p <= 4; ++p) EXPECT_TRUE(net->router(v).best(p).has_value());
+    }
+  }
+}
+
+TEST(FailureBehavior, WithdrawalsBypassTheMraiByDefault) {
+  // Node 1 is connected to 0, 3 (both will die) and 2. The two withdrawals
+  // to node 2 are generated 1 ms apart; with the RFC exemption both arrive
+  // immediately.
+  topo::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  auto net = make_net(g, /*mrai=*/100.0);
+  net->start();
+  net->run_to_quiescence();
+  const auto t_fail = net->scheduler().now() + sim::SimTime::seconds(1.0);
+  net->scheduler().schedule_at(t_fail, [&] { net->fail_nodes({0, 3}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(2).best(0).has_value());
+  EXPECT_FALSE(net->router(2).best(3).has_value());
+  EXPECT_LT((net->metrics().last_rib_change - t_fail).to_seconds(), 1.0);
+}
+
+TEST(FailureBehavior, MraiCanBeAppliedToWithdrawals) {
+  // Same scenario with mrai_applies_to_withdrawals=true: the first
+  // withdrawal to node 2 starts the 100 s timer, the second waits for it.
+  auto cfg = deterministic_config();
+  cfg.mrai_applies_to_withdrawals = true;
+  topo::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  auto net = make_net(g, 100.0, cfg);
+  net->start();
+  net->run_to_quiescence();
+  const auto t_fail = net->scheduler().now() + sim::SimTime::seconds(1.0);
+  net->scheduler().schedule_at(t_fail, [&] { net->fail_nodes({0, 3}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(2).best(0).has_value());
+  EXPECT_FALSE(net->router(2).best(3).has_value());
+  // The second withdrawal was MRAI-delayed.
+  EXPECT_GT((net->metrics().last_rib_change - t_fail).to_seconds(), 75.0);
+}
+
+TEST(FailureBehavior, InFlightAdvertisementsFromTheDeadAreDropped) {
+  // Fail a node immediately after origination: its in-flight announcements
+  // arrive at peers whose session is already down and must be ignored.
+  const auto g = line(2);
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->scheduler().schedule_at(sim::SimTime::from_ms(10), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(1).best(0).has_value());
+}
+
+TEST(FailureBehavior, FailingAllNeighborsIsolatesARouter) {
+  const auto g = testing::star(3);  // hub 0, leaves 1..3
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  // Leaves only keep their own prefixes.
+  for (NodeId leaf = 1; leaf <= 3; ++leaf) {
+    EXPECT_EQ(net->router(leaf).known_prefixes(), std::vector<Prefix>{leaf});
+  }
+}
+
+TEST(FailureBehavior, DoubleFailureIsIdempotent) {
+  const auto g = line(3);
+  auto net = make_net(g, 0.5);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] {
+    net->fail_nodes({0});
+    net->fail_nodes({0});  // second call must be harmless
+  });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(1).best(0).has_value());
+  EXPECT_TRUE(net->router(1).best(2).has_value());
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

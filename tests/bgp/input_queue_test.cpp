@@ -1,0 +1,169 @@
+#include "bgp/input_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::bgp {
+namespace {
+
+WorkItem update(NodeId from, Prefix prefix, std::vector<AsId> hops = {}) {
+  WorkItem w;
+  w.from = from;
+  w.prefix = prefix;
+  w.path = AsPath{std::move(hops)};
+  return w;
+}
+
+WorkItem withdrawal(NodeId from, Prefix prefix) {
+  auto w = update(from, prefix);
+  w.withdraw = true;
+  return w;
+}
+
+WorkItem teardown(NodeId from) {
+  WorkItem w;
+  w.kind = WorkItem::Kind::kPeerDown;
+  w.from = from;
+  w.prefix = kTeardownKey;
+  return w;
+}
+
+TEST(FifoQueue, PopsOneItemInArrivalOrder) {
+  InputQueue q{QueueDiscipline::kFifo};
+  q.push(update(1, 10));
+  q.push(update(2, 20));
+  std::uint64_t dropped = 0;
+  auto b1 = q.pop_batch(dropped);
+  ASSERT_EQ(b1.size(), 1u);
+  EXPECT_EQ(b1[0].from, 1u);
+  auto b2 = q.pop_batch(dropped);
+  ASSERT_EQ(b2.size(), 1u);
+  EXPECT_EQ(b2[0].from, 2u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(FifoQueue, NeverCollapses) {
+  InputQueue q{QueueDiscipline::kFifo};
+  q.push(update(1, 10, {5}));
+  q.push(update(1, 10, {6}));
+  std::uint64_t dropped = 0;
+  EXPECT_EQ(q.pop_batch(dropped).size(), 1u);
+  EXPECT_EQ(q.pop_batch(dropped).size(), 1u);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(BatchedQueue, GroupsByDestination) {
+  // Paper section 4.4 example: updates X, Y, X, Y in the queue. Batched
+  // processing must hand out both X updates together, then both Y updates.
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, /*X=*/10, {1}));
+  q.push(update(2, /*Y=*/20, {2}));
+  q.push(update(3, 10, {3}));
+  q.push(update(4, 20, {4}));
+  std::uint64_t dropped = 0;
+  auto bx = q.pop_batch(dropped);
+  ASSERT_EQ(bx.size(), 2u);
+  EXPECT_EQ(bx[0].prefix, 10u);
+  EXPECT_EQ(bx[1].prefix, 10u);
+  auto by = q.pop_batch(dropped);
+  ASSERT_EQ(by.size(), 2u);
+  EXPECT_EQ(by[0].prefix, 20u);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BatchedQueue, DropsStaleUpdatesFromSameNeighbor) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, 10, {1}));
+  q.push(update(1, 10, {2}));
+  q.push(update(1, 10, {3}));
+  q.push(update(2, 10, {9}));
+  std::uint64_t dropped = 0;
+  auto b = q.pop_batch(dropped);
+  ASSERT_EQ(b.size(), 2u);  // newest from neighbor 1, plus neighbor 2's
+  EXPECT_EQ(b[0].from, 1u);
+  EXPECT_EQ(b[0].path, AsPath({3}));
+  EXPECT_EQ(b[1].from, 2u);
+  EXPECT_EQ(dropped, 2u);
+}
+
+TEST(BatchedQueue, WithdrawalSupersedesEarlierAdvert) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, 10, {1}));
+  q.push(withdrawal(1, 10));
+  std::uint64_t dropped = 0;
+  auto b = q.pop_batch(dropped);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b[0].withdraw);
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(BatchedQueue, HeadDestinationOrderIsArrivalOrder) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, 30));
+  q.push(update(1, 10));
+  q.push(update(1, 20));
+  std::uint64_t dropped = 0;
+  EXPECT_EQ(q.pop_batch(dropped)[0].prefix, 30u);
+  EXPECT_EQ(q.pop_batch(dropped)[0].prefix, 10u);
+  EXPECT_EQ(q.pop_batch(dropped)[0].prefix, 20u);
+}
+
+TEST(BatchedQueue, DestinationReentersOrderAfterDrain) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, 10));
+  std::uint64_t dropped = 0;
+  q.pop_batch(dropped);
+  EXPECT_TRUE(q.empty());
+  q.push(update(2, 10));
+  auto b = q.pop_batch(dropped);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0].from, 2u);
+}
+
+TEST(BatchedQueue, TeardownsShareThePseudoDestination) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(teardown(1));
+  q.push(teardown(2));
+  std::uint64_t dropped = 0;
+  auto b = q.pop_batch(dropped);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].kind, WorkItem::Kind::kPeerDown);
+  EXPECT_EQ(b[1].from, 2u);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(BatchedQueue, SizeTracksAllQueuedItems) {
+  InputQueue q{QueueDiscipline::kBatched};
+  q.push(update(1, 10));
+  q.push(update(1, 10));
+  q.push(update(2, 20));
+  EXPECT_EQ(q.size(), 3u);
+  std::uint64_t dropped = 0;
+  q.pop_batch(dropped);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(InputQueue, ClearEmptiesEverything) {
+  for (const auto mode : {QueueDiscipline::kFifo, QueueDiscipline::kBatched,
+                          QueueDiscipline::kTcpBatch}) {
+    InputQueue q{mode};
+    q.push(update(1, 10));
+    q.push(update(2, 20));
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+  }
+}
+
+TEST(InputQueue, PopFromEmptyReturnsNothing) {
+  for (const auto mode : {QueueDiscipline::kFifo, QueueDiscipline::kBatched,
+                          QueueDiscipline::kTcpBatch}) {
+    InputQueue q{mode};
+    std::uint64_t dropped = 0;
+    EXPECT_TRUE(q.pop_batch(dropped).empty());
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

@@ -1,0 +1,60 @@
+#include "bgp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::bgp {
+namespace {
+
+TEST(DecayingRate, StartsAtZero) {
+  DecayingRate r{2.0};
+  EXPECT_DOUBLE_EQ(r.rate(sim::SimTime::zero()), 0.0);
+}
+
+TEST(DecayingRate, RateIsAmountOverTau) {
+  DecayingRate r{2.0};
+  r.add(sim::SimTime::zero(), 4.0);
+  EXPECT_DOUBLE_EQ(r.rate(sim::SimTime::zero()), 2.0);
+}
+
+TEST(DecayingRate, DecaysExponentially) {
+  DecayingRate r{2.0};
+  r.add(sim::SimTime::zero(), 4.0);
+  const double after_tau = r.rate(sim::SimTime::seconds(2.0));
+  EXPECT_NEAR(after_tau, 2.0 * std::exp(-1.0), 1e-9);
+  const double after_two_tau = r.rate(sim::SimTime::seconds(4.0));
+  EXPECT_NEAR(after_two_tau, 2.0 * std::exp(-2.0), 1e-9);
+}
+
+TEST(DecayingRate, AccumulatesAdds) {
+  DecayingRate r{1.0};
+  r.add(sim::SimTime::zero(), 1.0);
+  r.add(sim::SimTime::zero(), 1.0);
+  EXPECT_DOUBLE_EQ(r.rate(sim::SimTime::zero()), 2.0);
+}
+
+TEST(DecayingRate, SteadyStreamApproachesSteadyRate) {
+  // Adding 1 unit every 0.1 s => 10 units/s; the decayed estimate should
+  // settle near that.
+  DecayingRate r{2.0};
+  for (int i = 0; i <= 200; ++i) {
+    r.add(sim::SimTime::seconds(0.1 * i), 1.0);
+  }
+  EXPECT_NEAR(r.rate(sim::SimTime::seconds(20.0)), 10.0, 1.0);
+}
+
+TEST(DecayingRate, TimeNeverRunsBackwards) {
+  DecayingRate r{1.0};
+  r.add(sim::SimTime::seconds(5.0), 1.0);
+  // Querying an earlier time does not decay (dt <= 0 is ignored).
+  EXPECT_DOUBLE_EQ(r.rate(sim::SimTime::seconds(1.0)), 1.0);
+}
+
+TEST(NetMetrics, DefaultsAreZero) {
+  NetMetrics m;
+  EXPECT_EQ(m.updates_sent, 0u);
+  EXPECT_EQ(m.rib_changes, 0u);
+  EXPECT_EQ(m.last_rib_change, sim::SimTime::zero());
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

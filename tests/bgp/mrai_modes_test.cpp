@@ -1,0 +1,100 @@
+// MRAI policy plumbing: per-node overrides (degree-dependent scheme) and
+// the per-destination timer mode kept for ablation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "schemes/degree_mrai.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+using testing::star;
+
+TEST(FixedMrai, PerNodeOverrides) {
+  const auto g = star(2);
+  std::vector<sim::SimTime> per_node{sim::SimTime::seconds(5.0), sim::SimTime::seconds(1.0),
+                                     sim::SimTime::seconds(1.0)};
+  auto ctl = std::make_shared<FixedMrai>(sim::SimTime::seconds(9.0), per_node);
+  Network net{g, deterministic_config(), ctl, 1};
+  EXPECT_EQ(ctl->interval(net.router(0), 1), sim::SimTime::seconds(5.0));
+  EXPECT_EQ(ctl->interval(net.router(1), 0), sim::SimTime::seconds(1.0));
+}
+
+TEST(FixedMrai, FallsBackToDefaultBeyondVector) {
+  const auto g = star(2);
+  auto ctl = std::make_shared<FixedMrai>(sim::SimTime::seconds(9.0),
+                                         std::vector<sim::SimTime>{sim::SimTime::seconds(5.0)});
+  Network net{g, deterministic_config(), ctl, 1};
+  EXPECT_EQ(ctl->interval(net.router(2), 0), sim::SimTime::seconds(9.0));
+}
+
+TEST(DegreeDependentMrai, AssignsByThreshold) {
+  // Star: hub has degree 4, leaves degree 1.
+  const auto g = star(4);
+  auto ctl = schemes::degree_dependent_mrai(g, /*threshold=*/4, sim::SimTime::seconds(0.5),
+                                            sim::SimTime::seconds(2.25));
+  Network net{g, deterministic_config(), ctl, 1};
+  EXPECT_EQ(ctl->interval(net.router(0), 1), sim::SimTime::seconds(2.25));
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    EXPECT_EQ(ctl->interval(net.router(leaf), 0), sim::SimTime::seconds(0.5));
+  }
+}
+
+TEST(PerDestinationMrai, IndependentTimersPerPrefix) {
+  // In per-destination mode the hub's first advertisement of *each* prefix
+  // goes out immediately (separate timers), unlike the per-peer mode where
+  // later prefixes wait for the shared timer (NetworkBasic test).
+  auto cfg = deterministic_config();
+  cfg.per_destination_mrai = true;
+  const auto g = star(4);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(10.0)), 1};
+  net.start();
+  net.run_to_quiescence();
+  // Everything converges in tens of milliseconds despite MRAI=10 s.
+  EXPECT_LT(net.metrics().last_rib_change, sim::SimTime::from_ms(200));
+  for (NodeId leaf = 1; leaf <= 4; ++leaf) {
+    for (Prefix p = 0; p <= 4; ++p) {
+      EXPECT_TRUE(net.router(leaf).best(p).has_value());
+    }
+  }
+}
+
+TEST(PerDestinationMrai, RepeatedChangesForOnePrefixAreHeld) {
+  // Ring of 4, fail one node: the re-routing churn for a single prefix is
+  // paced by that prefix's own timer. The network still converges.
+  auto cfg = deterministic_config();
+  cfg.per_destination_mrai = true;
+  topo::Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(1.0)), 1};
+  net.start();
+  net.run_to_quiescence();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net.fail_nodes({1}); });
+  net.run_to_quiescence();
+  EXPECT_EQ(net.router(2).best(0)->path, AsPath({3, 0}));
+}
+
+TEST(PerDestinationMrai, ConvergesOnCliqueFailure) {
+  auto cfg = deterministic_config();
+  cfg.per_destination_mrai = true;
+  const auto g = testing::clique(5);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(0.5)), 1};
+  net.start();
+  net.run_to_quiescence();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net.fail_nodes({0}); });
+  net.run_to_quiescence();
+  for (NodeId v = 1; v <= 4; ++v) {
+    EXPECT_FALSE(net.router(v).best(0).has_value());
+    for (Prefix p = 1; p <= 4; ++p) EXPECT_TRUE(net.router(v).best(p).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

@@ -1,0 +1,104 @@
+// Multiple prefixes per origin: table-size scaling (the paper's closing
+// discussion about the real Internet's ~200k destinations).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "harness/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+using testing::line;
+
+TEST(MultiPrefix, EveryPrefixOfTheRangePropagates) {
+  auto cfg = deterministic_config();
+  cfg.prefixes_per_origin = 3;
+  const auto g = line(3);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(0.2)), 1};
+  net.start();
+  net.run_to_quiescence();
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(net.router(v).known_prefixes().size(), 9u);
+    for (NodeId origin = 0; origin < 3; ++origin) {
+      for (Prefix k = 0; k < 3; ++k) {
+        const auto best = net.router(v).best(origin * 3 + k);
+        ASSERT_TRUE(best.has_value()) << "router " << v << " prefix " << origin * 3 + k;
+        if (origin != v) {
+          // All prefixes of one origin share the same AS path.
+          EXPECT_EQ(best->path, net.router(v).best(origin * 3)->path);
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiPrefix, OriginRangeIsReported) {
+  auto cfg = deterministic_config();
+  cfg.prefixes_per_origin = 4;
+  const auto g = line(2);
+  Network net{g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(0.2)), 1};
+  EXPECT_EQ(net.router(1).origin_range(), (std::pair<Prefix, std::uint32_t>{4, 4}));
+}
+
+TEST(MultiPrefix, MessageLoadScalesWithTableSize) {
+  harness::ExperimentConfig small;
+  small.topology.n = 40;
+  small.failure_fraction = 0.10;
+  small.scheme = harness::SchemeSpec::constant(0.5);
+  auto big = small;
+  big.bgp.prefixes_per_origin = 4;
+  const auto r1 = harness::run_experiment(small);
+  const auto r4 = harness::run_experiment(big);
+  EXPECT_GT(r4.messages_after_failure, 2 * r1.messages_after_failure);
+  EXPECT_TRUE(r4.routes_valid) << r4.audit_error;
+}
+
+TEST(MultiPrefix, AuditCoversAllPrefixesAfterFailure) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 36;
+  cfg.failure_fraction = 0.15;
+  cfg.scheme = harness::SchemeSpec::constant(1.25);
+  cfg.bgp.prefixes_per_origin = 3;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+}
+
+TEST(MultiPrefix, BatchingBenefitGrowsWithTableSize) {
+  // More destinations => more same-destination collisions in overloaded
+  // queues => batching saves relatively more (the paper's argument for why
+  // the scheme matters at Internet scale).
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 40;
+  cfg.failure_fraction = 0.10;
+  cfg.scheme = harness::SchemeSpec::constant(0.5);
+  cfg.bgp.prefixes_per_origin = 4;
+  const auto fifo = harness::run_experiment(cfg);
+  cfg.scheme = harness::SchemeSpec::constant(0.5, /*batch=*/true);
+  const auto batched = harness::run_experiment(cfg);
+  EXPECT_LT(2 * batched.convergence_delay_s, fifo.convergence_delay_s);
+  EXPECT_GT(batched.batch_dropped, 0u);
+}
+
+TEST(MultiPrefix, HierarchicalOriginsUseAsRanges) {
+  sim::Rng rng{5};
+  topo::HierParams p;
+  p.num_ases = 8;
+  p.max_total_routers = 24;
+  p.max_inter_as_degree = 4;
+  const auto h = topo::hierarchical(p, rng);
+  auto cfg = deterministic_config();
+  cfg.prefixes_per_origin = 2;
+  Network net{h, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(0.2)), 1};
+  net.start();
+  net.run_to_quiescence();
+  for (NodeId v = 0; v < net.size(); ++v) {
+    EXPECT_EQ(net.router(v).known_prefixes().size(), 16u) << "router " << v;
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

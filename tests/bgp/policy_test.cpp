@@ -1,0 +1,189 @@
+// Gao-Rexford policy routing: customer-preference selection, valley-free
+// export, and end-to-end valley-freeness of every converged path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "bgp/network.hpp"
+#include "topo/degree_sequence.hpp"
+#include "topo/relations.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+
+TEST(RelationRank, CustomerBeforePeerBeforeProvider) {
+  EXPECT_LT(relation_rank(PeerRelation::kCustomer), relation_rank(PeerRelation::kPeer));
+  EXPECT_LT(relation_rank(PeerRelation::kPeer), relation_rank(PeerRelation::kProvider));
+  EXPECT_EQ(relation_rank(PeerRelation::kNone), relation_rank(PeerRelation::kPeer));
+}
+
+TEST(BetterRoute, CustomerRouteBeatsShorterProviderRoute) {
+  RouteEntry customer;
+  customer.path = AsPath{{1, 2, 3}};
+  customer.learned_from = 9;
+  customer.ebgp_learned = true;
+  customer.learned_rel = PeerRelation::kCustomer;
+  RouteEntry provider;
+  provider.path = AsPath{{4}};
+  provider.learned_from = 1;
+  provider.ebgp_learned = true;
+  provider.learned_rel = PeerRelation::kProvider;
+  EXPECT_TRUE(better_route(customer, provider));
+  EXPECT_FALSE(better_route(provider, customer));
+}
+
+/// Diamond: 0 is the top provider; 1 and 2 are its customers; 3 is a
+/// customer of both 1 and 2; 1-2 are peers.
+topo::AsRelGraph diamond() {
+  std::stringstream ss{
+      "0|1|-1\n"
+      "0|2|-1\n"
+      "1|3|-1\n"
+      "2|3|-1\n"
+      "1|2|0\n"};
+  return topo::load_as_rel(ss);
+}
+
+std::unique_ptr<Network> policy_net(const topo::AsRelGraph& ar) {
+  auto net = std::make_unique<Network>(
+      ar, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.2)),
+      1);
+  net->start();
+  net->run_to_quiescence();
+  return net;
+}
+
+TEST(Policy, CustomerRoutePreferred) {
+  const auto ar = diamond();
+  auto net = policy_net(ar);
+  // Node 1 can reach prefix 3 via its customer 3 directly (and only so).
+  const auto r13 = net->router(1).best(3);
+  ASSERT_TRUE(r13.has_value());
+  EXPECT_EQ(r13->learned_rel, PeerRelation::kCustomer);
+  EXPECT_EQ(r13->learned_from, 3u);
+  // Node 0 reaches 3 via one of its customers, never via a peer of a peer.
+  const auto r03 = net->router(0).best(3);
+  ASSERT_TRUE(r03.has_value());
+  EXPECT_EQ(r03->learned_rel, PeerRelation::kCustomer);
+}
+
+TEST(Policy, PeerRoutesNotExportedToPeersOrProviders) {
+  const auto ar = diamond();
+  auto net = policy_net(ar);
+  // Node 1 learns prefix 2 from its peer 2; it must not have advertised it
+  // to its provider 0 (0 reaches 2 via its own customer session).
+  EXPECT_FALSE(net->router(1).adj_out(0, 2).has_value());
+  // But it does advertise the peer route down to its customer 3.
+  EXPECT_TRUE(net->router(1).adj_out(3, 2).has_value());
+}
+
+TEST(Policy, ProviderRoutesOnlyGoDown) {
+  const auto ar = diamond();
+  auto net = policy_net(ar);
+  // Node 1 learns prefix 0 from its provider 0; it exports it to customer 3
+  // but not to peer 2.
+  EXPECT_TRUE(net->router(1).adj_out(3, 0).has_value());
+  EXPECT_FALSE(net->router(1).adj_out(2, 0).has_value());
+}
+
+TEST(Policy, FullReachabilityInADiamond) {
+  // Despite the export restrictions, this hierarchy leaves everyone
+  // reachable from everyone (customer chains + one peering level).
+  const auto ar = diamond();
+  auto net = policy_net(ar);
+  for (NodeId v = 0; v < 4; ++v) {
+    for (Prefix p = 0; p < 4; ++p) {
+      EXPECT_TRUE(net->router(v).best(p).has_value()) << v << " -> " << p;
+    }
+  }
+}
+
+/// Checks valley-freeness of the converged next-hop chain for (router,
+/// prefix): at every intermediate node, either the route was learned from a
+/// customer, or it is being passed to a customer.
+void expect_valley_free(Network& net, const topo::AsRelGraph& ar, NodeId v, Prefix p) {
+  std::vector<NodeId> chain{v};
+  NodeId cur = v;
+  while (true) {
+    const auto e = net.router(cur).best(p);
+    ASSERT_TRUE(e.has_value());
+    if (e->local) break;
+    cur = e->learned_from;
+    chain.push_back(cur);
+    ASSERT_LE(chain.size(), net.size());
+  }
+  // chain = v0 (=v) ... vk (origin). Advertisement flowed vk -> ... -> v0.
+  for (std::size_t i = 1; i + 1 < chain.size(); ++i) {
+    const NodeId vi = chain[i];
+    const NodeId from = chain[i + 1];   // vi learned the route from here
+    const NodeId to = chain[i - 1];     // and exported it to here
+    const bool learned_from_customer = ar.is_provider(vi, from);
+    const bool exported_to_customer = ar.is_provider(vi, to);
+    EXPECT_TRUE(learned_from_customer || exported_to_customer)
+        << "valley at node " << vi << " (prefix " << p << ")";
+  }
+}
+
+TEST(Policy, AllConvergedPathsAreValleyFree) {
+  // A 40-node skewed graph with degree-inferred relations.
+  sim::Rng rng{5};
+  auto degrees = topo::skewed_sequence(40, topo::SkewSpec::s70_30(), rng);
+  auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+  g.place_randomly(1000, 1000, rng);
+  const auto ar = topo::infer_relations(g, /*peer_tolerance=*/0);
+  auto net = policy_net(ar);
+  for (NodeId v = 0; v < net->size(); ++v) {
+    // Tier-1 completion makes every prefix reachable over valley-free paths.
+    EXPECT_EQ(net->router(v).known_prefixes().size(), net->size()) << "router " << v;
+    for (const auto p : net->router(v).known_prefixes()) {
+      expect_valley_free(*net, ar, v, p);
+    }
+  }
+}
+
+TEST(Policy, ConvergesAfterFailureWithValidChains) {
+  sim::Rng rng{6};
+  auto degrees = topo::skewed_sequence(40, topo::SkewSpec::s70_30(), rng);
+  auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+  g.place_randomly(1000, 1000, rng);
+  const auto ar = topo::infer_relations(g);
+  auto net = policy_net(ar);
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] {
+    net->fail_nodes({0, 1, 2, 3});
+  });
+  net->run_to_quiescence();
+  // No routes to dead prefixes; all chains valley-free and terminating.
+  for (const auto v : net->alive_nodes()) {
+    for (const auto p : net->router(v).known_prefixes()) {
+      EXPECT_GE(p, 4u) << "route to dead prefix at router " << v;
+      expect_valley_free(*net, ar, v, p);
+    }
+  }
+}
+
+TEST(Policy, InferRelationsIsAcyclicAndComplete) {
+  sim::Rng rng{7};
+  auto degrees = topo::skewed_sequence(60, topo::SkewSpec::s70_30(), rng);
+  const auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+  const auto ar = topo::infer_relations(g, /*peer_tolerance=*/1);
+  // Every original edge survives; the only additions are the tier-1 mesh.
+  for (const auto& [a, b] : g.edges()) EXPECT_TRUE(ar.graph.has_edge(a, b));
+  EXPECT_GE(ar.graph.edge_count(), g.edge_count());
+  // Provider edges point "up" a strict order: no 2-cycles possible, and
+  // every provider has at least the degree of its customer.
+  for (const auto& [key, provider] : ar.provider) {
+    const auto a = static_cast<topo::NodeId>(key >> 32);
+    const auto b = static_cast<topo::NodeId>(key & 0xFFFFFFFF);
+    const auto customer = provider == a ? b : a;
+    EXPECT_GE(g.degree(provider) + 1, g.degree(customer));
+  }
+  // After tier-1 completion, every AS either has a provider or is in the
+  // (mutually peered) top mesh, so valley-free reachability is complete.
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

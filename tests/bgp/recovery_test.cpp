@@ -1,0 +1,139 @@
+// Node recovery: failed routers come back with cold RIBs, sessions
+// re-establish with a full table exchange, prefixes re-originate, and the
+// whole network re-absorbs them.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "harness/audit.hpp"
+#include "harness/experiment.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+using testing::line;
+
+std::unique_ptr<Network> make_net(const topo::Graph& g, double mrai_s = 0.5) {
+  return std::make_unique<Network>(
+      g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(mrai_s)),
+      1);
+}
+
+TEST(Recovery, FailedRouterComesBackAndRelearnsEverything) {
+  const auto g = line(4);
+  auto net = make_net(g);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({1}); });
+  net->run_to_quiescence();
+  ASSERT_FALSE(net->router(1).alive());
+  ASSERT_FALSE(net->router(0).best(2).has_value());  // partitioned
+
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&] { net->recover_nodes({1}); });
+  net->run_to_quiescence();
+  EXPECT_TRUE(net->router(1).alive());
+  // Everyone knows everyone again, including across the healed cut.
+  for (NodeId v = 0; v < 4; ++v) {
+    for (Prefix p = 0; p < 4; ++p) {
+      EXPECT_TRUE(net->router(v).best(p).has_value()) << "router " << v << " prefix " << p;
+    }
+  }
+  EXPECT_EQ(harness::audit_routes(*net), std::nullopt);
+}
+
+TEST(Recovery, SessionsComeBackUp) {
+  const auto g = line(3);
+  auto net = make_net(g);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({1}); });
+  net->run_to_quiescence();
+  EXPECT_FALSE(net->router(0).peer_session_up(1));
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&] { net->recover_nodes({1}); });
+  net->run_to_quiescence();
+  EXPECT_TRUE(net->router(0).peer_session_up(1));
+  EXPECT_TRUE(net->router(1).peer_session_up(0));
+  EXPECT_TRUE(net->router(1).peer_session_up(2));
+}
+
+TEST(Recovery, SessionsToStillDeadPeersStayDown) {
+  const auto g = line(4);
+  auto net = make_net(g);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&] { net->fail_nodes({1, 2}); });
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&] { net->recover_nodes({1}); });  // 2 stays dead
+  net->run_to_quiescence();
+  EXPECT_TRUE(net->router(1).alive());
+  EXPECT_TRUE(net->router(1).peer_session_up(0));
+  EXPECT_FALSE(net->router(1).peer_session_up(2));
+  EXPECT_TRUE(net->router(0).best(1).has_value());
+  EXPECT_FALSE(net->router(0).best(3).has_value());  // still partitioned
+  EXPECT_EQ(harness::audit_routes(*net), std::nullopt);
+}
+
+TEST(Recovery, TraceShowsRecoveryEvents) {
+  const auto g = line(3);
+  auto net = make_net(g);
+  CountingSink sink;
+  net->set_trace_sink(&sink);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&] { net->recover_nodes({0}); });
+  net->run_to_quiescence();
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kRouterRecovered), 1u);
+  // Both sides of the healed session report establishment.
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kSessionEstablished), 2u);
+}
+
+TEST(Recovery, RecoverIsIdempotentAndAliveSafe) {
+  const auto g = line(2);
+  auto net = make_net(g);
+  net->start();
+  net->run_to_quiescence();
+  net->recover_nodes({0});  // never failed: no-op
+  net->run_to_quiescence();
+  EXPECT_TRUE(net->router(0).alive());
+  EXPECT_TRUE(net->router(1).best(0).has_value());
+}
+
+TEST(Recovery, HarnessMeasuresRecoveryFlood) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 48;
+  cfg.failure_fraction = 0.10;
+  cfg.scheme = harness::SchemeSpec::constant(0.5);
+  cfg.measure_recovery = true;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_GT(r.recovery_delay_s, 0.0);
+  EXPECT_GT(r.messages_after_recovery, 0u);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;  // audited after full recovery
+}
+
+TEST(Recovery, RecoveryFasterThanFailureConvergence) {
+  // The Tup/Tdown asymmetry (Labovitz): absorbing good news is faster than
+  // withdrawing bad news under the same overload conditions.
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 60;
+  cfg.failure_fraction = 0.10;
+  cfg.scheme = harness::SchemeSpec::constant(0.5);
+  cfg.measure_recovery = true;
+  const auto avg = harness::run_averaged(cfg, 3);
+  double mean_recovery = 0.0;
+  for (const auto& r : avg.runs) mean_recovery += r.recovery_delay_s;
+  mean_recovery /= static_cast<double>(avg.runs.size());
+  EXPECT_LT(mean_recovery, avg.delay.mean);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

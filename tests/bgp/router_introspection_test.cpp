@@ -1,0 +1,116 @@
+// Router introspection surface used by the schemes: queue length,
+// unfinished work, load trackers, degree, RIB queries.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+using testing::star;
+
+TEST(RouterIntrospection, DegreeCountsSessions) {
+  const auto g = star(3);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(1)), 1};
+  EXPECT_EQ(net.router(0).degree(), 3u);
+  EXPECT_EQ(net.router(1).degree(), 1u);
+}
+
+TEST(RouterIntrospection, UnfinishedWorkIsQueueTimesMeanDelay) {
+  // Deterministic config: proc delay exactly 1 ms, so mean is 1 ms.
+  const auto g = star(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(1)), 1};
+  auto& hub = net.router(0);
+  EXPECT_EQ(hub.unfinished_work(), sim::SimTime::zero());
+  for (int i = 0; i < 10; ++i) {
+    UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    hub.deliver(m);
+  }
+  // The first delivery went straight into service on the idle CPU, so the
+  // *queue* holds the other nine.
+  EXPECT_EQ(hub.input_queue_length(), 9u);
+  EXPECT_EQ(hub.unfinished_work(), sim::SimTime::from_ms(9));
+}
+
+TEST(RouterIntrospection, PaperDefaultMeanProcessingDelay) {
+  BgpConfig cfg;  // U(1, 30) ms
+  EXPECT_EQ(cfg.mean_processing_delay(), sim::SimTime::from_us(15500));
+}
+
+TEST(RouterIntrospection, UtilizationRisesWithProcessing) {
+  const auto g = star(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(1)), 1};
+  auto& hub = net.router(0);
+  EXPECT_DOUBLE_EQ(hub.recent_utilization(), 0.0);
+  for (int i = 0; i < 50; ++i) {
+    UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    hub.deliver(m);
+  }
+  net.run_to_quiescence();
+  EXPECT_GT(hub.recent_utilization(), 0.0);
+}
+
+TEST(RouterIntrospection, MessageRateTracksDeliveries) {
+  const auto g = star(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(1)), 1};
+  auto& hub = net.router(0);
+  EXPECT_DOUBLE_EQ(hub.recent_message_rate(), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    hub.deliver(m);
+  }
+  EXPECT_GT(hub.recent_message_rate(), 0.0);
+}
+
+TEST(RouterIntrospection, KnownPrefixesSortedAndComplete) {
+  const auto g = testing::line(3);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.1)), 1};
+  net.start();
+  net.run_to_quiescence();
+  EXPECT_EQ(net.router(1).known_prefixes(), (std::vector<Prefix>{0, 1, 2}));
+}
+
+TEST(RouterIntrospection, BestReturnsNulloptForUnknownPrefix) {
+  const auto g = testing::line(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.1)), 1};
+  net.start();
+  net.run_to_quiescence();
+  EXPECT_FALSE(net.router(0).best(99).has_value());
+}
+
+TEST(RouterIntrospection, AdjQueriesForUnknownPeerAreEmpty) {
+  const auto g = testing::line(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.1)), 1};
+  EXPECT_FALSE(net.router(0).adj_in(42, 0).has_value());
+  EXPECT_FALSE(net.router(0).adj_out(42, 0).has_value());
+  EXPECT_FALSE(net.router(0).peer_session_up(42));
+}
+
+TEST(RouterIntrospection, DeadRouterDropsDeliveries) {
+  const auto g = testing::line(2);
+  Network net{g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.1)), 1};
+  net.router(0).fail();
+  UpdateMessage m;
+  m.from = 1;
+  m.to = 0;
+  m.prefix = 1;
+  net.router(0).deliver(m);
+  EXPECT_EQ(net.router(0).input_queue_length(), 0u);
+  EXPECT_FALSE(net.router(0).alive());
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

@@ -1,0 +1,59 @@
+// Shared helpers for BGP protocol tests: tiny hand-built topologies and a
+// fully deterministic configuration (no timer jitter, fixed 1 ms processing
+// delay, synchronized originations) so event times can be asserted exactly.
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+
+#include "bgp/config.hpp"
+#include "bgp/network.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim::bgp::testing {
+
+inline topo::Graph make_graph(std::size_t n,
+                              std::initializer_list<std::pair<int, int>> edges) {
+  topo::Graph g{n};
+  for (const auto& [a, b] : edges) {
+    g.add_edge(static_cast<topo::NodeId>(a), static_cast<topo::NodeId>(b));
+  }
+  return g;
+}
+
+inline BgpConfig deterministic_config() {
+  BgpConfig cfg;
+  cfg.jitter_timers = false;
+  cfg.proc_min = sim::SimTime::from_ms(1);
+  cfg.proc_max = sim::SimTime::from_ms(1);  // degenerate range => exactly 1 ms
+  cfg.origination_spread = sim::SimTime::zero();
+  return cfg;
+}
+
+inline topo::Graph line(std::size_t n) {
+  topo::Graph g{n};
+  for (topo::NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+inline topo::Graph ring(std::size_t n) {
+  auto g = line(n);
+  g.add_edge(static_cast<topo::NodeId>(n - 1), 0);
+  return g;
+}
+
+inline topo::Graph star(std::size_t leaves) {
+  topo::Graph g{leaves + 1};  // node 0 is the hub
+  for (topo::NodeId v = 1; v <= leaves; ++v) g.add_edge(0, v);
+  return g;
+}
+
+inline topo::Graph clique(std::size_t n) {
+  topo::Graph g{n};
+  for (topo::NodeId a = 0; a < n; ++a) {
+    for (topo::NodeId b = a + 1; b < n; ++b) g.add_edge(a, b);
+  }
+  return g;
+}
+
+}  // namespace bgpsim::bgp::testing

@@ -1,0 +1,130 @@
+#include "bgp/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "bgp/network.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+using testing::deterministic_config;
+using testing::line;
+
+std::unique_ptr<Network> traced_net(const topo::Graph& g, TraceSink* sink) {
+  auto net = std::make_unique<Network>(
+      g, deterministic_config(), std::make_shared<FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  net->set_trace_sink(sink);
+  return net;
+}
+
+TEST(Trace, CountsMatchMetrics) {
+  CountingSink sink;
+  auto net = traced_net(line(4), &sink);
+  net->start();
+  net->run_to_quiescence();
+  const auto& m = net->metrics();
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kUpdateSent), m.updates_sent);
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kRibChanged), m.rib_changes);
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kOriginated), 4u);
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kRouterFailed), 0u);
+  EXPECT_GT(sink.total(), 0u);
+}
+
+TEST(Trace, SentEventuallyReceived) {
+  CountingSink sink;
+  auto net = traced_net(line(3), &sink);
+  net->start();
+  net->run_to_quiescence();
+  // Nothing failed: every sent update is delivered and received.
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kUpdateSent),
+            sink.count(TraceEvent::Kind::kUpdateReceived));
+}
+
+TEST(Trace, FailureEventsAppear) {
+  CountingSink sink;
+  auto net = traced_net(line(3), &sink);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kRouterFailed), 1u);
+  EXPECT_EQ(sink.count(TraceEvent::Kind::kPeerDown), 1u);  // node 1's session to 0
+}
+
+TEST(Trace, RecordingSinkKeepsChronologicalEvents) {
+  RecordingSink sink{100000};
+  auto net = traced_net(line(3), &sink);
+  net->start();
+  net->run_to_quiescence();
+  ASSERT_FALSE(sink.events().empty());
+  for (std::size_t i = 1; i < sink.events().size(); ++i) {
+    EXPECT_LE(sink.events()[i - 1].at, sink.events()[i].at);
+  }
+  EXPECT_EQ(sink.overflow(), 0u);
+}
+
+TEST(Trace, RecordingSinkOverflowIsBounded) {
+  RecordingSink sink{5};
+  auto net = traced_net(line(4), &sink);
+  net->start();
+  net->run_to_quiescence();
+  EXPECT_EQ(sink.events().size(), 5u);
+  EXPECT_GT(sink.overflow(), 0u);
+}
+
+TEST(Trace, StreamSinkFormatsAndFilters) {
+  std::ostringstream all;
+  std::ostringstream only_rib;
+  StreamSink sink_all{all};
+  StreamSink sink_rib{only_rib, TraceEvent::Kind::kRibChanged};
+  TeeSink tee{{&sink_all, &sink_rib}};
+  auto net = traced_net(line(2), &tee);
+  net->start();
+  net->run_to_quiescence();
+  EXPECT_NE(all.str().find("update-sent"), std::string::npos);
+  EXPECT_NE(all.str().find("originated"), std::string::npos);
+  EXPECT_NE(only_rib.str().find("rib-changed"), std::string::npos);
+  EXPECT_EQ(only_rib.str().find("update-sent"), std::string::npos);
+}
+
+TEST(Trace, EventToStringIsReadable) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kUpdateSent;
+  ev.at = sim::SimTime::seconds(1.5);
+  ev.router = 3;
+  ev.peer = 7;
+  ev.prefix = 11;
+  ev.withdraw = true;
+  const auto s = ev.to_string();
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_NE(s.find("r3"), std::string::npos);
+  EXPECT_NE(s.find("withdraw"), std::string::npos);
+  EXPECT_NE(s.find("prefix 11"), std::string::npos);
+  EXPECT_NE(s.find("peer 7"), std::string::npos);
+}
+
+TEST(Trace, DisabledByDefaultAndDetachable) {
+  CountingSink sink;
+  auto net = traced_net(line(2), &sink);
+  net->set_trace_sink(nullptr);  // detach again
+  net->start();
+  net->run_to_quiescence();
+  EXPECT_EQ(sink.total(), 0u);
+  EXPECT_FALSE(net->tracing());
+}
+
+TEST(Trace, KindNamesAreUnique) {
+  std::set<std::string> names;
+  for (std::size_t k = 0; k < TraceEvent::kNumKinds; ++k) {
+    names.insert(to_string(static_cast<TraceEvent::Kind>(k)));
+  }
+  EXPECT_EQ(names.size(), TraceEvent::kNumKinds);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

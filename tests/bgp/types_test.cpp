@@ -1,0 +1,83 @@
+#include "bgp/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::bgp {
+namespace {
+
+TEST(AsPath, EmptyPath) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_FALSE(p.contains(1));
+  EXPECT_EQ(p.to_string(), "[]");
+}
+
+TEST(AsPath, ContainsAndLength) {
+  AsPath p{{3, 7, 9}};
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_TRUE(p.contains(7));
+  EXPECT_FALSE(p.contains(4));
+}
+
+TEST(AsPath, PrependedDoesNotMutate) {
+  AsPath p{{5}};
+  const AsPath q = p.prepended(2);
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_EQ(q.hops(), (std::vector<AsId>{2, 5}));
+}
+
+TEST(AsPath, EqualityIsStructural) {
+  EXPECT_EQ(AsPath({1, 2}), AsPath({1, 2}));
+  EXPECT_NE(AsPath({1, 2}), AsPath({2, 1}));
+  EXPECT_NE(AsPath({1}), AsPath{});
+}
+
+TEST(AsPath, ToString) {
+  EXPECT_EQ(AsPath({10, 20}).to_string(), "[10 20]");
+}
+
+RouteEntry learned(std::vector<AsId> hops, NodeId from, bool ebgp) {
+  RouteEntry e;
+  e.path = AsPath{std::move(hops)};
+  e.learned_from = from;
+  e.ebgp_learned = ebgp;
+  return e;
+}
+
+TEST(BetterRoute, LocalBeatsEverything) {
+  RouteEntry local;
+  local.local = true;
+  EXPECT_TRUE(better_route(local, learned({1}, 5, true)));
+  EXPECT_FALSE(better_route(learned({1}, 5, true), local));
+}
+
+TEST(BetterRoute, ShorterPathWins) {
+  EXPECT_TRUE(better_route(learned({1}, 9, true), learned({2, 3}, 1, true)));
+  EXPECT_FALSE(better_route(learned({2, 3}, 1, true), learned({1}, 9, true)));
+}
+
+TEST(BetterRoute, EbgpBreaksLengthTie) {
+  EXPECT_TRUE(better_route(learned({1, 2}, 9, true), learned({3, 4}, 1, false)));
+}
+
+TEST(BetterRoute, LowestSenderBreaksFinalTie) {
+  EXPECT_TRUE(better_route(learned({1, 2}, 3, true), learned({5, 6}, 7, true)));
+  EXPECT_FALSE(better_route(learned({1, 2}, 7, true), learned({5, 6}, 3, true)));
+}
+
+TEST(BetterRoute, IsAStrictOrder) {
+  const auto a = learned({1, 2}, 3, true);
+  EXPECT_FALSE(better_route(a, a));
+}
+
+TEST(RouteEntry, AsHopsCountsLocalAsZero) {
+  RouteEntry local;
+  local.local = true;
+  local.path = AsPath{{1, 2, 3}};  // ignored for local routes
+  EXPECT_EQ(local.as_hops(), 0u);
+  EXPECT_EQ(learned({4, 5}, 0, true).as_hops(), 2u);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

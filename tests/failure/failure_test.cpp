@@ -1,0 +1,105 @@
+#include "failure/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bgpsim::failure {
+namespace {
+
+std::vector<topo::Point> grid_positions() {
+  // 5x5 lattice on [0,1000]^2.
+  std::vector<topo::Point> pos;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      pos.push_back({i * 250.0, j * 250.0});
+    }
+  }
+  return pos;
+}
+
+TEST(GeographicFailure, PicksTheNodesNearestTheCenter) {
+  const auto pos = grid_positions();
+  const topo::Point center{500.0, 500.0};
+  const auto victims = geographic(pos, 1, center);
+  ASSERT_EQ(victims.size(), 1u);
+  // Node at exactly (500,500) is index 2*5+2 = 12.
+  EXPECT_EQ(victims[0], 12u);
+}
+
+TEST(GeographicFailure, IsContiguous) {
+  // Every selected node must be closer to the centre than every unselected
+  // node (ties aside) -- i.e. the failure is a disk.
+  const auto pos = grid_positions();
+  const topo::Point center{500.0, 500.0};
+  const auto victims = geographic(pos, 9, center);
+  std::set<topo::NodeId> vs(victims.begin(), victims.end());
+  double max_in = 0.0;
+  double min_out = 1e18;
+  for (topo::NodeId v = 0; v < pos.size(); ++v) {
+    const double d = distance(pos[v], center);
+    if (vs.contains(v)) {
+      max_in = std::max(max_in, d);
+    } else {
+      min_out = std::min(min_out, d);
+    }
+  }
+  EXPECT_LE(max_in, min_out + 1e-9);
+}
+
+TEST(GeographicFailure, CountClamped) {
+  const auto pos = grid_positions();
+  EXPECT_EQ(geographic(pos, 100, {0, 0}).size(), pos.size());
+  EXPECT_TRUE(geographic(pos, 0, {0, 0}).empty());
+}
+
+TEST(GeographicFailure, ResultIsSortedUnique) {
+  const auto pos = grid_positions();
+  const auto victims = geographic(pos, 10, {400.0, 600.0});
+  EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+  EXPECT_EQ(std::set<topo::NodeId>(victims.begin(), victims.end()).size(), victims.size());
+}
+
+TEST(GeographicFraction, RoundsToNodeCount) {
+  const auto pos = grid_positions();  // 25 nodes
+  EXPECT_EQ(geographic_fraction(pos, 0.20, {500, 500}).size(), 5u);
+  EXPECT_EQ(geographic_fraction(pos, 0.05, {500, 500}).size(), 1u);
+  EXPECT_EQ(geographic_fraction(pos, 0.0, {500, 500}).size(), 0u);
+  EXPECT_EQ(geographic_fraction(pos, 1.0, {500, 500}).size(), 25u);
+}
+
+TEST(GeographicFraction, PaperSizes) {
+  // 120 nodes at 1%..20% -> 1, 3, 6, 12, 24 victims.
+  std::vector<topo::Point> pos(120);
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    pos[i] = {static_cast<double>(i), 0.0};
+  }
+  EXPECT_EQ(geographic_fraction(pos, 0.01, {0, 0}).size(), 1u);
+  EXPECT_EQ(geographic_fraction(pos, 0.025, {0, 0}).size(), 3u);
+  EXPECT_EQ(geographic_fraction(pos, 0.05, {0, 0}).size(), 6u);
+  EXPECT_EQ(geographic_fraction(pos, 0.10, {0, 0}).size(), 12u);
+  EXPECT_EQ(geographic_fraction(pos, 0.20, {0, 0}).size(), 24u);
+}
+
+TEST(RandomFailure, CountAndUniqueness) {
+  sim::Rng rng{1};
+  const auto victims = random_nodes(50, 10, rng);
+  EXPECT_EQ(victims.size(), 10u);
+  EXPECT_EQ(std::set<topo::NodeId>(victims.begin(), victims.end()).size(), 10u);
+  for (const auto v : victims) EXPECT_LT(v, 50u);
+}
+
+TEST(RandomFailure, Deterministic) {
+  sim::Rng a{7};
+  sim::Rng b{7};
+  EXPECT_EQ(random_nodes(100, 20, a), random_nodes(100, 20, b));
+}
+
+TEST(RandomFailure, Clamps) {
+  sim::Rng rng{2};
+  EXPECT_EQ(random_nodes(5, 10, rng).size(), 5u);
+}
+
+}  // namespace
+}  // namespace bgpsim::failure

@@ -1,0 +1,74 @@
+#include "harness/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+using bgp::testing::deterministic_config;
+using bgp::testing::line;
+
+std::unique_ptr<bgp::Network> converged(const topo::Graph& g) {
+  auto net = std::make_unique<bgp::Network>(
+      g, deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  net->start();
+  net->run_to_quiescence();
+  return net;
+}
+
+TEST(Audit, PassesOnConvergedNetwork) {
+  auto net = converged(line(5));
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST(Audit, PassesAfterFailureAndReconvergence) {
+  auto net = converged(bgp::testing::clique(6));
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0, 1}); });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST(Audit, PassesOnPartitionedSurvivors) {
+  auto net = converged(line(5));
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({2}); });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST(Audit, DetectsMidConvergenceInconsistency) {
+  // Freeze the network mid-propagation: with a huge MRAI the star's leaves
+  // have not yet learned each other's prefixes => "missing route".
+  const auto g = bgp::testing::star(4);
+  auto net = std::make_unique<bgp::Network>(
+      g, deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(1000.0)), 1);
+  net->start();
+  net->scheduler().run_until(sim::SimTime::seconds(5.0));
+  const auto verdict = audit_routes(*net);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_NE(verdict->find("missing route"), std::string::npos);
+}
+
+TEST(Audit, PassesOnHierarchicalNetwork) {
+  sim::Rng rng{3};
+  topo::HierParams p;
+  p.num_ases = 10;
+  p.max_total_routers = 30;
+  p.max_inter_as_degree = 5;
+  const auto h = topo::hierarchical(p, rng);
+  auto net = std::make_unique<bgp::Network>(
+      h, deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  net->start();
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -1,0 +1,88 @@
+// Cross-check of simulated clique withdrawals against the literature's
+// analytic envelopes (Labovitz et al.; Pei et al.). Two regimes:
+//  - MRAI applied to withdrawals (Labovitz's measured implementations):
+//    MRAI-paced path exploration, delay ~ 2(n-3) x MRAI;
+//  - RFC 1771 withdrawal exemption (this library's default): immediate
+//    withdrawals + implicit-withdraw loop rejection collapse the
+//    exploration to propagation time.
+#include "harness/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+using bgp::testing::clique;
+using bgp::testing::deterministic_config;
+
+double simulate_clique_withdrawal(std::size_t n, double mrai_s, bool withdrawal_mrai) {
+  auto cfg = deterministic_config();
+  cfg.mrai_applies_to_withdrawals = withdrawal_mrai;
+  const auto g = clique(n);
+  bgp::Network net{g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(mrai_s)), 7};
+  net.start();
+  net.run_to_quiescence();
+  const auto t_fail = net.scheduler().now() + sim::SimTime::seconds(1.0);
+  net.scheduler().schedule_at(t_fail, [&] { net.fail_nodes({0}); });
+  net.run_to_quiescence();
+  return (net.metrics().last_rib_change - t_fail).to_seconds();
+}
+
+TEST(Bounds, FormulaBasics) {
+  const auto b = clique_withdrawal_bounds(8, 2.0, /*jittered=*/false, 0.025, 0.001);
+  EXPECT_DOUBLE_EQ(b.lower_s, 5 * 2.0);  // (n-3) rounds
+  EXPECT_GT(b.upper_s, b.lower_s);
+  const auto bj = clique_withdrawal_bounds(8, 2.0, /*jittered=*/true, 0.025, 0.001);
+  EXPECT_DOUBLE_EQ(bj.lower_s, 5 * 1.5);
+}
+
+TEST(Bounds, SmallMeshesHaveNoExplorationFloor) {
+  const auto b = clique_withdrawal_bounds(3, 2.0, false, 0.025, 0.001);
+  EXPECT_DOUBLE_EQ(b.lower_s, 0.0);
+  EXPECT_GT(b.upper_s, 0.0);
+}
+
+class CliqueEnvelope : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CliqueEnvelope, MraiPacedExplorationLandsInsideTheEnvelope) {
+  const std::size_t n = GetParam();
+  const double mrai = 2.0;
+  const double measured = simulate_clique_withdrawal(n, mrai, /*withdrawal_mrai=*/true);
+  const auto b = clique_withdrawal_bounds(n, mrai, /*jittered=*/false, 0.025, 0.001);
+  EXPECT_GE(measured, b.lower_s) << "n=" << n;
+  EXPECT_LE(measured, b.upper_s) << "n=" << n;
+  // The observed law in this implementation is exactly Labovitz's best
+  // case: (n-3) MRAI-paced rounds (plus ~30 ms of propagation).
+  EXPECT_NEAR(measured, static_cast<double>(n - 3) * mrai, 0.2) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshSizes, CliqueEnvelope, ::testing::Values(5, 6, 7, 8, 10));
+
+TEST(Bounds, WithdrawalExemptionCollapsesExploration) {
+  // RFC 1771 default: the same failure resolves in propagation time, far
+  // below even one MRAI round.
+  const double measured = simulate_clique_withdrawal(8, 2.0, /*withdrawal_mrai=*/false);
+  EXPECT_LT(measured, 0.5);
+}
+
+TEST(Bounds, WithdrawalDelayGrowsWithMeshSize) {
+  // Labovitz's core observation: exploration rounds grow with n.
+  const double d6 = simulate_clique_withdrawal(6, 2.0, true);
+  const double d10 = simulate_clique_withdrawal(10, 2.0, true);
+  EXPECT_GT(d10, d6 + 2.0);
+}
+
+TEST(Bounds, WithdrawalDelayScalesWithMrai) {
+  // Exploration is MRAI-paced: doubling the MRAI doubles the delay.
+  const double d2 = simulate_clique_withdrawal(8, 2.0, true);
+  const double d4 = simulate_clique_withdrawal(8, 4.0, true);
+  EXPECT_NEAR(d4 / d2, 2.0, 0.15);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -1,0 +1,143 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::harness {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.topology.n = 40;
+  cfg.scheme = SchemeSpec::constant(0.5);
+  cfg.failure_fraction = 0.10;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(Experiment, ProducesSaneResult) {
+  const auto r = run_experiment(small_config());
+  EXPECT_EQ(r.routers, 40u);
+  EXPECT_EQ(r.failed_routers, 4u);
+  EXPECT_GT(r.initial_convergence_s, 0.0);
+  EXPECT_GT(r.convergence_delay_s, 0.0);
+  EXPECT_GT(r.messages_after_failure, 0u);
+  EXPECT_GE(r.messages_total, r.messages_after_failure);
+  EXPECT_GT(r.withdrawals_after_failure, 0u);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const auto a = run_experiment(small_config());
+  const auto b = run_experiment(small_config());
+  EXPECT_EQ(a.convergence_delay_s, b.convergence_delay_s);
+  EXPECT_EQ(a.messages_after_failure, b.messages_after_failure);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.initial_convergence_s, b.initial_convergence_s);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = run_experiment(cfg);
+  cfg.seed = 2;
+  const auto b = run_experiment(cfg);
+  // Different topology and timing draws: message counts almost surely
+  // differ (they use different graphs).
+  EXPECT_NE(a.messages_after_failure, b.messages_after_failure);
+}
+
+TEST(Experiment, ZeroFailureFractionMeansNoPostFailureActivity) {
+  auto cfg = small_config();
+  cfg.failure_fraction = 0.0;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.failed_routers, 0u);
+  EXPECT_EQ(r.convergence_delay_s, 0.0);
+  EXPECT_EQ(r.messages_after_failure, 0u);
+  EXPECT_TRUE(r.routes_valid);
+}
+
+TEST(Experiment, BatchingSchemeReportsDrops) {
+  auto cfg = small_config();
+  cfg.scheme = SchemeSpec::constant(0.5, /*batch=*/true);
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+  // 10% failure at MRAI 0.5 s overloads nodes; batching must find stale
+  // updates to delete.
+  EXPECT_GT(r.batch_dropped, 0u);
+}
+
+TEST(Experiment, DynamicSchemeRuns) {
+  auto cfg = small_config();
+  cfg.scheme = SchemeSpec::dynamic_mrai();
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+  EXPECT_GT(r.convergence_delay_s, 0.0);
+}
+
+TEST(Experiment, DegreeDependentSchemeRuns) {
+  auto cfg = small_config();
+  cfg.scheme = SchemeSpec::degree_dependent(0.5, 2.25, /*threshold=*/5);
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+}
+
+TEST(Experiment, HierarchicalTopologyRuns) {
+  ExperimentConfig cfg;
+  cfg.topology.kind = TopologySpec::Kind::kHierarchical;
+  cfg.topology.hier.num_ases = 15;
+  cfg.topology.hier.max_total_routers = 50;
+  cfg.topology.hier.max_inter_as_degree = 6;
+  cfg.scheme = SchemeSpec::constant(0.5);
+  cfg.failure_fraction = 0.10;
+  const auto r = run_experiment(cfg);
+  EXPECT_GE(r.routers, 15u);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+}
+
+TEST(Experiment, AllFlatGeneratorsRun) {
+  for (const auto kind :
+       {TopologySpec::Kind::kSkewed, TopologySpec::Kind::kInternetLike,
+        TopologySpec::Kind::kWaxman, TopologySpec::Kind::kBarabasiAlbert,
+        TopologySpec::Kind::kGlp}) {
+    auto cfg = small_config();
+    cfg.topology.kind = kind;
+    const auto r = run_experiment(cfg);
+    EXPECT_TRUE(r.routes_valid) << "kind " << static_cast<int>(kind) << ": " << r.audit_error;
+  }
+}
+
+TEST(Stats, ComputesMoments) {
+  const auto s = Stats::of({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(Stats, EmptyIsZero) {
+  const auto s = Stats::of({});
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(RunAveraged, AggregatesAcrossSeeds) {
+  auto cfg = small_config();
+  cfg.topology.n = 30;
+  const auto a = run_averaged(cfg, 3);
+  EXPECT_EQ(a.runs.size(), 3u);
+  EXPECT_GE(a.delay.max, a.delay.mean);
+  EXPECT_LE(a.delay.min, a.delay.mean);
+  EXPECT_EQ(a.valid_fraction, 1.0);
+}
+
+TEST(BenchSeeds, ReadsEnvironment) {
+  unsetenv("BGPSIM_SEEDS");
+  EXPECT_EQ(bench_seeds(5), 5u);
+  setenv("BGPSIM_SEEDS", "7", 1);
+  EXPECT_EQ(bench_seeds(5), 7u);
+  setenv("BGPSIM_SEEDS", "garbage", 1);
+  EXPECT_EQ(bench_seeds(5), 5u);
+  unsetenv("BGPSIM_SEEDS");
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

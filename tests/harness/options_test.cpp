@@ -1,0 +1,73 @@
+#include "harness/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::harness {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  return Options::parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Options, KeyValuePairs) {
+  const auto o = parse({"--n", "120", "--failure", "0.1"});
+  EXPECT_EQ(o.get_int("n", 0), 120);
+  EXPECT_DOUBLE_EQ(o.get_double("failure", 0.0), 0.1);
+}
+
+TEST(Options, EqualsSyntax) {
+  const auto o = parse({"--mrai=2.25", "--topo=hier"});
+  EXPECT_DOUBLE_EQ(o.get_double("mrai", 0.0), 2.25);
+  EXPECT_EQ(o.get_or("topo", ""), "hier");
+}
+
+TEST(Options, BareFlags) {
+  const auto o = parse({"--batching", "--csv"});
+  EXPECT_TRUE(o.flag("batching"));
+  EXPECT_TRUE(o.flag("csv"));
+  EXPECT_FALSE(o.flag("missing"));
+}
+
+TEST(Options, FlagFollowedByOption) {
+  const auto o = parse({"--batching", "--n", "60"});
+  EXPECT_TRUE(o.flag("batching"));
+  EXPECT_EQ(o.get_int("n", 0), 60);
+}
+
+TEST(Options, ExplicitFalseDisablesFlag) {
+  const auto o = parse({"--batching", "false"});
+  EXPECT_FALSE(o.flag("batching"));
+}
+
+TEST(Options, Positional) {
+  const auto o = parse({"run", "fast", "--n", "10"});
+  EXPECT_EQ(o.positional(), (std::vector<std::string>{"run", "fast"}));
+}
+
+TEST(Options, Defaults) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get_or("topo", "skew70-30"), "skew70-30");
+  EXPECT_EQ(o.get_int("seeds", 3), 3);
+  EXPECT_FALSE(o.get("anything").has_value());
+}
+
+TEST(Options, RejectsBadNumbers) {
+  const auto o = parse({"--n", "abc"});
+  EXPECT_THROW(o.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(o.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Options, RejectsStrayDoubleDash) {
+  EXPECT_THROW(parse({"--n", "5", "--"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--n", "5", "stray"}), std::invalid_argument);
+}
+
+TEST(Options, UnknownKeys) {
+  const auto o = parse({"--n", "5", "--bogus", "--csv"});
+  const auto unknown = o.unknown_keys({"n", "csv"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "bogus");
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -1,0 +1,93 @@
+// Per-prefix convergence analysis: the Tdown/Tup asymmetry made visible.
+#include "harness/prefix_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+using bgp::testing::clique;
+using bgp::testing::deterministic_config;
+
+TEST(PrefixStats, CountsRibChangesSinceEpoch) {
+  PrefixConvergenceSink sink;
+  bgp::TraceEvent ev;
+  ev.kind = bgp::TraceEvent::Kind::kRibChanged;
+  ev.prefix = 7;
+  ev.at = sim::SimTime::seconds(1.0);
+  sink.set_epoch(sim::SimTime::seconds(2.0));
+  sink.on_event(ev);  // before the epoch: ignored
+  EXPECT_EQ(sink.rib_changes(7), 0u);
+  ev.at = sim::SimTime::seconds(3.0);
+  sink.on_event(ev);
+  ev.at = sim::SimTime::seconds(5.0);
+  sink.on_event(ev);
+  EXPECT_EQ(sink.rib_changes(7), 2u);
+  EXPECT_DOUBLE_EQ(sink.convergence_delay_s(7), 3.0);
+  EXPECT_EQ(sink.touched_prefixes(), std::vector<bgp::Prefix>{7});
+}
+
+TEST(PrefixStats, IgnoresOtherEventKinds) {
+  PrefixConvergenceSink sink;
+  bgp::TraceEvent ev;
+  ev.kind = bgp::TraceEvent::Kind::kUpdateSent;
+  ev.prefix = 3;
+  ev.at = sim::SimTime::seconds(1.0);
+  sink.on_event(ev);
+  EXPECT_TRUE(sink.touched_prefixes().empty());
+}
+
+TEST(PrefixStats, DeadOriginPrefixIsTheSlowest) {
+  // In a clique withdrawal with rate-limited withdrawals the dead prefix
+  // undergoes MRAI-paced exploration while the survivors' prefixes are
+  // untouched: the slowest prefix must be the dead one (Tdown >> rest).
+  auto cfg = deterministic_config();
+  cfg.mrai_applies_to_withdrawals = true;
+  const auto g = clique(6);
+  bgp::Network net{g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(1.0)), 3};
+  PrefixConvergenceSink sink;
+  net.set_trace_sink(&sink);
+  net.start();
+  net.run_to_quiescence();
+  const auto t_fail = net.scheduler().now() + sim::SimTime::seconds(1.0);
+  sink.reset();
+  sink.set_epoch(t_fail);
+  net.scheduler().schedule_at(t_fail, [&] { net.fail_nodes({0}); });
+  net.run_to_quiescence();
+  const auto [slowest_prefix, delay] = sink.slowest();
+  EXPECT_EQ(slowest_prefix, 0u);
+  EXPECT_GT(delay, 1.0);
+  // And it matches the network-wide convergence delay.
+  EXPECT_NEAR(delay, (net.metrics().last_rib_change - t_fail).to_seconds(), 1e-9);
+  // Only the dead prefix was disturbed.
+  EXPECT_EQ(sink.touched_prefixes(), std::vector<bgp::Prefix>{0});
+}
+
+TEST(PrefixStats, RecoveryTouchesRecoveredPrefixFast) {
+  auto cfg = deterministic_config();
+  const auto g = clique(6);
+  bgp::Network net{g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(1.0)), 3};
+  PrefixConvergenceSink sink;
+  net.set_trace_sink(&sink);
+  net.start();
+  net.run_to_quiescence();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net.fail_nodes({0}); });
+  net.run_to_quiescence();
+  const auto t_rec = net.scheduler().now() + sim::SimTime::seconds(1.0);
+  sink.reset();
+  sink.set_epoch(t_rec);
+  net.scheduler().schedule_at(t_rec, [&] { net.recover_nodes({0}); });
+  net.run_to_quiescence();
+  // Tup: the recovered prefix reappears everywhere in ~2 propagation hops.
+  EXPECT_GT(sink.rib_changes(0), 0u);
+  EXPECT_LT(sink.convergence_delay_s(0), 1.0);
+  EXPECT_GT(sink.mean_delay_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

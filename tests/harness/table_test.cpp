@@ -1,0 +1,56 @@
+#include "harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace bgpsim::harness {
+namespace {
+
+TEST(Table, PrintsHeaderSeparatorAndRows) {
+  Table t{{"name", "value"}};
+  t.add_row({"alpha", "1.00"});
+  t.add_row({"beta", "22.50"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.50"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t{{"x", "longheader"}};
+  t.add_row({"verylongcell", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is{os.str()};
+  std::string header;
+  std::string sep;
+  std::string row;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  t.print(os);  // must not throw or crash
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, FmtFixesPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(1234.5, 1), "1234.5");
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -1,0 +1,91 @@
+#include "harness/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "failure/failure.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+using bgp::testing::deterministic_config;
+
+TEST(Timeline, SamplesUntilQuiescenceAndStops) {
+  const auto g = bgp::testing::line(4);
+  bgp::Network net{g, deterministic_config(),
+                   std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(2.0)), 1};
+  net.start();
+  TimelineRecorder rec{net, sim::SimTime::seconds(1.0)};
+  rec.start();
+  net.run_to_quiescence();
+  ASSERT_FALSE(rec.samples().empty());
+  // Samples are evenly spaced and strictly increasing in time.
+  for (std::size_t i = 1; i < rec.samples().size(); ++i) {
+    EXPECT_NEAR(rec.samples()[i].t_seconds - rec.samples()[i - 1].t_seconds, 1.0, 1e-9);
+  }
+  // The recorder stopped itself: the run terminated (we got here) and the
+  // last sample is within one interval of the last event.
+}
+
+TEST(Timeline, IntervalDeltasSumToTotals) {
+  const auto g = bgp::testing::clique(5);
+  bgp::Network net{g, deterministic_config(),
+                   std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1};
+  net.start();
+  TimelineRecorder rec{net, sim::SimTime::seconds(0.5)};
+  rec.start();
+  net.run_to_quiescence();
+  std::uint64_t sent = 0;
+  std::uint64_t rib = 0;
+  for (const auto& s : rec.samples()) {
+    sent += s.updates_sent;
+    rib += s.rib_changes;
+  }
+  // Everything after recorder start is covered by samples (the recorder
+  // started at t=0 alongside origination).
+  EXPECT_EQ(sent, net.metrics().updates_sent);
+  EXPECT_EQ(rib, net.metrics().rib_changes);
+}
+
+TEST(Timeline, DetectsOverloadAfterFailure) {
+  // A star hub bombarded by teardown + re-advertisement work shows a
+  // non-zero queue at some sample when processing is slow.
+  auto cfg = deterministic_config();
+  cfg.proc_min = sim::SimTime::from_ms(50);
+  cfg.proc_max = sim::SimTime::from_ms(50);
+  const auto g = bgp::testing::clique(8);
+  bgp::Network net{g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1};
+  net.start();
+  net.run_to_quiescence();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                 [&] { net.fail_nodes({0, 1, 2}); });
+  TimelineRecorder rec{net, sim::SimTime::seconds(0.25),
+                       /*overload_threshold=*/sim::SimTime::from_ms(100)};
+  rec.start();
+  net.run_to_quiescence();
+  EXPECT_GT(rec.peak_queue(), 0u);
+  EXPECT_GT(rec.peak_interval_updates(), 0u);
+}
+
+TEST(Timeline, PrintElidesLongSeries) {
+  const auto g = bgp::testing::line(3);
+  bgp::Network net{g, deterministic_config(),
+                   std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(30.0)), 1};
+  net.start();
+  TimelineRecorder rec{net, sim::SimTime::seconds(0.5)};
+  rec.start();
+  net.run_to_quiescence();
+  ASSERT_GT(rec.samples().size(), 8u);
+  std::ostringstream os;
+  rec.print(os, 8);
+  EXPECT_NE(os.str().find("elided"), std::string::npos);
+  std::ostringstream full;
+  rec.print(full, 100000);
+  EXPECT_EQ(full.str().find("elided"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

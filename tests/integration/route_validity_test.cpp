@@ -1,0 +1,110 @@
+// Property sweep: after any failure, on any topology, under any scheme, the
+// converged Loc-RIBs must be mutually consistent (see harness/audit.hpp).
+// This is the end-to-end safety property of the whole simulator.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+struct Case {
+  std::string name;
+  TopologySpec::Kind kind;
+  std::size_t n;
+  double failure;
+  std::string scheme;  // "const0.5" | "const2.25" | "batch" | "dynamic" | "degree" | "both"
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  auto s = info.param.name + "_s" + std::to_string(info.param.seed);
+  for (auto& c : s) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return s;
+}
+
+SchemeSpec scheme_from(const std::string& name) {
+  if (name == "const0.5") return SchemeSpec::constant(0.5);
+  if (name == "const2.25") return SchemeSpec::constant(2.25);
+  if (name == "batch") return SchemeSpec::constant(0.5, /*batch=*/true);
+  if (name == "dynamic") return SchemeSpec::dynamic_mrai();
+  if (name == "both") return SchemeSpec::dynamic_mrai({}, /*batch=*/true);
+  if (name == "degree") return SchemeSpec::degree_dependent(0.5, 2.25);
+  if (name == "extent") return SchemeSpec::extent_mrai();
+  if (name == "tcp" || name == "policy" || name == "multiprefix" || name == "ssld") {
+    return SchemeSpec::constant(0.5);  // knob set in the test body
+  }
+  throw std::invalid_argument{"unknown scheme " + name};
+}
+
+class RouteValidity : public ::testing::TestWithParam<Case> {};
+
+TEST_P(RouteValidity, ConvergedRibsAreConsistent) {
+  const auto& c = GetParam();
+  ExperimentConfig cfg;
+  cfg.topology.kind = c.kind;
+  cfg.topology.n = c.n;
+  if (c.kind == TopologySpec::Kind::kHierarchical) {
+    cfg.topology.hier.num_ases = c.n / 3;
+    cfg.topology.hier.max_total_routers = c.n;
+    cfg.topology.hier.max_inter_as_degree = 8;
+  }
+  cfg.scheme = scheme_from(c.scheme);
+  if (c.scheme == "tcp") cfg.bgp.queue = bgp::QueueDiscipline::kTcpBatch;
+  if (c.scheme == "policy") cfg.topology.policy_routing = true;
+  if (c.scheme == "multiprefix") cfg.bgp.prefixes_per_origin = 3;
+  if (c.scheme == "ssld") cfg.bgp.sender_side_loop_detection = true;
+  cfg.failure_fraction = c.failure;
+  cfg.seed = c.seed;
+  const auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+  EXPECT_GE(r.convergence_delay_s, 0.0);
+  EXPECT_GT(r.initial_convergence_s, 0.0);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  // Schemes x failure sizes on the paper's skewed topology.
+  for (const auto* scheme : {"const0.5", "const2.25", "batch", "dynamic", "degree", "both"}) {
+    for (const double failure : {0.02, 0.10}) {
+      for (std::uint64_t seed : {1ull, 2ull}) {
+        cases.push_back({std::string{"skew_"} + scheme + "_f" +
+                             std::to_string(static_cast<int>(failure * 100)),
+                         TopologySpec::Kind::kSkewed, 48, failure, scheme, seed});
+      }
+    }
+  }
+  // Every topology family under the default scheme.
+  for (const auto kind :
+       {TopologySpec::Kind::kInternetLike, TopologySpec::Kind::kWaxman,
+        TopologySpec::Kind::kBarabasiAlbert, TopologySpec::Kind::kGlp,
+        TopologySpec::Kind::kHierarchical}) {
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      cases.push_back({"kind" + std::to_string(static_cast<int>(kind)),
+                       kind, 45, 0.10, "const0.5", seed});
+    }
+  }
+  // Large failure stress (20%, the paper's maximum).
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    cases.push_back({"skew_large", TopologySpec::Kind::kSkewed, 48, 0.20, "const0.5", seed});
+    cases.push_back({"skew_large_batch", TopologySpec::Kind::kSkewed, 48, 0.20, "batch", seed});
+  }
+  // Protocol-knob variants (TCP batching, policy routing, multi-prefix,
+  // SSLD, extent-MRAI) under a sizeable failure.
+  for (const auto* knob : {"tcp", "policy", "multiprefix", "ssld", "extent"}) {
+    for (std::uint64_t seed : {1ull, 2ull}) {
+      cases.push_back({std::string{"knob_"} + knob, TopologySpec::Kind::kSkewed, 48, 0.10,
+                       knob, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RouteValidity, ::testing::ValuesIn(make_cases()), case_name);
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -1,0 +1,136 @@
+// Statistical properties of the paper's schemes, checked on fixed seeds so
+// the tests are deterministic. Tolerances are deliberately loose: these
+// guard the *direction* of each effect, the benches measure magnitudes.
+#include <gtest/gtest.h>
+
+#include "failure/failure.hpp"
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+ExperimentConfig base(double failure, std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topology.n = 60;
+  cfg.failure_fraction = failure;
+  cfg.seed = seed;
+  return cfg;
+}
+
+class BatchingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchingProperty, NeverGeneratesMoreMessagesUnderOverload) {
+  // Paper Fig 11: batching's whole purpose is to cut the update count of
+  // overloaded nodes. At MRAI=0.5 s and 10% failure the FIFO network is
+  // deeply overloaded; batching must not do worse.
+  auto cfg = base(0.10, GetParam());
+  cfg.scheme = SchemeSpec::constant(0.5, /*batch=*/false);
+  const auto fifo = run_experiment(cfg);
+  cfg.scheme = SchemeSpec::constant(0.5, /*batch=*/true);
+  const auto batched = run_experiment(cfg);
+  EXPECT_LE(batched.messages_after_failure, fifo.messages_after_failure);
+  EXPECT_LE(batched.convergence_delay_s, fifo.convergence_delay_s * 1.05);
+  EXPECT_TRUE(batched.routes_valid) << batched.audit_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchingProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BatchingProperty, SubstantialReductionForLargeFailures) {
+  // Paper abstract: "reduce the convergence delays (by a factor of 3 or
+  // more)" for large failures at low MRAI.
+  auto cfg = base(0.15);
+  cfg.topology.n = 80;
+  cfg.scheme = SchemeSpec::constant(0.5, false);
+  const auto fifo = run_averaged(cfg, 3);
+  cfg.scheme = SchemeSpec::constant(0.5, true);
+  const auto batched = run_averaged(cfg, 3);
+  EXPECT_LT(batched.delay.mean * 3.0, fifo.delay.mean);
+}
+
+TEST(BatchingProperty, NoEffectWithoutOverload) {
+  // Paper Fig 12: above the optimal MRAI there is nothing to batch; the
+  // queues stay short and the delta is small.
+  auto cfg = base(0.02);
+  cfg.scheme = SchemeSpec::constant(3.0, false);
+  const auto fifo = run_averaged(cfg, 3);
+  cfg.scheme = SchemeSpec::constant(3.0, true);
+  const auto batched = run_averaged(cfg, 3);
+  EXPECT_NEAR(batched.delay.mean, fifo.delay.mean, 0.5 * fifo.delay.mean + 1.0);
+}
+
+class DynamicProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicProperty, LargeFailureDelayFarBelowLowConstantMrai) {
+  // Paper Fig 7: for large failures the dynamic scheme is "much less than"
+  // MRAI=0.5 s.
+  auto cfg = base(0.10, GetParam());
+  cfg.scheme = SchemeSpec::constant(0.5);
+  const auto low = run_experiment(cfg);
+  cfg.scheme = SchemeSpec::dynamic_mrai();
+  const auto dyn = run_experiment(cfg);
+  EXPECT_LT(dyn.convergence_delay_s, 0.75 * low.convergence_delay_s);
+  EXPECT_TRUE(dyn.routes_valid) << dyn.audit_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicProperty, ::testing::Values(1, 2, 3));
+
+TEST(DynamicProperty, SmallFailureDelayStaysNearLowMrai) {
+  // Paper Fig 7: for small failures the dynamic scheme tracks (or beats)
+  // the small constant MRAI; it must not behave like constant-2.25 s.
+  auto cfg = base(0.02);
+  cfg.scheme = SchemeSpec::constant(0.5);
+  const auto low = run_averaged(cfg, 4);
+  cfg.scheme = SchemeSpec::dynamic_mrai();
+  const auto dyn = run_averaged(cfg, 4);
+  EXPECT_LT(dyn.delay.mean, 2.0 * low.delay.mean);
+}
+
+TEST(DynamicProperty, LevelsActuallyMove) {
+  // The adaptive controller must engage under a large failure.
+  schemes::DynamicMraiParams p;
+  auto controller = std::make_shared<schemes::DynamicMrai>(p);
+  topo::SkewSpec skew = topo::SkewSpec::s70_30();
+  sim::Rng rng{9};
+  auto degrees = topo::skewed_sequence(60, skew, rng);
+  auto g = topo::realize_degree_sequence(degrees, rng);
+  g.place_randomly(1000, 1000, rng);
+  bgp::BgpConfig cfg;
+  bgp::Network net{g, cfg, controller, 9};
+  net.start();
+  net.run_to_quiescence();
+  controller->reset();
+  net.scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] {
+    net.fail_nodes(failure::geographic_fraction(net.positions(), 0.10, {500, 500}));
+  });
+  net.run_to_quiescence();
+  EXPECT_GT(controller->ups(), 0u);
+}
+
+class DegreeDependentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DegreeDependentProperty, BeatsReversedAssignmentForLargeFailures) {
+  // Paper Fig 6: (low 0.5, high 2.25) has much lower large-failure delay
+  // than the reversed (low 2.25, high 0.5) -- the high-degree nodes drive
+  // convergence.
+  auto cfg = base(0.10, GetParam());
+  cfg.scheme = SchemeSpec::degree_dependent(0.5, 2.25);
+  const auto good = run_experiment(cfg);
+  cfg.scheme = SchemeSpec::degree_dependent(2.25, 0.5);  // reversed
+  const auto reversed = run_experiment(cfg);
+  EXPECT_LT(good.convergence_delay_s, reversed.convergence_delay_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegreeDependentProperty, ::testing::Values(1, 2, 3));
+
+TEST(CombinedProperty, BatchingPlusDynamicIsNoWorseThanDynamicAlone) {
+  // Paper Fig 10: combining the two schemes decreases delays further.
+  auto cfg = base(0.10);
+  cfg.scheme = SchemeSpec::dynamic_mrai();
+  const auto dyn = run_averaged(cfg, 4);
+  cfg.scheme = SchemeSpec::dynamic_mrai({}, /*batch=*/true);
+  const auto both = run_averaged(cfg, 4);
+  EXPECT_LE(both.delay.mean, dyn.delay.mean * 1.1);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

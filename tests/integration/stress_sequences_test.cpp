@@ -1,0 +1,131 @@
+// Adversarial event sequences: failures during convergence, overlapping
+// failure waves, recovery racing new failures. The invariant under test is
+// always the same -- once the network quiesces, the audit must hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "failure/failure.hpp"
+#include "harness/audit.hpp"
+#include "topo/degree_sequence.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+std::unique_ptr<bgp::Network> skewed_net(std::size_t n, std::uint64_t seed,
+                                         double mrai = 0.5,
+                                         bgp::QueueDiscipline queue =
+                                             bgp::QueueDiscipline::kFifo) {
+  sim::Rng rng{seed};
+  auto degrees = topo::skewed_sequence(n, topo::SkewSpec::s70_30(), rng);
+  auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+  g.place_randomly(1000, 1000, rng);
+  bgp::BgpConfig cfg;
+  cfg.queue = queue;
+  return std::make_unique<bgp::Network>(
+      g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(mrai)), seed);
+}
+
+class StressSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSeed, FailureDuringInitialConvergence) {
+  // The region dies while the cold-start flood is still in progress.
+  auto net = skewed_net(48, GetParam());
+  net->start();
+  net->scheduler().schedule_at(sim::SimTime::seconds(2.0), [&] {
+    net->fail_nodes(failure::geographic_fraction(net->positions(), 0.10, {500, 500}));
+  });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST_P(StressSeed, TwoOverlappingFailureWaves) {
+  // A second, disjoint region fails while the network is still digesting
+  // the first failure.
+  auto net = skewed_net(60, GetParam());
+  net->start();
+  net->run_to_quiescence();
+  const auto wave1 = failure::geographic_fraction(net->positions(), 0.08, {500, 500});
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&, wave1] { net->fail_nodes(wave1); });
+  net->scheduler().schedule_after(sim::SimTime::seconds(3.0), [&] {
+    // Corner region; skip nodes already dead.
+    auto wave2 = failure::geographic_fraction(net->positions(), 0.25, {0, 0});
+    std::vector<topo::NodeId> alive_victims;
+    for (const auto v : wave2) {
+      if (net->router(v).alive()) alive_victims.push_back(v);
+    }
+    net->fail_nodes(alive_victims);
+  });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST_P(StressSeed, RecoveryWhileStillConverging) {
+  // The region comes back up only two seconds after it failed -- long
+  // before the withdrawal storm has settled.
+  auto net = skewed_net(48, GetParam());
+  net->start();
+  net->run_to_quiescence();
+  const auto victims = failure::geographic_fraction(net->positions(), 0.15, {500, 500});
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                  [&, victims] { net->fail_nodes(victims); });
+  net->scheduler().schedule_after(sim::SimTime::seconds(3.0),
+                                  [&, victims] { net->recover_nodes(victims); });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+  // Everything is back: full reachability.
+  for (const auto v : net->alive_nodes()) {
+    EXPECT_EQ(net->router(v).known_prefixes().size(), net->size()) << "router " << v;
+  }
+}
+
+TEST_P(StressSeed, RepeatedFailRecoverCycles) {
+  auto net = skewed_net(36, GetParam(), /*mrai=*/0.5, bgp::QueueDiscipline::kBatched);
+  net->start();
+  net->run_to_quiescence();
+  const auto victims = failure::geographic_fraction(net->positions(), 0.15, {500, 500});
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                    [&, victims] { net->fail_nodes(victims); });
+    net->run_to_quiescence();
+    net->scheduler().schedule_after(sim::SimTime::seconds(1.0),
+                                    [&, victims] { net->recover_nodes(victims); });
+    net->run_to_quiescence();
+  }
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+TEST_P(StressSeed, EverythingDiesExceptOneComponent) {
+  // Fail 60% of the network -- far beyond the paper's 20% -- and check the
+  // survivors still sort themselves out.
+  auto net = skewed_net(40, GetParam());
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] {
+    net->fail_nodes(failure::geographic_fraction(net->positions(), 0.60, {500, 500}));
+  });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed, ::testing::Values(1, 2, 3, 4));
+
+TEST(Stress, ScatteredRandomFailure) {
+  // The paper focuses on contiguous failures; scattered ones must still
+  // satisfy the audit.
+  auto net = skewed_net(60, 9);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] {
+    sim::Rng frng{99};
+    net->fail_nodes(failure::random_nodes(net->size(), 9, frng));
+  });
+  net->run_to_quiescence();
+  EXPECT_EQ(audit_routes(*net), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

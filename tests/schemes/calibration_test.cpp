@@ -1,0 +1,85 @@
+#include "schemes/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::schemes {
+namespace {
+
+TEST(EstimateOptimalMrai, ScalesWithAllFactors) {
+  const auto base =
+      estimate_optimal_mrai(8, 120, 0.05, sim::SimTime::from_us(15500));
+  // Twice the hub degree -> twice the knee; same for failure size and
+  // processing delay.
+  EXPECT_EQ(estimate_optimal_mrai(16, 120, 0.05, sim::SimTime::from_us(15500)).ns(),
+            2 * base.ns());
+  EXPECT_EQ(estimate_optimal_mrai(8, 120, 0.10, sim::SimTime::from_us(15500)).ns(),
+            2 * base.ns());
+  EXPECT_EQ(estimate_optimal_mrai(8, 120, 0.05, sim::SimTime::from_us(31000)).ns(),
+            2 * base.ns());
+}
+
+TEST(EstimateOptimalMrai, PaperRegimeValues) {
+  // 70-30 topology: hubs of degree 8, 120 prefixes, E[proc]=15.5 ms.
+  const auto proc = sim::SimTime::from_us(15500);
+  // 1%: well under the deployable floor -- the measured optimum is 0.5 s.
+  EXPECT_LT(estimate_optimal_mrai(8, 120, 0.01, proc), sim::SimTime::seconds(0.5));
+  // 15%: ~2.2 s, right at the paper's 2.25 s level for 10-20% failures.
+  const auto large = estimate_optimal_mrai(8, 120, 0.15, proc);
+  EXPECT_GT(large, sim::SimTime::seconds(1.8));
+  EXPECT_LT(large, sim::SimTime::seconds(2.7));
+}
+
+TEST(SuggestDynamicParams, ProducesValidControllerParams) {
+  CalibrationInput input;  // paper defaults
+  const auto params = suggest_dynamic_params(input);
+  ASSERT_EQ(params.levels.size(), 3u);
+  EXPECT_LT(params.levels[0], params.levels[1]);
+  EXPECT_LT(params.levels[1], params.levels[2]);
+  EXPECT_LT(params.down_th, params.up_th);
+  EXPECT_GE(params.levels[0], sim::SimTime::seconds(0.5));
+  // The constructor validates too -- must not throw.
+  DynamicMrai controller{params};
+}
+
+TEST(SuggestDynamicParams, LevelsNearThePapersChoice) {
+  // For the paper's 120-node 70-30 setup the suggested set should resemble
+  // {0.5, 1.25, 2.25} s: same floor, same order of magnitude steps.
+  const auto params = suggest_dynamic_params(CalibrationInput{});
+  EXPECT_EQ(params.levels[0], sim::SimTime::seconds(0.5));
+  EXPECT_GT(params.levels[1], sim::SimTime::seconds(0.5));
+  EXPECT_LT(params.levels[1], sim::SimTime::seconds(1.6));
+  EXPECT_GT(params.levels[2], sim::SimTime::seconds(1.5));
+  EXPECT_LT(params.levels[2], sim::SimTime::seconds(3.0));
+}
+
+TEST(SuggestDynamicParams, GraphOverloadReadsTopology) {
+  sim::Rng rng{3};
+  auto degrees = topo::skewed_sequence(120, topo::SkewSpec::s85_15(), rng);
+  const auto g = topo::realize_degree_sequence(std::move(degrees), rng);
+  const auto params = suggest_dynamic_params(g, sim::SimTime::from_us(15500));
+  // Degree-14 hubs => larger knees than the 70-30 defaults.
+  const auto base = suggest_dynamic_params(CalibrationInput{});
+  EXPECT_GT(params.levels[2], base.levels[2]);
+}
+
+TEST(SuggestDynamicParams, CalibratedControllerWorksEndToEnd) {
+  // Use the analytic parameters (no measurement campaign) in a real run:
+  // it must stay near the lower envelope like the hand-tuned set.
+  harness::ExperimentConfig cfg;
+  cfg.topology.n = 60;
+  cfg.failure_fraction = 0.10;
+  CalibrationInput input;
+  input.num_prefixes = 60;
+  cfg.scheme = harness::SchemeSpec::dynamic_mrai(suggest_dynamic_params(input));
+  const auto calibrated = harness::run_experiment(cfg);
+  EXPECT_TRUE(calibrated.routes_valid) << calibrated.audit_error;
+
+  cfg.scheme = harness::SchemeSpec::constant(0.5);
+  const auto low = harness::run_experiment(cfg);
+  EXPECT_LT(calibrated.convergence_delay_s, low.convergence_delay_s);
+}
+
+}  // namespace
+}  // namespace bgpsim::schemes

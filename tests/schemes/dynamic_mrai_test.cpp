@@ -1,0 +1,193 @@
+#include "schemes/dynamic_mrai.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bgp/network.hpp"
+#include "../bgp/test_util.hpp"
+
+namespace bgpsim::schemes {
+namespace {
+
+using bgp::testing::deterministic_config;
+using bgp::testing::star;
+
+/// Builds a network whose routers can be handed to the controller; the
+/// controller under test is NOT installed so we can drive it manually.
+struct ControllerHarness {
+  ControllerHarness()
+      : graph{star(3)},
+        net{graph, deterministic_config(), std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(1.0)),
+            1} {}
+  topo::Graph graph;
+  bgp::Network net;
+};
+
+TEST(DynamicMrai, StartsAtLowestLevel) {
+  ControllerHarness h;
+  DynamicMrai ctl{DynamicMraiParams{}};
+  EXPECT_EQ(ctl.interval(h.net.router(0), 1), sim::SimTime::seconds(0.5));
+  EXPECT_EQ(ctl.level(0), 0u);
+}
+
+TEST(DynamicMrai, StepsUpWhenUnfinishedWorkExceedsUpTh) {
+  ControllerHarness h;
+  DynamicMrai ctl{DynamicMraiParams{}};
+  // upTh = 0.65 s; mean processing delay is 1 ms in the deterministic
+  // config, so > 650 queued messages trip the threshold.
+  auto& r = h.net.router(0);
+  for (int i = 0; i < 700; ++i) {
+    bgp::UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    r.deliver(m);
+  }
+  EXPECT_GT(r.unfinished_work(), sim::SimTime::seconds(0.65));
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(1.25));
+  EXPECT_EQ(ctl.level(0), 1u);
+  EXPECT_EQ(ctl.ups(), 1u);
+  // Still overloaded at the next restart: one more step, then saturate.
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(2.25));
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(2.25));
+  EXPECT_EQ(ctl.level(0), 2u);
+}
+
+TEST(DynamicMrai, StepsDownWhenIdle) {
+  ControllerHarness h;
+  DynamicMraiParams p;
+  DynamicMrai ctl{p};
+  auto& r = h.net.router(0);
+  for (int i = 0; i < 700; ++i) {
+    bgp::UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    r.deliver(m);
+  }
+  ctl.interval(r, 1);
+  ASSERT_EQ(ctl.level(0), 1u);
+  // Drain the queue (fresh router in a fresh harness would be cleaner, but
+  // running the network empties the CPU queue).
+  h.net.run_to_quiescence();
+  EXPECT_EQ(r.input_queue_length(), 0u);
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(0.5));
+  EXPECT_EQ(ctl.downs(), 1u);
+  // Already at the bottom: stays there.
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(0.5));
+}
+
+TEST(DynamicMrai, DeadBandHoldsLevel) {
+  ControllerHarness h;
+  DynamicMraiParams p;  // upTh 0.65 s, downTh 0.05 s
+  DynamicMrai ctl{p};
+  auto& r = h.net.router(0);
+  auto deliver_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      bgp::UpdateMessage m;
+      m.from = 1;
+      m.to = 0;
+      m.prefix = 1;
+      r.deliver(m);
+    }
+  };
+  // Step up to level 1 under heavy load, then drain completely.
+  deliver_n(700);
+  ctl.interval(r, 1);
+  ASSERT_EQ(ctl.level(0), 1u);
+  h.net.run_to_quiescence();
+  // Refill to ~100 ms of unfinished work: inside the (downTh, upTh) band.
+  deliver_n(100);
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(1.25));  // held at level 1
+  EXPECT_EQ(ctl.level(0), 1u);
+  EXPECT_EQ(ctl.downs(), 0u);
+}
+
+TEST(DynamicMrai, ResetReturnsAllNodesToLevelZero) {
+  ControllerHarness h;
+  DynamicMrai ctl{DynamicMraiParams{}};
+  auto& r = h.net.router(0);
+  for (int i = 0; i < 700; ++i) {
+    bgp::UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    r.deliver(m);
+  }
+  ctl.interval(r, 1);
+  ASSERT_GT(ctl.level(0), 0u);
+  ctl.reset();
+  EXPECT_EQ(ctl.level(0), 0u);
+  EXPECT_EQ(ctl.ups(), 0u);
+}
+
+TEST(DynamicMrai, MinDegreeGateKeepsLowDegreeNodesAtBase) {
+  ControllerHarness h;
+  DynamicMraiParams p;
+  p.min_degree = 3;  // hub (degree 3) adapts, leaves (degree 1) do not
+  DynamicMrai ctl{p};
+  auto& leaf = h.net.router(1);
+  for (int i = 0; i < 700; ++i) {
+    bgp::UpdateMessage m;
+    m.from = 0;
+    m.to = 1;
+    m.prefix = 2;
+    leaf.deliver(m);
+  }
+  EXPECT_EQ(ctl.interval(leaf, 0), sim::SimTime::seconds(0.5));
+  EXPECT_EQ(ctl.level(1), 0u);
+}
+
+TEST(DynamicMrai, ValidatesParams) {
+  DynamicMraiParams empty;
+  empty.levels.clear();
+  EXPECT_THROW(DynamicMrai{empty}, std::invalid_argument);
+
+  DynamicMraiParams unsorted;
+  unsorted.levels = {sim::SimTime::seconds(1.0), sim::SimTime::seconds(0.5)};
+  EXPECT_THROW(DynamicMrai{unsorted}, std::invalid_argument);
+
+  DynamicMraiParams crossed;
+  crossed.down_th = sim::SimTime::seconds(1.0);
+  crossed.up_th = sim::SimTime::seconds(0.5);
+  EXPECT_THROW(DynamicMrai{crossed}, std::invalid_argument);
+}
+
+TEST(DynamicMrai, UtilizationMonitorVariant) {
+  ControllerHarness h;
+  DynamicMraiParams p;
+  p.monitor = DynamicMraiParams::Monitor::kUtilization;
+  p.up_util = 0.0;  // any recorded busy time trips it
+  DynamicMrai ctl{p};
+  auto& r = h.net.router(0);
+  bgp::UpdateMessage m;
+  m.from = 1;
+  m.to = 0;
+  m.prefix = 1;
+  r.deliver(m);
+  h.net.run_to_quiescence();
+  EXPECT_GT(r.recent_utilization(), 0.0);
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(1.25));
+}
+
+TEST(DynamicMrai, MessageRateMonitorVariant) {
+  ControllerHarness h;
+  DynamicMraiParams p;
+  p.monitor = DynamicMraiParams::Monitor::kMessageRate;
+  p.up_rate = 10.0;
+  DynamicMrai ctl{p};
+  auto& r = h.net.router(0);
+  for (int i = 0; i < 200; ++i) {
+    bgp::UpdateMessage m;
+    m.from = 1;
+    m.to = 0;
+    m.prefix = 1;
+    r.deliver(m);
+  }
+  EXPECT_GT(r.recent_message_rate(), 10.0);
+  EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(1.25));
+}
+
+}  // namespace
+}  // namespace bgpsim::schemes

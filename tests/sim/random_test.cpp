@@ -1,0 +1,134 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bgpsim::sim {
+namespace {
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{2};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(1, 3));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Rng, UniformTimeWithinBounds) {
+  Rng rng{3};
+  const auto lo = SimTime::from_ms(1);
+  const auto hi = SimTime::from_ms(30);
+  for (int i = 0; i < 1000; ++i) {
+    const auto t = rng.uniform_time(lo, hi);
+    EXPECT_GE(t, lo);
+    EXPECT_LT(t, hi);
+  }
+}
+
+TEST(Rng, JitterReducesByAtMostQuarter) {
+  // RFC 1771 as applied in the paper: configured value scaled by U(0.75, 1).
+  Rng rng{4};
+  const auto base = SimTime::seconds(2.0);
+  for (int i = 0; i < 1000; ++i) {
+    const auto j = rng.jittered(base);
+    EXPECT_GE(j, base * 0.75);
+    EXPECT_LE(j, base);
+  }
+}
+
+TEST(Rng, Determinism) {
+  Rng a{77};
+  Rng b{77};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng{5};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.bounded_pareto(1.5, 1, 100);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailedButMostlySmall) {
+  Rng rng{6};
+  int small = 0;
+  int large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.bounded_pareto(1.5, 1, 100);
+    if (v <= 3) ++small;
+    if (v >= 50) ++large;
+  }
+  EXPECT_GT(small, n / 2);  // most mass at the bottom
+  EXPECT_GT(large, 0);      // but the tail is populated
+}
+
+TEST(Rng, BoundedParetoDegenerateRange) {
+  Rng rng{7};
+  EXPECT_EQ(rng.bounded_pareto(2.0, 5, 5), 5);
+}
+
+TEST(Rng, BoundedParetoRejectsBadBounds) {
+  Rng rng{8};
+  EXPECT_THROW(rng.bounded_pareto(1.0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(1.0, 10, 5), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{9};
+  const std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted_index(w), 1u);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng{10};
+  const std::vector<double> w{1.0, 3.0};
+  int count1 = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  Rng rng{11};
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng{12};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{13};
+  Rng child = a.fork();
+  // The child must be deterministic given the parent seed.
+  Rng b{13};
+  Rng child2 = b.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(child.uniform_int(0, 1'000'000), child2.uniform_int(0, 1'000'000));
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

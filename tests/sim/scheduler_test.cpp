@@ -1,0 +1,138 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgpsim::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_ms(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::from_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_ms(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::from_ms(30));
+}
+
+TEST(Scheduler, SameTimeEventsFireInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(SimTime::from_ms(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelativeToNow) {
+  Scheduler s;
+  SimTime inner_fire;
+  s.schedule_at(SimTime::from_ms(10), [&] {
+    s.schedule_after(SimTime::from_ms(5), [&] { inner_fire = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(inner_fire, SimTime::from_ms(15));
+}
+
+TEST(Scheduler, RejectsSchedulingIntoThePast) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime::from_ms(5), [] {}), std::logic_error);
+}
+
+TEST(Scheduler, SchedulingAtNowIsAllowed) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(SimTime::from_ms(10), [&] {
+    s.schedule_at(s.now(), [&] { fired = true; });
+  });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.schedule_at(SimTime::from_ms(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterRun) {
+  Scheduler s;
+  auto h = s.schedule_at(SimTime::from_ms(1), [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+  h.cancel();
+}
+
+TEST(Scheduler, HandleReportsFiredEventsAsNotPending) {
+  Scheduler s;
+  auto h = s.schedule_at(SimTime::from_ms(1), [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, RunUntilStopsAtLimit) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::from_ms(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::from_ms(20), [&] { order.push_back(2); });
+  s.schedule_at(SimTime::from_ms(30), [&] { order.push_back(3); });
+  s.run_until(SimTime::from_ms(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(s.empty());
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunReturnsTimeOfLastEvent) {
+  Scheduler s;
+  s.schedule_at(SimTime::from_ms(42), [] {});
+  EXPECT_EQ(s.run(), SimTime::from_ms(42));
+}
+
+TEST(Scheduler, EventsScheduledDuringRunAreExecuted) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(SimTime::from_ms(1), recurse);
+  };
+  s.schedule_at(SimTime::zero(), recurse);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), SimTime::from_ms(4));
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Scheduler, ExecutedEventsExcludesCancelled) {
+  Scheduler s;
+  auto h = s.schedule_at(SimTime::from_ms(1), [] {});
+  s.schedule_at(SimTime::from_ms(2), [] {});
+  h.cancel();
+  s.run();
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Scheduler, CancelFromWithinEarlierEvent) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.schedule_at(SimTime::from_ms(20), [&] { fired = true; });
+  s.schedule_at(SimTime::from_ms(10), [&] { h.cancel(); });
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

@@ -1,0 +1,50 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_EQ(t, SimTime::zero());
+}
+
+TEST(SimTime, FactoryConversions) {
+  EXPECT_EQ(SimTime::from_ms(25).ns(), 25'000'000);
+  EXPECT_EQ(SimTime::from_us(3).ns(), 3'000);
+  EXPECT_EQ(SimTime::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.25).to_seconds(), 2.25);
+  EXPECT_DOUBLE_EQ(SimTime::from_ms(30).to_millis(), 30.0);
+}
+
+TEST(SimTime, SecondsRoundsToNearestNanosecond) {
+  EXPECT_EQ(SimTime::seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimTime::seconds(0.4e-9).ns(), 0);
+  EXPECT_EQ(SimTime::seconds(0.6e-9).ns(), 1);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::from_ms(10);
+  const auto b = SimTime::from_ms(3);
+  EXPECT_EQ((a + b).ns(), 13'000'000);
+  EXPECT_EQ((a - b).ns(), 7'000'000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::from_ms(13));
+}
+
+TEST(SimTime, ScalingByDouble) {
+  EXPECT_EQ((SimTime::seconds(2.0) * 0.75).ns(), 1'500'000'000);
+  EXPECT_EQ((SimTime::from_ns(100) * 0.5).ns(), 50);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_ms(1), SimTime::from_ms(2));
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e9));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

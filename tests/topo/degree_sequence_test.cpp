@@ -1,0 +1,153 @@
+#include "topo/degree_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bgpsim::topo {
+namespace {
+
+TEST(SkewSpec, PresetAveragesMatchPaper) {
+  // All three skews in Fig 4 share average degree 3.8; the dense 50-50 in
+  // Fig 5 doubles it.
+  EXPECT_NEAR(SkewSpec::s70_30().expected_average(), 3.8, 1e-9);
+  EXPECT_NEAR(SkewSpec::s50_50().expected_average(), 3.8, 1e-9);
+  EXPECT_NEAR(SkewSpec::s85_15().expected_average(), 3.8, 1e-9);
+  EXPECT_NEAR(SkewSpec::s50_50_dense().expected_average(), 7.6, 1e-9);
+}
+
+TEST(SkewedSequence, CountsAndRanges) {
+  sim::Rng rng{1};
+  const auto spec = SkewSpec::s70_30();
+  const auto seq = skewed_sequence(120, spec, rng);
+  ASSERT_EQ(seq.size(), 120u);
+  int low = 0;
+  int high = 0;
+  for (const int d : seq) {
+    if (d >= 1 && d <= 3) {
+      ++low;
+    } else if (d == 8) {
+      ++high;
+    } else {
+      FAIL() << "unexpected degree " << d;
+    }
+  }
+  EXPECT_EQ(low, 84);   // 70% of 120
+  EXPECT_EQ(high, 36);  // 30% of 120
+}
+
+TEST(SkewedSequence, EmpiricalAverageNearTarget) {
+  sim::Rng rng{2};
+  const auto seq = skewed_sequence(2000, SkewSpec::s85_15(), rng);
+  const double avg = static_cast<double>(std::accumulate(seq.begin(), seq.end(), 0)) /
+                     static_cast<double>(seq.size());
+  EXPECT_NEAR(avg, 3.8, 0.15);
+}
+
+TEST(SkewedSequence, RejectsBadSpec) {
+  sim::Rng rng{3};
+  SkewSpec spec;
+  spec.high_degrees.clear();
+  spec.high_weights.clear();
+  EXPECT_THROW(skewed_sequence(10, spec, rng), std::invalid_argument);
+}
+
+TEST(InternetLikeSequence, HitsTargetAverage) {
+  sim::Rng rng{4};
+  const auto seq = internet_like_sequence(5000, 40, 3.4, rng);
+  const double avg = static_cast<double>(std::accumulate(seq.begin(), seq.end(), 0)) /
+                     static_cast<double>(seq.size());
+  EXPECT_NEAR(avg, 3.4, 0.2);
+}
+
+TEST(InternetLikeSequence, RespectsCapAndMirrorsInternetShape) {
+  sim::Rng rng{5};
+  const auto seq = internet_like_sequence(5000, 40, 3.4, rng);
+  int below4 = 0;
+  for (const int d : seq) {
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, 40);
+    if (d < 4) ++below4;
+  }
+  // Paper section 3.1: ~70% of real ASes connect to fewer than 4 others.
+  EXPECT_NEAR(static_cast<double>(below4) / static_cast<double>(seq.size()), 0.7, 0.12);
+}
+
+TEST(InternetLikeSequence, RejectsUnreachableTarget) {
+  sim::Rng rng{6};
+  EXPECT_THROW(internet_like_sequence(100, 40, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(internet_like_sequence(100, 40, 39.0, rng), std::invalid_argument);
+}
+
+TEST(RealizeDegreeSequence, ExactDegreesSimpleConnected) {
+  sim::Rng rng{7};
+  const std::vector<int> degrees{3, 2, 2, 2, 1, 2};  // sum 12, even
+  RealizeStats stats;
+  const auto g = realize_degree_sequence(degrees, rng, &stats);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(stats.dropped_stubs, 0u);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    EXPECT_EQ(g.degree(v), static_cast<std::size_t>(degrees[v])) << "node " << v;
+  }
+}
+
+TEST(RealizeDegreeSequence, PaperScaleTopologyIsFaithful) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng{seed};
+    auto degrees = skewed_sequence(120, SkewSpec::s70_30(), rng);
+    RealizeStats stats;
+    const auto g = realize_degree_sequence(degrees, rng, &stats);
+    EXPECT_TRUE(g.is_connected()) << "seed " << seed;
+    EXPECT_NEAR(g.average_degree(), 3.8, 0.25) << "seed " << seed;
+    // Degree shortfall must be negligible.
+    EXPECT_LE(stats.dropped_stubs, 2u) << "seed " << seed;
+  }
+}
+
+TEST(RealizeDegreeSequence, OddTotalIsRepaired) {
+  sim::Rng rng{8};
+  const auto g = realize_degree_sequence({2, 2, 1, 2}, rng);  // sum 7 -> bumped
+  EXPECT_TRUE(g.is_connected());
+  std::size_t total = 0;
+  for (NodeId v = 0; v < g.size(); ++v) total += g.degree(v);
+  EXPECT_EQ(total % 2, 0u);
+}
+
+TEST(RealizeDegreeSequence, ZeroDegreesRaisedToOne) {
+  sim::Rng rng{9};
+  const auto g = realize_degree_sequence({0, 3, 2, 3, 2}, rng);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.degree(0), 1u);
+}
+
+TEST(RealizeDegreeSequence, RejectsInfeasible) {
+  sim::Rng rng{10};
+  EXPECT_THROW(realize_degree_sequence({1}, rng), std::invalid_argument);
+  // Degree larger than n-1 cannot be simple.
+  EXPECT_THROW(realize_degree_sequence({5, 1, 1, 1, 2}, rng), std::invalid_argument);
+  // Sum below 2(n-1) cannot be connected.
+  EXPECT_THROW(realize_degree_sequence({1, 1, 1, 1}, rng), std::invalid_argument);
+}
+
+TEST(RealizeDegreeSequence, HighSkewStillExact) {
+  // 85-15 has degree-14 hubs in a 120-node graph; rewiring must cope.
+  sim::Rng rng{11};
+  auto degrees = skewed_sequence(120, SkewSpec::s85_15(), rng);
+  RealizeStats stats;
+  const auto g = realize_degree_sequence(degrees, rng, &stats);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_LE(stats.dropped_stubs, 2u);
+  EXPECT_EQ(g.max_degree(), 14u);
+}
+
+TEST(RealizeDegreeSequence, DeterministicGivenSeed) {
+  sim::Rng rng1{12};
+  sim::Rng rng2{12};
+  const std::vector<int> degrees{3, 3, 2, 2, 2, 2, 1, 1};
+  const auto g1 = realize_degree_sequence(degrees, rng1);
+  const auto g2 = realize_degree_sequence(degrees, rng2);
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

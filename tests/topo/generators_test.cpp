@@ -1,0 +1,104 @@
+#include "topo/generators.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::topo {
+namespace {
+
+TEST(Waxman, ProducesConnectedGraphOfRequestedSize) {
+  sim::Rng rng{1};
+  WaxmanParams p;
+  p.n = 80;
+  const auto g = waxman(p, rng);
+  EXPECT_EQ(g.size(), 80u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.edge_count(), 79u);
+}
+
+TEST(Waxman, HigherAlphaMeansMoreEdges) {
+  sim::Rng rng1{2};
+  sim::Rng rng2{2};
+  WaxmanParams sparse;
+  sparse.n = 80;
+  sparse.alpha = 0.05;
+  WaxmanParams dense;
+  dense.n = 80;
+  dense.alpha = 0.5;
+  EXPECT_LT(waxman(sparse, rng1).edge_count(), waxman(dense, rng2).edge_count());
+}
+
+TEST(Waxman, NodesArePlaced) {
+  sim::Rng rng{3};
+  WaxmanParams p;
+  p.n = 20;
+  const auto g = waxman(p, rng);
+  bool any_nonzero = false;
+  for (NodeId v = 0; v < g.size(); ++v) {
+    if (g.position(v).x != 0.0 || g.position(v).y != 0.0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(BarabasiAlbert, ConnectedWithExpectedEdgeCount) {
+  sim::Rng rng{4};
+  BaParams p;
+  p.n = 100;
+  p.m = 2;
+  const auto g = barabasi_albert(p, rng);
+  EXPECT_EQ(g.size(), 100u);
+  EXPECT_TRUE(g.is_connected());
+  // Seed clique C(3,2)=3 edges + 2 per added node.
+  EXPECT_NEAR(static_cast<double>(g.edge_count()),
+              3.0 + 2.0 * static_cast<double>(p.n - 3), 5.0);
+}
+
+TEST(BarabasiAlbert, ProducesHubs) {
+  sim::Rng rng{5};
+  BaParams p;
+  p.n = 200;
+  p.m = 2;
+  const auto g = barabasi_albert(p, rng);
+  // Preferential attachment must concentrate degree well above the mean.
+  EXPECT_GE(g.max_degree(), 3 * static_cast<std::size_t>(g.average_degree()));
+}
+
+TEST(BarabasiAlbert, RejectsBadParams) {
+  sim::Rng rng{6};
+  BaParams p;
+  p.n = 2;
+  p.m = 2;
+  EXPECT_THROW(barabasi_albert(p, rng), std::invalid_argument);
+  p.n = 10;
+  p.m = 0;
+  EXPECT_THROW(barabasi_albert(p, rng), std::invalid_argument);
+}
+
+TEST(Glp, ConnectedAndGrowsToSize) {
+  sim::Rng rng{7};
+  GlpParams p;
+  p.n = 100;
+  const auto g = glp(p, rng);
+  EXPECT_EQ(g.size(), 100u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Glp, ProducesHeavierTailThanUniform) {
+  sim::Rng rng{8};
+  GlpParams p;
+  p.n = 200;
+  const auto g = glp(p, rng);
+  EXPECT_GE(g.max_degree(), 2 * static_cast<std::size_t>(g.average_degree()));
+}
+
+TEST(Glp, RejectsBadParams) {
+  sim::Rng rng{9};
+  GlpParams p;
+  p.beta = 1.5;
+  EXPECT_THROW(glp(p, rng), std::invalid_argument);
+  p.beta = 0.5;
+  p.n = 1;
+  EXPECT_THROW(glp(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

@@ -1,0 +1,108 @@
+#include "topo/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::topo {
+namespace {
+
+TEST(Graph, StartsEmpty) {
+  Graph g{4};
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(Graph, AddEdgeIsUndirected) {
+  Graph g{3};
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Graph, RejectsSelfLoops) {
+  Graph g{3};
+  EXPECT_FALSE(g.add_edge(1, 1));
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, RejectsDuplicates) {
+  Graph g{3};
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph g{3};
+  EXPECT_FALSE(g.add_edge(0, 3));
+  EXPECT_FALSE(g.add_edge(7, 1));
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g{3};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+}
+
+TEST(Graph, AverageAndMaxDegree) {
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(Graph, ConnectivityDetection) {
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Graph, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(Graph{0}.is_connected());
+  EXPECT_TRUE(Graph{1}.is_connected());
+}
+
+TEST(Graph, EdgesListedOnceSorted) {
+  Graph g{4};
+  g.add_edge(2, 1);
+  g.add_edge(3, 0);
+  g.add_edge(0, 1);
+  const auto es = g.edges();
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(es[1], (std::pair<NodeId, NodeId>{0, 3}));
+  EXPECT_EQ(es[2], (std::pair<NodeId, NodeId>{1, 2}));
+}
+
+TEST(Graph, RandomPlacementWithinBounds) {
+  Graph g{50};
+  sim::Rng rng{1};
+  g.place_randomly(1000.0, 1000.0, rng);
+  for (NodeId v = 0; v < g.size(); ++v) {
+    const auto p = g.position(v);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 1000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 1000.0);
+  }
+}
+
+TEST(Graph, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

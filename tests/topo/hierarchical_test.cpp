@@ -1,0 +1,125 @@
+#include "topo/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgpsim::topo {
+namespace {
+
+HierParams small_params() {
+  HierParams p;
+  p.num_ases = 30;
+  p.max_total_routers = 120;
+  p.max_inter_as_degree = 12;
+  return p;
+}
+
+TEST(Hierarchical, BasicShape) {
+  sim::Rng rng{1};
+  const auto h = hierarchical(small_params(), rng);
+  EXPECT_EQ(h.num_ases(), 30u);
+  EXPECT_GE(h.num_routers(), 30u);
+  EXPECT_LE(h.num_routers(), 121u);
+  EXPECT_EQ(h.as_of_router.size(), h.num_routers());
+  EXPECT_EQ(h.router_pos.size(), h.num_routers());
+  EXPECT_TRUE(h.as_graph.is_connected());
+}
+
+TEST(Hierarchical, RouterAsMappingIsConsistent) {
+  sim::Rng rng{2};
+  const auto h = hierarchical(small_params(), rng);
+  for (AsId as = 0; as < h.num_ases(); ++as) {
+    EXPECT_GE(h.routers_of_as[as].size(), 1u);
+    for (const auto r : h.routers_of_as[as]) EXPECT_EQ(h.as_of_router[r], as);
+  }
+}
+
+TEST(Hierarchical, IbgpFullMeshWithinEveryAs) {
+  sim::Rng rng{3};
+  const auto h = hierarchical(small_params(), rng);
+  // Count iBGP sessions per AS and compare with C(size, 2).
+  std::vector<std::size_t> ibgp_count(h.num_ases(), 0);
+  for (const auto& s : h.sessions) {
+    if (!s.ebgp) {
+      ASSERT_EQ(h.as_of_router[s.a], h.as_of_router[s.b]);
+      ++ibgp_count[h.as_of_router[s.a]];
+    }
+  }
+  for (AsId as = 0; as < h.num_ases(); ++as) {
+    const auto k = h.routers_of_as[as].size();
+    EXPECT_EQ(ibgp_count[as], k * (k - 1) / 2) << "AS " << as;
+  }
+}
+
+TEST(Hierarchical, EbgpSessionsMatchAsGraph) {
+  sim::Rng rng{4};
+  const auto h = hierarchical(small_params(), rng);
+  std::multiset<std::pair<AsId, AsId>> from_sessions;
+  for (const auto& s : h.sessions) {
+    if (s.ebgp) {
+      AsId a = h.as_of_router[s.a];
+      AsId b = h.as_of_router[s.b];
+      ASSERT_NE(a, b) << "eBGP session within one AS";
+      if (a > b) std::swap(a, b);
+      from_sessions.insert({a, b});
+    }
+  }
+  std::multiset<std::pair<AsId, AsId>> from_graph;
+  for (const auto& [a, b] : h.as_graph.edges()) from_graph.insert({a, b});
+  EXPECT_EQ(from_sessions, from_graph);
+}
+
+TEST(Hierarchical, LargestAsHasHighestInterAsDegree) {
+  sim::Rng rng{5};
+  const auto h = hierarchical(small_params(), rng);
+  // ASes are sorted by size descending and degrees assigned descending, so
+  // AS 0 must be at least as connected as the smallest AS.
+  const auto last = static_cast<AsId>(h.num_ases() - 1);
+  EXPECT_GE(h.as_graph.degree(0), h.as_graph.degree(last));
+  EXPECT_GE(h.routers_of_as[0].size(), h.routers_of_as[last].size());
+}
+
+TEST(Hierarchical, OriginRouterBelongsToItsAs) {
+  sim::Rng rng{6};
+  const auto h = hierarchical(small_params(), rng);
+  for (AsId as = 0; as < h.num_ases(); ++as) {
+    EXPECT_EQ(h.as_of_router[h.origin_router[as]], as);
+  }
+}
+
+TEST(Hierarchical, RoutersStayOnGrid) {
+  sim::Rng rng{7};
+  auto p = small_params();
+  const auto h = hierarchical(p, rng);
+  for (const auto& pos : h.router_pos) {
+    EXPECT_GE(pos.x, 0.0);
+    EXPECT_LE(pos.x, p.grid);
+    EXPECT_GE(pos.y, 0.0);
+    EXPECT_LE(pos.y, p.grid);
+  }
+}
+
+TEST(Hierarchical, TotalRouterCapRespected) {
+  sim::Rng rng{8};
+  HierParams p;
+  p.num_ases = 50;
+  p.max_total_routers = 150;
+  p.max_as_size = 100;
+  const auto h = hierarchical(p, rng);
+  // Rescaling floors at 1 router per AS, so the bound holds up to rounding.
+  EXPECT_LE(h.num_routers(), p.max_total_routers + p.num_ases);
+}
+
+TEST(Hierarchical, DeterministicGivenSeed) {
+  sim::Rng rng1{9};
+  sim::Rng rng2{9};
+  const auto h1 = hierarchical(small_params(), rng1);
+  const auto h2 = hierarchical(small_params(), rng2);
+  EXPECT_EQ(h1.num_routers(), h2.num_routers());
+  EXPECT_EQ(h1.as_of_router, h2.as_of_router);
+  EXPECT_EQ(h1.as_graph.edges(), h2.as_graph.edges());
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

@@ -1,0 +1,103 @@
+#include "topo/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topo/degree_sequence.hpp"
+
+namespace bgpsim::topo {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  sim::Rng rng{1};
+  auto degrees = skewed_sequence(40, SkewSpec::s70_30(), rng);
+  auto g = realize_degree_sequence(std::move(degrees), rng);
+  g.place_randomly(1000, 1000, rng);
+
+  std::stringstream ss;
+  save_graph(g, ss);
+  const auto loaded = load_graph(ss);
+
+  ASSERT_EQ(loaded.size(), g.size());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  for (NodeId v = 0; v < g.size(); ++v) {
+    EXPECT_NEAR(loaded.position(v).x, g.position(v).x, 1e-4);
+    EXPECT_NEAR(loaded.position(v).y, g.position(v).y, 1e-4);
+  }
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  std::stringstream ss{"not-a-graph v1 3\n"};
+  EXPECT_THROW(load_graph(ss), std::invalid_argument);
+  std::stringstream ss2{"bgpsim-graph v9 3\n"};
+  EXPECT_THROW(load_graph(ss2), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsOutOfRangeAndDuplicates) {
+  std::stringstream ss{"bgpsim-graph v1 2\nedge 0 5\n"};
+  EXPECT_THROW(load_graph(ss), std::invalid_argument);
+  std::stringstream ss2{"bgpsim-graph v1 2\nedge 0 1\nedge 1 0\n"};
+  EXPECT_THROW(load_graph(ss2), std::invalid_argument);
+  std::stringstream ss3{"bgpsim-graph v1 2\nbogus 1 2\n"};
+  EXPECT_THROW(load_graph(ss3), std::invalid_argument);
+}
+
+constexpr const char* kAsRelSample = R"(# sample CAIDA-style as-rel
+# provider|customer|-1  peer|peer|0
+174|3356|0
+174|1299|0
+3356|64512|-1
+1299|64512|-1
+174|64513|-1
+3356|64513|-1
+)";
+
+TEST(AsRel, ParsesRelationships) {
+  std::stringstream ss{kAsRelSample};
+  const auto ar = load_as_rel(ss);
+  // ASes sorted: 174 -> 0, 1299 -> 1, 3356 -> 2, 64512 -> 3, 64513 -> 4.
+  ASSERT_EQ(ar.graph.size(), 5u);
+  EXPECT_EQ(ar.as_number, (std::vector<std::uint64_t>{174, 1299, 3356, 64512, 64513}));
+  EXPECT_EQ(ar.graph.edge_count(), 6u);
+  EXPECT_EQ(ar.relationship(0, 2), Relationship::kPeerPeer);        // 174 ~ 3356
+  EXPECT_EQ(ar.relationship(2, 3), Relationship::kProviderCustomer);  // 3356 -> 64512
+  EXPECT_TRUE(ar.is_provider(2, 3));
+  EXPECT_FALSE(ar.is_provider(3, 2));
+  EXPECT_TRUE(ar.is_provider(0, 4));  // 174 -> 64513
+}
+
+TEST(AsRel, SkipsCommentsAndBlankLines) {
+  std::stringstream ss{"# comment only\n\n  \n1|2|0\n"};
+  const auto ar = load_as_rel(ss);
+  EXPECT_EQ(ar.graph.size(), 2u);
+  EXPECT_EQ(ar.graph.edge_count(), 1u);
+}
+
+TEST(AsRel, RejectsMalformedLines) {
+  std::stringstream ss{"1|2|7\n"};
+  EXPECT_THROW(load_as_rel(ss), std::invalid_argument);
+  std::stringstream ss2{"1|1|0\n"};
+  EXPECT_THROW(load_as_rel(ss2), std::invalid_argument);
+  std::stringstream ss3{"abc|2|0\n"};
+  EXPECT_THROW(load_as_rel(ss3), std::invalid_argument);
+}
+
+TEST(AsRel, DuplicateLinksKeepFirstRelationship) {
+  std::stringstream ss{"1|2|-1\n2|1|0\n"};
+  const auto ar = load_as_rel(ss);
+  EXPECT_EQ(ar.graph.edge_count(), 1u);
+  EXPECT_EQ(ar.relationship(0, 1), Relationship::kProviderCustomer);
+}
+
+TEST(AsRel, DenseIdsAreDeterministic) {
+  std::stringstream a{"99|5|0\n7|5|-1\n"};
+  std::stringstream b{"7|5|-1\n99|5|0\n"};
+  const auto ga = load_as_rel(a);
+  const auto gb = load_as_rel(b);
+  EXPECT_EQ(ga.as_number, gb.as_number);
+  EXPECT_EQ(ga.graph.edges(), gb.graph.edges());
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

@@ -1,0 +1,110 @@
+#include "topo/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/degree_sequence.hpp"
+#include "topo/generators.hpp"
+
+namespace bgpsim::topo {
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle with a tail 2-3.
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  return g;
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const auto g = triangle_plus_tail();
+  const auto h = degree_histogram(g);
+  ASSERT_EQ(h.size(), 4u);  // max degree 3
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 1u);  // node 3
+  EXPECT_EQ(h[2], 2u);  // nodes 0, 1
+  EXPECT_EQ(h[3], 1u);  // node 2
+}
+
+TEST(Metrics, ClusteringCoefficient) {
+  const auto g = triangle_plus_tail();
+  // Nodes 0 and 1: k=2, 1 link between neighbors => 1.0 each.
+  // Node 2: k=3, 1 of 3 possible links => 1/3. Node 3: k=1 => 0.
+  EXPECT_NEAR(clustering_coefficient(g), (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0, 1e-12);
+}
+
+TEST(Metrics, CliqueClusteringIsOne) {
+  Graph g{4};
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) g.add_edge(a, b);
+  }
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 1.0);
+}
+
+TEST(Metrics, TreeClusteringIsZero) {
+  Graph g{4};
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g), 0.0);
+}
+
+TEST(Metrics, DiameterOfLine) {
+  Graph g{5};
+  for (NodeId v = 0; v + 1 < 5; ++v) g.add_edge(v, v + 1);
+  EXPECT_EQ(diameter(g), 4u);
+}
+
+TEST(Metrics, DiameterDisconnectedIsMax) {
+  Graph g{3};
+  g.add_edge(0, 1);
+  EXPECT_EQ(diameter(g), SIZE_MAX);
+  EXPECT_EQ(num_components(g), 2u);
+}
+
+TEST(Metrics, AveragePathLengthOfLine) {
+  Graph g{3};  // distances: 0-1:1, 0-2:2, 1-2:1 => mean 4/3
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_NEAR(average_path_length(g), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AssortativityOfRegularGraphIsZero) {
+  // Every node degree 2 (a ring): zero degree variance => defined as 0.
+  Graph g{5};
+  for (NodeId v = 0; v < 5; ++v) g.add_edge(v, (v + 1) % 5);
+  EXPECT_DOUBLE_EQ(degree_assortativity(g), 0.0);
+}
+
+TEST(Metrics, StarIsDisassortative) {
+  Graph g{6};
+  for (NodeId v = 1; v < 6; ++v) g.add_edge(0, v);
+  EXPECT_LT(degree_assortativity(g), 0.0);
+}
+
+TEST(Metrics, SkewedTopologiesAreSmallWorldish) {
+  sim::Rng rng{3};
+  auto degrees = skewed_sequence(120, SkewSpec::s70_30(), rng);
+  const auto g = realize_degree_sequence(std::move(degrees), rng);
+  EXPECT_EQ(num_components(g), 1u);
+  const auto d = diameter(g);
+  EXPECT_GE(d, 3u);
+  EXPECT_LE(d, 15u);
+  const auto apl = average_path_length(g);
+  EXPECT_GT(apl, 1.5);
+  EXPECT_LT(apl, 8.0);
+}
+
+TEST(Metrics, BaHubsMakeNegativeAssortativity) {
+  sim::Rng rng{4};
+  BaParams p;
+  p.n = 200;
+  const auto g = barabasi_albert(p, rng);
+  // Preferential attachment yields disassortative (hub-leaf) mixing.
+  EXPECT_LT(degree_assortativity(g), 0.1);
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

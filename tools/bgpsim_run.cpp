@@ -1,0 +1,184 @@
+// bgpsim_run: command-line front end for the experiment harness.
+//
+//   bgpsim_run --topo skew70-30 --n 120 --failure 0.10 --scheme dynamic --seeds 3
+//   bgpsim_run --mrai 0.5 --batching --csv
+//   bgpsim_run --help
+//
+// Prints one row per seed plus a mean row (or CSV with --csv). Exit status
+// is non-zero if any run fails the route audit.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/table.hpp"
+
+using namespace bgpsim;
+
+namespace {
+
+constexpr const char* kUsage = R"(bgpsim_run -- BGP convergence experiments (DSN'06 reproduction)
+
+Topology:
+  --topo KIND       skew70-30 (default) | skew50-50 | skew85-15 |
+                    skew50-50-dense | internet | waxman | ba | glp | hier
+  --n N             nodes (default 120); for hier: number of ASes
+Failure:
+  --failure F       fraction of routers, contiguous at grid centre (default 0.10)
+Scheme:
+  --scheme S        const (default) | degree | dynamic | extent
+  --mrai X          constant MRAI seconds (default 0.5; 0 disables)
+  --low X / --high X / --threshold D   degree-dependent parameters
+  --batching        enable the paper's batching scheme
+Protocol knobs:
+  --queue Q         fifo (default) | batched | tcp
+  --per-dest-mrai   per-destination MRAI timers
+  --withdrawal-mrai rate-limit withdrawals too
+  --no-jitter       disable RFC 1771 timer jitter
+  --ssld            sender-side loop detection
+  --detection X     failure detection delay seconds (default 0)
+  --damping [HL]    route-flap damping, optional half-life seconds (default 30)
+  --prefixes K      prefixes per origin (default 1)
+  --recovery        also measure re-convergence after the region recovers
+  --policy          Gao-Rexford policy routing (degree-inferred relations)
+Run control:
+  --seeds K         replicas (default 3)    --seed S  base seed (default 1)
+  --csv             CSV output              --help    this text
+)";
+
+harness::TopologySpec topo_from(const std::string& name, std::size_t n) {
+  harness::TopologySpec t;
+  t.n = n;
+  using Kind = harness::TopologySpec::Kind;
+  if (name == "skew70-30") {
+    t.skew = topo::SkewSpec::s70_30();
+  } else if (name == "skew50-50") {
+    t.skew = topo::SkewSpec::s50_50();
+  } else if (name == "skew85-15") {
+    t.skew = topo::SkewSpec::s85_15();
+  } else if (name == "skew50-50-dense") {
+    t.skew = topo::SkewSpec::s50_50_dense();
+  } else if (name == "internet") {
+    t.kind = Kind::kInternetLike;
+  } else if (name == "waxman") {
+    t.kind = Kind::kWaxman;
+  } else if (name == "ba") {
+    t.kind = Kind::kBarabasiAlbert;
+  } else if (name == "glp") {
+    t.kind = Kind::kGlp;
+  } else if (name == "hier") {
+    t.kind = Kind::kHierarchical;
+    t.hier.num_ases = n;
+    t.hier.max_total_routers = n * 5 / 2;
+  } else {
+    throw std::invalid_argument{"unknown --topo '" + name + "'"};
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto opts = harness::Options::parse(argc - 1, argv + 1);
+    if (opts.flag("help")) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    const auto unknown = opts.unknown_keys(
+        {"topo", "n", "failure", "scheme", "mrai", "low", "high", "threshold", "batching",
+         "queue", "per-dest-mrai", "withdrawal-mrai", "no-jitter", "ssld", "detection",
+         "damping", "prefixes", "recovery", "policy", "seeds", "seed", "csv", "help"});
+    if (!unknown.empty()) {
+      std::fprintf(stderr, "unknown option --%s (try --help)\n", unknown.front().c_str());
+      return 2;
+    }
+
+    harness::ExperimentConfig cfg;
+    cfg.topology =
+        topo_from(opts.get_or("topo", "skew70-30"),
+                  static_cast<std::size_t>(opts.get_int("n", 120)));
+    cfg.failure_fraction = opts.get_double("failure", 0.10);
+    cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+    const auto scheme = opts.get_or("scheme", "const");
+    if (scheme == "const") {
+      cfg.scheme = harness::SchemeSpec::constant(opts.get_double("mrai", 0.5));
+    } else if (scheme == "degree") {
+      cfg.scheme = harness::SchemeSpec::degree_dependent(
+          opts.get_double("low", 0.5), opts.get_double("high", 2.25),
+          static_cast<std::size_t>(opts.get_int("threshold", 5)));
+    } else if (scheme == "dynamic") {
+      cfg.scheme = harness::SchemeSpec::dynamic_mrai();
+    } else if (scheme == "extent") {
+      cfg.scheme = harness::SchemeSpec::extent_mrai();
+    } else {
+      throw std::invalid_argument{"unknown --scheme '" + scheme + "'"};
+    }
+    cfg.scheme.batching = opts.flag("batching");
+
+    const auto queue = opts.get_or("queue", "fifo");
+    if (queue == "batched") {
+      cfg.bgp.queue = bgp::QueueDiscipline::kBatched;
+    } else if (queue == "tcp") {
+      cfg.bgp.queue = bgp::QueueDiscipline::kTcpBatch;
+    } else if (queue != "fifo") {
+      throw std::invalid_argument{"unknown --queue '" + queue + "'"};
+    }
+    cfg.bgp.per_destination_mrai = opts.flag("per-dest-mrai");
+    cfg.bgp.mrai_applies_to_withdrawals = opts.flag("withdrawal-mrai");
+    cfg.bgp.jitter_timers = !opts.flag("no-jitter");
+    cfg.bgp.sender_side_loop_detection = opts.flag("ssld");
+    cfg.bgp.failure_detection_delay = sim::SimTime::seconds(opts.get_double("detection", 0.0));
+    if (opts.flag("damping")) {
+      cfg.bgp.damping.enabled = true;
+      cfg.bgp.damping.half_life_s = opts.get_double("damping", 30.0);
+    }
+    cfg.bgp.prefixes_per_origin = static_cast<std::uint32_t>(opts.get_int("prefixes", 1));
+    cfg.measure_recovery = opts.flag("recovery");
+    cfg.topology.policy_routing = opts.flag("policy");
+
+    const auto seeds = static_cast<std::size_t>(opts.get_int("seeds", 3));
+    const auto result = harness::run_averaged(cfg, seeds);
+
+    const bool csv = opts.flag("csv");
+    if (csv) {
+      std::printf("seed,delay_s,messages,adverts,withdrawals,dropped,routers,failed,valid\n");
+      for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const auto& r = result.runs[i];
+        std::printf("%llu,%.3f,%llu,%llu,%llu,%llu,%zu,%zu,%d\n",
+                    static_cast<unsigned long long>(cfg.seed + i),
+                    r.convergence_delay_s,
+                    static_cast<unsigned long long>(r.messages_after_failure),
+                    static_cast<unsigned long long>(r.adverts_after_failure),
+                    static_cast<unsigned long long>(r.withdrawals_after_failure),
+                    static_cast<unsigned long long>(r.batch_dropped), r.routers,
+                    r.failed_routers, r.routes_valid ? 1 : 0);
+      }
+    } else {
+      harness::Table table{{"seed", "delay(s)", "recovery(s)", "messages", "dropped", "valid"}};
+      for (std::size_t i = 0; i < result.runs.size(); ++i) {
+        const auto& r = result.runs[i];
+        table.add_row({std::to_string(cfg.seed + i), harness::Table::fmt(r.convergence_delay_s),
+                       cfg.measure_recovery ? harness::Table::fmt(r.recovery_delay_s) : "-",
+                       std::to_string(r.messages_after_failure),
+                       std::to_string(r.batch_dropped), r.routes_valid ? "yes" : "NO"});
+      }
+      table.add_row({"mean", harness::Table::fmt(result.delay.mean), "",
+                     harness::Table::fmt(result.messages.mean, 0), "",
+                     result.valid_fraction == 1.0 ? "yes" : "NO"});
+      table.print(std::cout);
+    }
+    if (result.valid_fraction != 1.0) {
+      for (const auto& r : result.runs) {
+        if (!r.routes_valid) std::fprintf(stderr, "audit: %s\n", r.audit_error.c_str());
+      }
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s (try --help)\n", e.what());
+    return 2;
+  }
+}
