@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_mrai_granularity.dir/abl01_mrai_granularity.cpp.o"
+  "CMakeFiles/abl01_mrai_granularity.dir/abl01_mrai_granularity.cpp.o.d"
+  "abl01_mrai_granularity"
+  "abl01_mrai_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_mrai_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_withdrawal_mrai.dir/abl02_withdrawal_mrai.cpp.o"
+  "CMakeFiles/abl02_withdrawal_mrai.dir/abl02_withdrawal_mrai.cpp.o.d"
+  "abl02_withdrawal_mrai"
+  "abl02_withdrawal_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_withdrawal_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

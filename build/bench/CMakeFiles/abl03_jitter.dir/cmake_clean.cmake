@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_jitter.dir/abl03_jitter.cpp.o"
+  "CMakeFiles/abl03_jitter.dir/abl03_jitter.cpp.o.d"
+  "abl03_jitter"
+  "abl03_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl04_dynamic_monitors.dir/abl04_dynamic_monitors.cpp.o"
+  "CMakeFiles/abl04_dynamic_monitors.dir/abl04_dynamic_monitors.cpp.o.d"
+  "abl04_dynamic_monitors"
+  "abl04_dynamic_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_dynamic_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

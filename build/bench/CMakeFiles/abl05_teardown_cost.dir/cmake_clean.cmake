@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl05_teardown_cost.dir/abl05_teardown_cost.cpp.o"
+  "CMakeFiles/abl05_teardown_cost.dir/abl05_teardown_cost.cpp.o.d"
+  "abl05_teardown_cost"
+  "abl05_teardown_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_teardown_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

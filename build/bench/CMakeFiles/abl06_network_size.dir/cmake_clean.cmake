@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl06_network_size.dir/abl06_network_size.cpp.o"
+  "CMakeFiles/abl06_network_size.dir/abl06_network_size.cpp.o.d"
+  "abl06_network_size"
+  "abl06_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

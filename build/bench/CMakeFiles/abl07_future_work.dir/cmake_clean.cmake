@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl07_future_work.dir/abl07_future_work.cpp.o"
+  "CMakeFiles/abl07_future_work.dir/abl07_future_work.cpp.o.d"
+  "abl07_future_work"
+  "abl07_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

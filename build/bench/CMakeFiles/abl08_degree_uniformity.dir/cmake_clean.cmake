@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl08_degree_uniformity.dir/abl08_degree_uniformity.cpp.o"
+  "CMakeFiles/abl08_degree_uniformity.dir/abl08_degree_uniformity.cpp.o.d"
+  "abl08_degree_uniformity"
+  "abl08_degree_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl08_degree_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl08_degree_uniformity.
+# This may be replaced when dependencies are built.

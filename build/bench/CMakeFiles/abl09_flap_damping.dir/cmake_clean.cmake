@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl09_flap_damping.dir/abl09_flap_damping.cpp.o"
+  "CMakeFiles/abl09_flap_damping.dir/abl09_flap_damping.cpp.o.d"
+  "abl09_flap_damping"
+  "abl09_flap_damping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl09_flap_damping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl10_recovery.dir/abl10_recovery.cpp.o"
+  "CMakeFiles/abl10_recovery.dir/abl10_recovery.cpp.o.d"
+  "abl10_recovery"
+  "abl10_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl10_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

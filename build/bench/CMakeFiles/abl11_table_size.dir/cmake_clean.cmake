@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl11_table_size.dir/abl11_table_size.cpp.o"
+  "CMakeFiles/abl11_table_size.dir/abl11_table_size.cpp.o.d"
+  "abl11_table_size"
+  "abl11_table_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl11_table_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

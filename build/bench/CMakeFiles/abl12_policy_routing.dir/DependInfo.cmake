@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl12_policy_routing.cpp" "bench/CMakeFiles/abl12_policy_routing.dir/abl12_policy_routing.cpp.o" "gcc" "bench/CMakeFiles/abl12_policy_routing.dir/abl12_policy_routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bgpsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/bgpsim_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpsim_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgpsim_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl12_policy_routing.dir/abl12_policy_routing.cpp.o"
+  "CMakeFiles/abl12_policy_routing.dir/abl12_policy_routing.cpp.o.d"
+  "abl12_policy_routing"
+  "abl12_policy_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl12_policy_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

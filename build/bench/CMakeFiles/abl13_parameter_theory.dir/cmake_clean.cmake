@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl13_parameter_theory.dir/abl13_parameter_theory.cpp.o"
+  "CMakeFiles/abl13_parameter_theory.dir/abl13_parameter_theory.cpp.o.d"
+  "abl13_parameter_theory"
+  "abl13_parameter_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl13_parameter_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl13_parameter_theory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_delay_vs_failure_size.dir/fig01_delay_vs_failure_size.cpp.o"
+  "CMakeFiles/fig01_delay_vs_failure_size.dir/fig01_delay_vs_failure_size.cpp.o.d"
+  "fig01_delay_vs_failure_size"
+  "fig01_delay_vs_failure_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_delay_vs_failure_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_delay_vs_failure_size.
+# This may be replaced when dependencies are built.

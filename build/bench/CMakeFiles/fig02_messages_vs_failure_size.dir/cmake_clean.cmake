@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_messages_vs_failure_size.dir/fig02_messages_vs_failure_size.cpp.o"
+  "CMakeFiles/fig02_messages_vs_failure_size.dir/fig02_messages_vs_failure_size.cpp.o.d"
+  "fig02_messages_vs_failure_size"
+  "fig02_messages_vs_failure_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_messages_vs_failure_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_messages_vs_failure_size.
+# This may be replaced when dependencies are built.

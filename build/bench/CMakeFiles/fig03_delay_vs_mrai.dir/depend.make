@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_delay_vs_mrai.
+# This may be replaced when dependencies are built.

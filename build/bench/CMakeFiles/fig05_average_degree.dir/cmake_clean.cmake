@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_average_degree.dir/fig05_average_degree.cpp.o"
+  "CMakeFiles/fig05_average_degree.dir/fig05_average_degree.cpp.o.d"
+  "fig05_average_degree"
+  "fig05_average_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_average_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_degree_dependent_mrai.dir/fig06_degree_dependent_mrai.cpp.o"
+  "CMakeFiles/fig06_degree_dependent_mrai.dir/fig06_degree_dependent_mrai.cpp.o.d"
+  "fig06_degree_dependent_mrai"
+  "fig06_degree_dependent_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_degree_dependent_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

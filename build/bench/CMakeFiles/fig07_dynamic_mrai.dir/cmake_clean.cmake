@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dynamic_mrai.dir/fig07_dynamic_mrai.cpp.o"
+  "CMakeFiles/fig07_dynamic_mrai.dir/fig07_dynamic_mrai.cpp.o.d"
+  "fig07_dynamic_mrai"
+  "fig07_dynamic_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dynamic_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_downth_sweep.dir/fig09_downth_sweep.cpp.o"
+  "CMakeFiles/fig09_downth_sweep.dir/fig09_downth_sweep.cpp.o.d"
+  "fig09_downth_sweep"
+  "fig09_downth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_downth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_batching.dir/fig10_batching.cpp.o"
+  "CMakeFiles/fig10_batching.dir/fig10_batching.cpp.o.d"
+  "fig10_batching"
+  "fig10_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_batching_messages.dir/fig11_batching_messages.cpp.o"
+  "CMakeFiles/fig11_batching_messages.dir/fig11_batching_messages.cpp.o.d"
+  "fig11_batching_messages"
+  "fig11_batching_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_batching_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_batching_vs_mrai.dir/fig12_batching_vs_mrai.cpp.o"
+  "CMakeFiles/fig12_batching_vs_mrai.dir/fig12_batching_vs_mrai.cpp.o.d"
+  "fig12_batching_vs_mrai"
+  "fig12_batching_vs_mrai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_batching_vs_mrai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

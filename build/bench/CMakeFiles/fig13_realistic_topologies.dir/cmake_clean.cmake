@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_realistic_topologies.dir/fig13_realistic_topologies.cpp.o"
+  "CMakeFiles/fig13_realistic_topologies.dir/fig13_realistic_topologies.cpp.o.d"
+  "fig13_realistic_topologies"
+  "fig13_realistic_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_realistic_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_realistic_topologies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_policy.dir/internet_policy.cpp.o"
+  "CMakeFiles/internet_policy.dir/internet_policy.cpp.o.d"
+  "internet_policy"
+  "internet_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrai_tuning.dir/mrai_tuning.cpp.o"
+  "CMakeFiles/mrai_tuning.dir/mrai_tuning.cpp.o.d"
+  "mrai_tuning"
+  "mrai_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrai_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

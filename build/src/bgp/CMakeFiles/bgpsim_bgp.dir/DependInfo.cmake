@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/input_queue.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/input_queue.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/input_queue.cpp.o.d"
+  "/root/repo/src/bgp/mrai.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/mrai.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/mrai.cpp.o.d"
+  "/root/repo/src/bgp/network.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/network.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/network.cpp.o.d"
+  "/root/repo/src/bgp/router.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/router.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/router.cpp.o.d"
+  "/root/repo/src/bgp/trace.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/trace.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/trace.cpp.o.d"
+  "/root/repo/src/bgp/types.cpp" "src/bgp/CMakeFiles/bgpsim_bgp.dir/types.cpp.o" "gcc" "src/bgp/CMakeFiles/bgpsim_bgp.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpsim_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_bgp.dir/input_queue.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/input_queue.cpp.o.d"
+  "CMakeFiles/bgpsim_bgp.dir/mrai.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/mrai.cpp.o.d"
+  "CMakeFiles/bgpsim_bgp.dir/network.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/network.cpp.o.d"
+  "CMakeFiles/bgpsim_bgp.dir/router.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/router.cpp.o.d"
+  "CMakeFiles/bgpsim_bgp.dir/trace.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/trace.cpp.o.d"
+  "CMakeFiles/bgpsim_bgp.dir/types.cpp.o"
+  "CMakeFiles/bgpsim_bgp.dir/types.cpp.o.d"
+  "libbgpsim_bgp.a"
+  "libbgpsim_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_failure.dir/failure.cpp.o"
+  "CMakeFiles/bgpsim_failure.dir/failure.cpp.o.d"
+  "libbgpsim_failure.a"
+  "libbgpsim_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

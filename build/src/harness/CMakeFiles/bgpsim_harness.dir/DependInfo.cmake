@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/audit.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/audit.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/audit.cpp.o.d"
+  "/root/repo/src/harness/bounds.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/bounds.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/bounds.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/options.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/options.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/options.cpp.o.d"
+  "/root/repo/src/harness/prefix_stats.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/prefix_stats.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/prefix_stats.cpp.o.d"
+  "/root/repo/src/harness/table.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/table.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/table.cpp.o.d"
+  "/root/repo/src/harness/timeline.cpp" "src/harness/CMakeFiles/bgpsim_harness.dir/timeline.cpp.o" "gcc" "src/harness/CMakeFiles/bgpsim_harness.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpsim_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/bgpsim_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgpsim_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_harness.dir/audit.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/audit.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/bounds.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/bounds.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/experiment.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/options.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/options.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/prefix_stats.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/prefix_stats.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/table.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/table.cpp.o.d"
+  "CMakeFiles/bgpsim_harness.dir/timeline.cpp.o"
+  "CMakeFiles/bgpsim_harness.dir/timeline.cpp.o.d"
+  "libbgpsim_harness.a"
+  "libbgpsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgpsim_harness.a"
+)

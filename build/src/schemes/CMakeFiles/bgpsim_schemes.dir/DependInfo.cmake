@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemes/calibration.cpp" "src/schemes/CMakeFiles/bgpsim_schemes.dir/calibration.cpp.o" "gcc" "src/schemes/CMakeFiles/bgpsim_schemes.dir/calibration.cpp.o.d"
+  "/root/repo/src/schemes/degree_mrai.cpp" "src/schemes/CMakeFiles/bgpsim_schemes.dir/degree_mrai.cpp.o" "gcc" "src/schemes/CMakeFiles/bgpsim_schemes.dir/degree_mrai.cpp.o.d"
+  "/root/repo/src/schemes/dynamic_mrai.cpp" "src/schemes/CMakeFiles/bgpsim_schemes.dir/dynamic_mrai.cpp.o" "gcc" "src/schemes/CMakeFiles/bgpsim_schemes.dir/dynamic_mrai.cpp.o.d"
+  "/root/repo/src/schemes/extent_mrai.cpp" "src/schemes/CMakeFiles/bgpsim_schemes.dir/extent_mrai.cpp.o" "gcc" "src/schemes/CMakeFiles/bgpsim_schemes.dir/extent_mrai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/bgpsim_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_schemes.dir/calibration.cpp.o"
+  "CMakeFiles/bgpsim_schemes.dir/calibration.cpp.o.d"
+  "CMakeFiles/bgpsim_schemes.dir/degree_mrai.cpp.o"
+  "CMakeFiles/bgpsim_schemes.dir/degree_mrai.cpp.o.d"
+  "CMakeFiles/bgpsim_schemes.dir/dynamic_mrai.cpp.o"
+  "CMakeFiles/bgpsim_schemes.dir/dynamic_mrai.cpp.o.d"
+  "CMakeFiles/bgpsim_schemes.dir/extent_mrai.cpp.o"
+  "CMakeFiles/bgpsim_schemes.dir/extent_mrai.cpp.o.d"
+  "libbgpsim_schemes.a"
+  "libbgpsim_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_sim.dir/random.cpp.o"
+  "CMakeFiles/bgpsim_sim.dir/random.cpp.o.d"
+  "CMakeFiles/bgpsim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/bgpsim_sim.dir/scheduler.cpp.o.d"
+  "libbgpsim_sim.a"
+  "libbgpsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

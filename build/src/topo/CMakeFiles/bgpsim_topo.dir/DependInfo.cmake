@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/degree_sequence.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/degree_sequence.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/degree_sequence.cpp.o.d"
+  "/root/repo/src/topo/generators.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/generators.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/generators.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/graph.cpp.o.d"
+  "/root/repo/src/topo/hierarchical.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/hierarchical.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/topo/io.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/io.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/io.cpp.o.d"
+  "/root/repo/src/topo/metrics.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/metrics.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/metrics.cpp.o.d"
+  "/root/repo/src/topo/relations.cpp" "src/topo/CMakeFiles/bgpsim_topo.dir/relations.cpp.o" "gcc" "src/topo/CMakeFiles/bgpsim_topo.dir/relations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

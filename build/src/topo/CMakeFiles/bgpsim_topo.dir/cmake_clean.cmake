@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_topo.dir/degree_sequence.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/degree_sequence.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/generators.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/generators.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/graph.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/graph.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/hierarchical.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/io.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/io.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/metrics.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/metrics.cpp.o.d"
+  "CMakeFiles/bgpsim_topo.dir/relations.cpp.o"
+  "CMakeFiles/bgpsim_topo.dir/relations.cpp.o.d"
+  "libbgpsim_topo.a"
+  "libbgpsim_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

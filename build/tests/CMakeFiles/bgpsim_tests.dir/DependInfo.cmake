@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/damping_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/damping_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/damping_test.cpp.o.d"
+  "/root/repo/tests/bgp/extensions_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/extensions_test.cpp.o.d"
+  "/root/repo/tests/bgp/failure_behavior_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/failure_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/failure_behavior_test.cpp.o.d"
+  "/root/repo/tests/bgp/ibgp_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/ibgp_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/ibgp_test.cpp.o.d"
+  "/root/repo/tests/bgp/input_queue_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/input_queue_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/input_queue_test.cpp.o.d"
+  "/root/repo/tests/bgp/metrics_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/metrics_test.cpp.o.d"
+  "/root/repo/tests/bgp/mrai_modes_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/mrai_modes_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/mrai_modes_test.cpp.o.d"
+  "/root/repo/tests/bgp/multi_prefix_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/multi_prefix_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/multi_prefix_test.cpp.o.d"
+  "/root/repo/tests/bgp/network_basic_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/network_basic_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/network_basic_test.cpp.o.d"
+  "/root/repo/tests/bgp/policy_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/policy_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/policy_test.cpp.o.d"
+  "/root/repo/tests/bgp/recovery_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/recovery_test.cpp.o.d"
+  "/root/repo/tests/bgp/router_introspection_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/router_introspection_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/router_introspection_test.cpp.o.d"
+  "/root/repo/tests/bgp/session_options_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/session_options_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/session_options_test.cpp.o.d"
+  "/root/repo/tests/bgp/tcp_batch_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/tcp_batch_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/tcp_batch_test.cpp.o.d"
+  "/root/repo/tests/bgp/trace_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/trace_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/trace_test.cpp.o.d"
+  "/root/repo/tests/bgp/types_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/bgp/types_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/bgp/types_test.cpp.o.d"
+  "/root/repo/tests/failure/failure_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/failure/failure_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/failure/failure_test.cpp.o.d"
+  "/root/repo/tests/harness/audit_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/audit_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/audit_test.cpp.o.d"
+  "/root/repo/tests/harness/bounds_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/bounds_test.cpp.o.d"
+  "/root/repo/tests/harness/experiment_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/experiment_test.cpp.o.d"
+  "/root/repo/tests/harness/options_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/options_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/options_test.cpp.o.d"
+  "/root/repo/tests/harness/prefix_stats_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/prefix_stats_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/prefix_stats_test.cpp.o.d"
+  "/root/repo/tests/harness/table_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/table_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/table_test.cpp.o.d"
+  "/root/repo/tests/harness/timeline_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/harness/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/harness/timeline_test.cpp.o.d"
+  "/root/repo/tests/integration/route_validity_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/integration/route_validity_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/integration/route_validity_test.cpp.o.d"
+  "/root/repo/tests/integration/scheme_properties_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/integration/scheme_properties_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/integration/scheme_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/stress_sequences_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/integration/stress_sequences_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/integration/stress_sequences_test.cpp.o.d"
+  "/root/repo/tests/schemes/calibration_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/schemes/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/schemes/calibration_test.cpp.o.d"
+  "/root/repo/tests/schemes/dynamic_mrai_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/schemes/dynamic_mrai_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/schemes/dynamic_mrai_test.cpp.o.d"
+  "/root/repo/tests/schemes/extent_mrai_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/schemes/extent_mrai_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/schemes/extent_mrai_test.cpp.o.d"
+  "/root/repo/tests/sim/random_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/sim/random_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/sim/random_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/sim/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/time_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/sim/time_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/sim/time_test.cpp.o.d"
+  "/root/repo/tests/topo/degree_sequence_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/degree_sequence_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/degree_sequence_test.cpp.o.d"
+  "/root/repo/tests/topo/generators_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/generators_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/generators_test.cpp.o.d"
+  "/root/repo/tests/topo/graph_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/graph_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/graph_test.cpp.o.d"
+  "/root/repo/tests/topo/hierarchical_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/hierarchical_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/hierarchical_test.cpp.o.d"
+  "/root/repo/tests/topo/io_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/io_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/io_test.cpp.o.d"
+  "/root/repo/tests/topo/metrics_test.cpp" "tests/CMakeFiles/bgpsim_tests.dir/topo/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/bgpsim_tests.dir/topo/metrics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bgpsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/bgpsim_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgpsim_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/bgpsim_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/bgpsim_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgpsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

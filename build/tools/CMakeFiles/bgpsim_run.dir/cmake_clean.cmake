@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgpsim_run.dir/bgpsim_run.cpp.o"
+  "CMakeFiles/bgpsim_run.dir/bgpsim_run.cpp.o.d"
+  "bgpsim_run"
+  "bgpsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgpsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
