@@ -14,21 +14,26 @@ int main() {
       "in check (besides the per-(peer,prefix) timer cost that rules per-dest out at "
       "Internet scale)");
 
-  harness::Table table{{"failure", "per-peer delay", "per-dest delay", "per-peer msgs",
-                        "per-dest msgs"}};
-  for (const double failure : {0.01, 0.05, 0.10}) {
-    std::vector<std::string> delays;
-    std::vector<std::string> msgs;
+  const std::vector<double> failures{0.01, 0.05, 0.10};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : failures) {
     for (const bool per_dest : {false, true}) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
       cfg.scheme = harness::SchemeSpec::constant(0.5);
       cfg.bgp.per_destination_mrai = per_dest;
-      const auto p = bench::measure(cfg);
-      delays.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
-      msgs.push_back(harness::Table::fmt(p.messages, 0));
+      grid.push_back(cfg);
     }
-    table.add_row({bench::pct(failure), delays[0], delays[1], msgs[0], msgs[1]});
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "per-peer delay", "per-dest delay", "per-peer msgs",
+                        "per-dest msgs"}};
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const auto& peer = points[2 * i];
+    const auto& dest = points[2 * i + 1];
+    table.add_row({bench::pct(failures[i]), bench::cell(peer), bench::cell(dest),
+                   harness::Table::fmt(peer.messages, 0), harness::Table::fmt(dest.messages, 0)});
   }
   table.print(std::cout);
   return 0;

@@ -10,26 +10,30 @@ int main() {
       "trends are size-stable; absolute delays grow with the network because more "
       "alternate paths are explored and more updates hit every router");
 
-  harness::Table table{{"failure", "n=60 (0.5s)", "n=120 (0.5s)", "n=240 (0.5s)",
-                        "n=240 dynamic"}};
-  for (const double failure : {0.025, 0.05, 0.10}) {
-    std::vector<std::string> row{bench::pct(failure)};
+  const std::vector<double> failures{0.025, 0.05, 0.10};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : failures) {
     for (const std::size_t n : {std::size_t{60}, std::size_t{120}, std::size_t{240}}) {
       auto cfg = bench::paper_default();
       cfg.topology.n = n;
       cfg.failure_fraction = failure;
       cfg.scheme = harness::SchemeSpec::constant(0.5);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
-    {
-      auto cfg = bench::paper_default();
-      cfg.topology.n = 240;
-      cfg.failure_fraction = failure;
-      cfg.scheme = harness::SchemeSpec::dynamic_mrai();
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
-    }
+    auto cfg = bench::paper_default();
+    cfg.topology.n = 240;
+    cfg.failure_fraction = failure;
+    cfg.scheme = harness::SchemeSpec::dynamic_mrai();
+    grid.push_back(cfg);
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "n=60 (0.5s)", "n=120 (0.5s)", "n=240 (0.5s)",
+                        "n=240 dynamic"}};
+  std::size_t k = 0;
+  for (const double failure : failures) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < 4; ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

@@ -16,22 +16,27 @@ int main() {
       "update volume and the convergence delay of large failures relative to the paper's "
       "policy-free model");
 
-  harness::Table table{{"failure", "policy-free delay", "policy delay", "policy-free msgs",
-                        "policy msgs"}};
-  for (const double failure : {0.01, 0.05, 0.10, 0.20}) {
-    std::vector<std::string> row{bench::pct(failure)};
-    std::vector<std::string> msgs;
+  const std::vector<double> failures{0.01, 0.05, 0.10, 0.20};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : failures) {
     for (const bool policy : {false, true}) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
       cfg.scheme = harness::SchemeSpec::constant(0.5);
       cfg.topology.policy_routing = policy;
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
-      msgs.push_back(harness::Table::fmt(p.messages, 0));
+      grid.push_back(cfg);
     }
-    row.insert(row.end(), msgs.begin(), msgs.end());
-    table.add_row(std::move(row));
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "policy-free delay", "policy delay", "policy-free msgs",
+                        "policy msgs"}};
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const auto& free_p = points[2 * i];
+    const auto& policy_p = points[2 * i + 1];
+    table.add_row({bench::pct(failures[i]), bench::cell(free_p), bench::cell(policy_p),
+                   harness::Table::fmt(free_p.messages, 0),
+                   harness::Table::fmt(policy_p.messages, 0)});
   }
   table.print(std::cout);
   std::printf("\n(delays in seconds; relations degree-inferred, peer tolerance 1)\n");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 namespace bgpsim::bench {
@@ -56,15 +57,73 @@ inline Point measure(const harness::ExperimentConfig& cfg) {
   p.messages = avg.messages.mean;
   p.all_valid = avg.valid_fraction == 1.0;
   if (!p.all_valid) {
-    for (const auto& r : avg.runs) {
-      if (!r.routes_valid) {
+    for (std::size_t i = 0; i < avg.runs.size(); ++i) {
+      if (!avg.runs[i].routes_valid) {
+        // Replica i ran with seed cfg.seed + i; report the seed that failed.
         std::fprintf(stderr, "AUDIT FAILURE (seed %llu): %s\n",
-                     static_cast<unsigned long long>(cfg.seed), r.audit_error.c_str());
+                     static_cast<unsigned long long>(cfg.seed + i),
+                     avg.runs[i].audit_error.c_str());
         break;
       }
     }
   }
   return p;
+}
+
+/// Measures every config of a sweep grid at once: each config is expanded
+/// into seed_count() replicas and the whole batch goes through
+/// harness::run_sweep, so grid points *and* replicas run in parallel
+/// (BGPSIM_THREADS). Returns one averaged Point per config, in input order --
+/// numerically identical to calling measure() per config.
+inline std::vector<Point> measure_grid(const std::vector<harness::ExperimentConfig>& grid) {
+  const std::size_t seeds = seed_count();
+  std::vector<harness::ExperimentConfig> expanded;
+  expanded.reserve(grid.size() * seeds);
+  for (const auto& cfg : grid) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      expanded.push_back(cfg);
+      expanded.back().seed = cfg.seed + i;
+    }
+  }
+  const auto runs = harness::run_sweep(expanded);
+
+  std::vector<Point> points;
+  points.reserve(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    std::vector<double> delays;
+    std::vector<double> msgs;
+    delays.reserve(seeds);
+    msgs.reserve(seeds);
+    Point p;
+    for (std::size_t i = 0; i < seeds; ++i) {
+      const auto& r = runs[g * seeds + i];
+      delays.push_back(r.convergence_delay_s);
+      msgs.push_back(static_cast<double>(r.messages_after_failure));
+      if (!r.routes_valid) {
+        if (p.all_valid) {
+          std::fprintf(stderr, "AUDIT FAILURE (seed %llu): %s\n",
+                       static_cast<unsigned long long>(grid[g].seed + i),
+                       r.audit_error.c_str());
+        }
+        p.all_valid = false;
+      }
+    }
+    p.delay_s = harness::Stats::of(delays).mean;
+    p.messages = harness::Stats::of(msgs).mean;
+    points.push_back(p);
+  }
+  return points;
+}
+
+/// Table cell for a measured point: the convergence delay, with '!'
+/// appended when any replica failed the route audit.
+inline std::string cell(const Point& p) {
+  return harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!");
+}
+
+/// Table cell showing the message count instead of the delay.
+inline std::string msg_cell(const Point& p) {
+  return harness::Table::fmt(p.messages, 0) + (p.all_valid ? "" : "!");
 }
 
 inline void print_header(const std::string& title, const std::string& paper_expectation) {

@@ -10,16 +10,22 @@ int main() {
       "higher MRAIs start worse yet grow far more gently");
 
   const std::vector<double> mrais{0.5, 1.25, 2.25};
-  harness::Table table{{"failure", "MRAI=0.5s", "MRAI=1.25s", "MRAI=2.25s"}};
+  std::vector<harness::ExperimentConfig> grid;
   for (const double failure : bench::failure_grid()) {
-    std::vector<std::string> row{bench::pct(failure)};
     for (const double mrai : mrais) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
       cfg.scheme = harness::SchemeSpec::constant(mrai);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "MRAI=0.5s", "MRAI=1.25s", "MRAI=2.25s"}};
+  std::size_t k = 0;
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < mrais.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

@@ -11,16 +11,23 @@ int main() {
       "size (~0.5s at 1%, ~1.25s at 5%, larger still at 10%), so no single MRAI fits all");
 
   const std::vector<double> failures{0.01, 0.05, 0.10};
-  harness::Table table{{"MRAI(s)", "1% failure", "5% failure", "10% failure"}};
-  for (const double mrai : {0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5}) {
-    std::vector<std::string> row{harness::Table::fmt(mrai)};
+  const std::vector<double> mrais{0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double mrai : mrais) {
     for (const double failure : failures) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
       cfg.scheme = harness::SchemeSpec::constant(mrai);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"MRAI(s)", "1% failure", "5% failure", "10% failure"}};
+  std::size_t k = 0;
+  for (const double mrai : mrais) {
+    std::vector<std::string> row{harness::Table::fmt(mrai)};
+    for (std::size_t c = 0; c < failures.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

@@ -21,17 +21,24 @@ int main() {
       {"85-15", topo::SkewSpec::s85_15()},
   };
 
-  harness::Table table{{"MRAI(s)", "50-50", "70-30", "85-15"}};
-  for (const double mrai : {0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5}) {
-    std::vector<std::string> row{harness::Table::fmt(mrai)};
+  const std::vector<double> mrais{0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double mrai : mrais) {
     for (const auto& v : variants) {
       auto cfg = bench::paper_default();
       cfg.topology.skew = v.spec;
       cfg.failure_fraction = 0.05;
       cfg.scheme = harness::SchemeSpec::constant(mrai);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"MRAI(s)", "50-50", "70-30", "85-15"}};
+  std::size_t k = 0;
+  for (const double mrai : mrais) {
+    std::vector<std::string> row{harness::Table::fmt(mrai)};
+    for (std::size_t c = 0; c < variants.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

@@ -9,18 +9,24 @@ int main() {
       "both the optimal MRAI and the minimum delay are larger for avg degree 7.6 than for "
       "3.8 -- heavier hubs overload longer and more alternate paths must be explored");
 
-  harness::Table table{{"MRAI(s)", "avg deg 3.8", "avg deg 7.6"}};
-  for (const double mrai : {0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5}) {
-    std::vector<std::string> row{harness::Table::fmt(mrai)};
+  const std::vector<double> mrais{0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 2.75, 3.5};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double mrai : mrais) {
     for (const bool dense : {false, true}) {
       auto cfg = bench::paper_default();
       cfg.topology.skew = dense ? topo::SkewSpec::s50_50_dense() : topo::SkewSpec::s50_50();
       cfg.failure_fraction = 0.05;
       cfg.scheme = harness::SchemeSpec::constant(mrai);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
-    table.add_row(std::move(row));
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"MRAI(s)", "avg deg 3.8", "avg deg 7.6"}};
+  std::size_t k = 0;
+  for (const double mrai : mrais) {
+    table.add_row({harness::Table::fmt(mrai), bench::cell(points[k]), bench::cell(points[k + 1])});
+    k += 2;
   }
   table.print(std::cout);
   std::printf("\n(delays in seconds)\n");

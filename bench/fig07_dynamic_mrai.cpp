@@ -11,23 +11,25 @@ int main() {
       "5%, and for large failures sits between constant-2.25 and constant-1.25 -- near the "
       "lower envelope everywhere");
 
+  const std::vector<harness::SchemeSpec> schemes{
+      harness::SchemeSpec::dynamic_mrai(), harness::SchemeSpec::constant(0.5),
+      harness::SchemeSpec::constant(1.25), harness::SchemeSpec::constant(2.25)};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : bench::failure_grid()) {
+    for (const auto& s : schemes) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      cfg.scheme = s;
+      grid.push_back(cfg);
+    }
+  }
+  const auto points = bench::measure_grid(grid);
+
   harness::Table table{{"failure", "dynamic", "const 0.5", "const 1.25", "const 2.25"}};
+  std::size_t k = 0;
   for (const double failure : bench::failure_grid()) {
     std::vector<std::string> row{bench::pct(failure)};
-    {
-      auto cfg = bench::paper_default();
-      cfg.failure_fraction = failure;
-      cfg.scheme = harness::SchemeSpec::dynamic_mrai();
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
-    }
-    for (const double mrai : {0.5, 1.25, 2.25}) {
-      auto cfg = bench::paper_default();
-      cfg.failure_fraction = failure;
-      cfg.scheme = harness::SchemeSpec::constant(mrai);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
-    }
+    for (std::size_t c = 0; c < schemes.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

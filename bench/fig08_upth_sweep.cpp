@@ -11,9 +11,8 @@ int main() {
       "good across a wide band (0.65s vs 1.25s barely differ)");
 
   const std::vector<double> upths{0.10, 0.35, 0.65, 1.25};
-  harness::Table table{{"failure", "upTh=0.10s", "upTh=0.35s", "upTh=0.65s", "upTh=1.25s"}};
+  std::vector<harness::ExperimentConfig> grid;
   for (const double failure : bench::failure_grid()) {
-    std::vector<std::string> row{bench::pct(failure)};
     for (const double upth : upths) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
@@ -21,9 +20,16 @@ int main() {
       params.up_th = sim::SimTime::seconds(upth);
       params.down_th = sim::SimTime::zero();
       cfg.scheme = harness::SchemeSpec::dynamic_mrai(params);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "upTh=0.10s", "upTh=0.35s", "upTh=0.65s", "upTh=1.25s"}};
+  std::size_t k = 0;
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < upths.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

@@ -9,10 +9,8 @@ int main() {
       "larger failures; results stay similar across a range of values");
 
   const std::vector<double> downths{0.0, 0.05, 0.20, 0.45};
-  harness::Table table{
-      {"failure", "downTh=0s", "downTh=0.05s", "downTh=0.20s", "downTh=0.45s"}};
+  std::vector<harness::ExperimentConfig> grid;
   for (const double failure : bench::failure_grid()) {
-    std::vector<std::string> row{bench::pct(failure)};
     for (const double downth : downths) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
@@ -20,9 +18,17 @@ int main() {
       params.up_th = sim::SimTime::seconds(0.65);
       params.down_th = sim::SimTime::seconds(downth);
       cfg.scheme = harness::SchemeSpec::dynamic_mrai(params);
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{
+      {"failure", "downTh=0s", "downTh=0.05s", "downTh=0.20s", "downTh=0.45s"}};
+  std::size_t k = 0;
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < downths.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

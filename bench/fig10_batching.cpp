@@ -23,17 +23,23 @@ int main() {
       {"const 2.25", harness::SchemeSpec::constant(2.25)},
   };
 
-  harness::Table table{
-      {"failure", "batching(0.5)", "dynamic", "batch+dynamic", "const 0.5", "const 2.25"}};
+  std::vector<harness::ExperimentConfig> grid;
   for (const double failure : bench::failure_grid()) {
-    std::vector<std::string> row{bench::pct(failure)};
     for (const auto& s : schemes) {
       auto cfg = bench::paper_default();
       cfg.failure_fraction = failure;
       cfg.scheme = s.spec;
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{
+      {"failure", "batching(0.5)", "dynamic", "batch+dynamic", "const 0.5", "const 2.25"}};
+  std::size_t k = 0;
+  for (const double failure : bench::failure_grid()) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < schemes.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

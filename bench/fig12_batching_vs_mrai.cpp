@@ -10,17 +10,23 @@ int main() {
       "below the optimal MRAI batching cuts the delay dramatically; at or above the "
       "optimum the queues stay short and batching changes little");
 
+  const std::vector<double> mrais{0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 3.0};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double mrai : mrais) {
+    for (const bool batch : {false, true}) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = 0.05;
+      cfg.scheme = harness::SchemeSpec::constant(mrai, batch);
+      grid.push_back(cfg);
+    }
+  }
+  const auto points = bench::measure_grid(grid);
+
   harness::Table table{{"MRAI(s)", "FIFO", "batched", "speedup"}};
-  for (const double mrai : {0.25, 0.5, 0.75, 1.0, 1.25, 1.75, 2.25, 3.0}) {
-    auto cfg = bench::paper_default();
-    cfg.failure_fraction = 0.05;
-    cfg.scheme = harness::SchemeSpec::constant(mrai, /*batch=*/false);
-    const auto fifo = bench::measure(cfg);
-    cfg.scheme = harness::SchemeSpec::constant(mrai, /*batch=*/true);
-    const auto batched = bench::measure(cfg);
-    table.add_row({harness::Table::fmt(mrai),
-                   harness::Table::fmt(fifo.delay_s) + (fifo.all_valid ? "" : "!"),
-                   harness::Table::fmt(batched.delay_s) + (batched.all_valid ? "" : "!"),
+  for (std::size_t i = 0; i < mrais.size(); ++i) {
+    const auto& fifo = points[2 * i];
+    const auto& batched = points[2 * i + 1];
+    table.add_row({harness::Table::fmt(mrais[i]), bench::cell(fifo), bench::cell(batched),
                    harness::Table::fmt(batched.delay_s > 0 ? fifo.delay_s / batched.delay_s : 0.0,
                                        1) +
                        "x"});

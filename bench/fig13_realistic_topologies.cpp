@@ -29,10 +29,9 @@ int main() {
       {"const 3.5", harness::SchemeSpec::constant(3.5)},
   };
 
-  harness::Table table{{"failure", "batching(0.5)", "dynamic{0.5,2,3.5}", "batch+dynamic",
-                        "const 0.5", "const 3.5"}};
-  for (const double failure : {0.01, 0.025, 0.05, 0.10}) {
-    std::vector<std::string> row{bench::pct(failure)};
+  const std::vector<double> failures{0.01, 0.025, 0.05, 0.10};
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : failures) {
     for (const auto& s : schemes_list) {
       auto cfg = bench::paper_default();
       cfg.topology.kind = harness::TopologySpec::Kind::kHierarchical;
@@ -40,9 +39,17 @@ int main() {
       cfg.topology.hier.max_total_routers = bench::node_count() * 5 / 2;
       cfg.failure_fraction = failure;
       cfg.scheme = s.spec;
-      const auto p = bench::measure(cfg);
-      row.push_back(harness::Table::fmt(p.delay_s) + (p.all_valid ? "" : "!"));
+      grid.push_back(cfg);
     }
+  }
+  const auto points = bench::measure_grid(grid);
+
+  harness::Table table{{"failure", "batching(0.5)", "dynamic{0.5,2,3.5}", "batch+dynamic",
+                        "const 0.5", "const 3.5"}};
+  std::size_t k = 0;
+  for (const double failure : failures) {
+    std::vector<std::string> row{bench::pct(failure)};
+    for (std::size_t c = 0; c < schemes_list.size(); ++c) row.push_back(bench::cell(points[k++]));
     table.add_row(std::move(row));
   }
   table.print(std::cout);

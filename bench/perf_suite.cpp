@@ -1,0 +1,122 @@
+// End-to-end harness performance suite.
+//
+// Times a fig01-style sweep (the paper's failure grid x three constant
+// MRAIs, bench::seed_count() replicas per point) twice -- once strictly
+// serially, once through harness::run_sweep on the thread pool -- verifies
+// the two produce identical results, and writes a machine-readable
+// BENCH_harness.json so later changes can track the perf trajectory.
+//
+// Usage: perf_suite [output.json]   (default: BENCH_harness.json in the
+// current directory; run from the repo root to update the tracked file)
+//
+// Knobs: BGPSIM_N, BGPSIM_SEEDS, BGPSIM_THREADS as usual.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool same_run(const bgpsim::harness::RunResult& a, const bgpsim::harness::RunResult& b) {
+  return a.initial_convergence_s == b.initial_convergence_s &&
+         a.convergence_delay_s == b.convergence_delay_s &&
+         a.recovery_delay_s == b.recovery_delay_s &&
+         a.messages_after_recovery == b.messages_after_recovery &&
+         a.messages_after_failure == b.messages_after_failure &&
+         a.adverts_after_failure == b.adverts_after_failure &&
+         a.withdrawals_after_failure == b.withdrawals_after_failure &&
+         a.messages_total == b.messages_total &&
+         a.messages_processed == b.messages_processed &&
+         a.batch_dropped == b.batch_dropped && a.events == b.events &&
+         a.routers == b.routers && a.failed_routers == b.failed_routers &&
+         a.routes_valid == b.routes_valid && a.audit_error == b.audit_error;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_harness.json";
+  const std::size_t seeds = bench::seed_count();
+
+  // The fig01 grid: every (failure, MRAI, seed) combination as one flat
+  // list of independent runs.
+  std::vector<harness::ExperimentConfig> sweep;
+  for (const double failure : bench::failure_grid()) {
+    for (const double mrai : {0.5, 1.25, 2.25}) {
+      for (std::size_t i = 0; i < seeds; ++i) {
+        auto cfg = bench::paper_default();
+        cfg.failure_fraction = failure;
+        cfg.scheme = harness::SchemeSpec::constant(mrai);
+        cfg.seed = cfg.seed + i;
+        sweep.push_back(cfg);
+      }
+    }
+  }
+
+  std::printf("perf_suite: fig01 sweep, %zu runs (%zu nodes, %zu seeds/point), %zu thread(s)\n",
+              sweep.size(), bench::node_count(), seeds, harness::harness_threads());
+
+  // Serial reference: a plain loop on this thread.
+  const auto t_serial = Clock::now();
+  std::vector<harness::RunResult> serial;
+  serial.reserve(sweep.size());
+  for (const auto& cfg : sweep) serial.push_back(harness::run_experiment(cfg));
+  const double serial_s = seconds_since(t_serial);
+
+  // Parallel: the same configs through the pool.
+  const auto t_parallel = Clock::now();
+  const auto parallel = harness::run_sweep(sweep);
+  const double parallel_s = seconds_since(t_parallel);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = same_run(serial[i], parallel[i]);
+  }
+
+  std::uint64_t events = 0;
+  for (const auto& r : serial) events += r.events;
+
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  std::printf("  serial:   %.3f s  (%.0f events/s)\n", serial_s,
+              serial_s > 0 ? static_cast<double>(events) / serial_s : 0.0);
+  std::printf("  parallel: %.3f s  (%.0f events/s, %.2fx)\n", parallel_s,
+              parallel_s > 0 ? static_cast<double>(events) / parallel_s : 0.0, speedup);
+  std::printf("  results identical: %s\n", identical ? "yes" : "NO (BUG)");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_suite: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"fig01_sweep\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"seeds_per_point\": %zu,\n"
+               "  \"runs\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"events_total\": %llu,\n"
+               "  \"serial_wall_s\": %.6f,\n"
+               "  \"parallel_wall_s\": %.6f,\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"serial_events_per_s\": %.0f,\n"
+               "  \"parallel_events_per_s\": %.0f,\n"
+               "  \"parallel_identical_to_serial\": %s\n"
+               "}\n",
+               bench::node_count(), seeds, sweep.size(), harness::harness_threads(),
+               static_cast<unsigned long long>(events), serial_s, parallel_s, speedup,
+               serial_s > 0 ? static_cast<double>(events) / serial_s : 0.0,
+               parallel_s > 0 ? static_cast<double>(events) / parallel_s : 0.0,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}

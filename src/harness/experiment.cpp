@@ -210,26 +210,6 @@ Stats Stats::of(const std::vector<double>& xs) {
   return s;
 }
 
-AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
-  AveragedResult out;
-  std::vector<double> delays;
-  std::vector<double> msgs;
-  std::size_t valid = 0;
-  for (std::size_t i = 0; i < num_seeds; ++i) {
-    auto c = cfg;
-    c.seed = cfg.seed + i;
-    auto r = run_experiment(c);
-    delays.push_back(r.convergence_delay_s);
-    msgs.push_back(static_cast<double>(r.messages_after_failure));
-    if (r.routes_valid) ++valid;
-    out.runs.push_back(std::move(r));
-  }
-  out.delay = Stats::of(delays);
-  out.messages = Stats::of(msgs);
-  out.valid_fraction = num_seeds == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(num_seeds);
-  return out;
-}
-
 std::size_t bench_seeds(std::size_t fallback) {
   if (const char* env = std::getenv("BGPSIM_SEEDS")) {
     const long v = std::strtol(env, nullptr, 10);

@@ -146,6 +146,9 @@ struct AveragedResult {
 };
 
 /// Runs `num_seeds` independent replicas (seeds cfg.seed, cfg.seed+1, ...).
+/// Replicas execute on the harness thread pool (see harness/parallel.hpp;
+/// BGPSIM_THREADS controls the degree) and the result is bit-identical to a
+/// serial loop whatever the thread count.
 AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds);
 
 /// Number of replica seeds benches should use: the BGPSIM_SEEDS environment

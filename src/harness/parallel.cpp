@@ -1,0 +1,187 @@
+#include "harness/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace bgpsim::harness {
+
+std::size_t harness_threads() {
+  if (const char* env = std::getenv("BGPSIM_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+struct ThreadPool::Impl {
+  // State of the (single) active parallel region. Workers pull the next
+  // item index from `next`; the region is over when `remaining` hits zero.
+  struct Region {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::size_t remaining = 0;  // guarded by m: items not yet accounted done
+    std::size_t active = 0;     // guarded by m: workers currently inside
+    std::exception_ptr error;   // guarded by m; from the lowest index
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  };
+
+  std::mutex m;
+  std::condition_variable work_cv;   // workers wait here for a region
+  std::condition_variable done_cv;   // the caller waits here for completion
+  Region* region = nullptr;          // guarded by m
+  std::size_t region_ticket = 0;     // bumped per region, wakes workers
+  std::vector<std::thread> workers;  // guarded by m (grow-only)
+  bool stopping = false;             // guarded by m
+  std::atomic<bool> in_region{false};
+
+  void record_error(Region& r, std::size_t index) {
+    std::lock_guard<std::mutex> lock{m};
+    if (index < r.error_index) {
+      r.error_index = index;
+      r.error = std::current_exception();
+    }
+  }
+
+  /// Pulls items from the region until it drains. Returns the number of
+  /// items this thread completed.
+  std::size_t drain(Region& r) {
+    std::size_t done = 0;
+    for (;;) {
+      const std::size_t i = r.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= r.n) return done;
+      try {
+        (*r.body)(i);
+      } catch (...) {
+        record_error(r, i);
+      }
+      ++done;
+    }
+  }
+
+  void worker_loop() {
+    std::size_t seen_ticket = 0;
+    for (;;) {
+      Region* r = nullptr;
+      {
+        std::unique_lock<std::mutex> lock{m};
+        work_cv.wait(lock, [&] {
+          return stopping || (region != nullptr && region_ticket != seen_ticket);
+        });
+        if (stopping) return;
+        seen_ticket = region_ticket;
+        r = region;
+        // Registering under the lock that also publishes/retires `region`
+        // guarantees the caller waits for this worker before destroying the
+        // (stack-allocated) region.
+        ++r->active;
+      }
+      const std::size_t done = drain(*r);
+      {
+        std::lock_guard<std::mutex> lock{m};
+        r->remaining -= done;
+        --r->active;
+        if (r->remaining == 0 && r->active == 0) done_cv.notify_all();
+      }
+    }
+  }
+
+  void ensure_workers(std::size_t count) {
+    std::lock_guard<std::mutex> lock{m};
+    while (workers.size() < count) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_{new Impl} {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{impl_->m};
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::for_each_index(std::size_t n, std::size_t threads,
+                                const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Serial fallback: degree 1, tiny regions, or a (programming-error) nested
+  // call from inside a worker -- run inline, in order, exceptions straight
+  // through.
+  if (threads <= 1 || n <= 1 || impl_->in_region.exchange(true)) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Impl::Region region;
+  region.body = &body;
+  region.n = n;
+  region.remaining = n;
+
+  const std::size_t helpers = std::min(threads, n) - 1;
+  impl_->ensure_workers(helpers);
+  {
+    std::lock_guard<std::mutex> lock{impl_->m};
+    impl_->region = &region;
+    ++impl_->region_ticket;
+  }
+  impl_->work_cv.notify_all();
+
+  const std::size_t done_here = impl_->drain(region);
+  {
+    std::unique_lock<std::mutex> lock{impl_->m};
+    region.remaining -= done_here;
+    impl_->done_cv.wait(lock, [&] { return region.remaining == 0 && region.active == 0; });
+    impl_->region = nullptr;
+  }
+  impl_->in_region.store(false);
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+std::vector<RunResult> run_sweep(const std::vector<ExperimentConfig>& configs) {
+  std::vector<RunResult> out(configs.size());
+  ThreadPool::instance().for_each_index(
+      configs.size(), harness_threads(),
+      [&](std::size_t i) { out[i] = run_experiment(configs[i]); });
+  return out;
+}
+
+AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
+  std::vector<ExperimentConfig> cfgs(num_seeds, cfg);
+  for (std::size_t i = 0; i < num_seeds; ++i) cfgs[i].seed = cfg.seed + i;
+
+  AveragedResult out;
+  out.runs = run_sweep(cfgs);
+  std::vector<double> delays;
+  std::vector<double> msgs;
+  delays.reserve(out.runs.size());
+  msgs.reserve(out.runs.size());
+  std::size_t valid = 0;
+  for (const auto& r : out.runs) {
+    delays.push_back(r.convergence_delay_s);
+    msgs.push_back(static_cast<double>(r.messages_after_failure));
+    if (r.routes_valid) ++valid;
+  }
+  out.delay = Stats::of(delays);
+  out.messages = Stats::of(msgs);
+  out.valid_fraction =
+      num_seeds == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(num_seeds);
+  return out;
+}
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,65 @@
+// Parallel experiment execution.
+//
+// Every experiment run is a pure function of (config, seed) -- it owns its
+// Scheduler, Rng and Network and touches no global state -- so independent
+// runs can execute on different threads and still produce bit-identical
+// results to the serial path. This module provides the shared thread pool
+// and the two entry points benches use:
+//
+//   run_sweep(configs)         one RunResult per config, in input order
+//   run_averaged(cfg, seeds)   (declared in experiment.hpp) seed replicas
+//
+// Parallelism degree: the BGPSIM_THREADS environment variable when set to a
+// positive integer, else std::thread::hardware_concurrency(). The variable
+// is re-read on every parallel region, so tests can flip it at runtime;
+// BGPSIM_THREADS=1 is an exact serial fallback (the calling thread runs
+// every item itself, in order).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+
+/// Parallelism degree for harness sweeps: BGPSIM_THREADS if set (> 0), else
+/// hardware_concurrency() (at least 1). Re-read from the environment on
+/// every call.
+std::size_t harness_threads();
+
+/// A deliberately work-stealing-free thread pool: each parallel region
+/// shares one atomic index that the caller and the workers pull from, so
+/// there are no per-worker queues to steal between. Workers are lazily
+/// spawned up to the largest degree ever requested and persist for the
+/// process lifetime.
+class ThreadPool {
+ public:
+  static ThreadPool& instance();
+
+  /// Runs body(0) .. body(n-1), each exactly once, using up to `threads`
+  /// concurrent executors (the calling thread plus threads-1 pool workers).
+  /// Blocks until every item completed. If any invocations throw, the
+  /// exception from the lowest index is rethrown in the caller. With
+  /// threads <= 1 (or n <= 1, or from inside another region) the items run
+  /// inline on the calling thread, in index order.
+  void for_each_index(std::size_t n, std::size_t threads,
+                      const std::function<void(std::size_t)>& body);
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Runs every config as an independent experiment and returns the results
+/// in input order. Deterministic: the result of configs[i] is the same
+/// whatever the thread count, including the BGPSIM_THREADS=1 serial path.
+std::vector<RunResult> run_sweep(const std::vector<ExperimentConfig>& configs);
+
+}  // namespace bgpsim::harness

@@ -1,0 +1,109 @@
+// Small-buffer callback storage for scheduler events.
+//
+// EventFn is a move-only stand-in for std::function<void()> whose inline
+// buffer is sized so that every capture the BGP model schedules (router
+// batch completions, MRAI expiries, link deliveries, damping reuse checks)
+// fits without a heap allocation. Larger callables still work; they fall
+// back to the heap. Unlike std::function, move-only captures are accepted.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bgpsim::sim {
+
+class EventFn {
+ public:
+  /// Inline capacity in bytes. 48 covers the largest captures on the hot
+  /// path ([this, batch, cost] in Router::maybe_start_processing: 40 bytes;
+  /// [this, msg] in Network::transmit: 48 bytes); anything bigger silently
+  /// heap-allocates. Kept tight on purpose: the scheduler embeds one EventFn
+  /// per pooled event slot, so this bounds the slot footprint.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= alignof(void*) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    /// Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* obj);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* obj) { (*std::launder(static_cast<Fn*>(obj)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(static_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* obj) { std::launder(static_cast<Fn*>(obj))->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* obj) { (**std::launder(static_cast<Fn**>(obj)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(static_cast<Fn**>(src)));
+      },
+      [](void* obj) { delete *std::launder(static_cast<Fn**>(obj)); }};
+
+  void move_from(EventFn&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(void*) unsigned char buf_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace bgpsim::sim

@@ -2,30 +2,120 @@
 
 namespace bgpsim::sim {
 
-EventHandle Scheduler::schedule_at(SimTime at, std::function<void()> fn) {
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_slots_.empty()) {
+    if (slot_count_ + kChunkSize > kMaxSlots) {
+      throw std::length_error{"Scheduler: event slot pool exhausted"};
+    }
+    auto chunk = std::make_unique<Slot[]>(kChunkSize);
+    chunks_.push_back(std::move(chunk));
+    const auto base = static_cast<std::uint32_t>(slot_count_);
+    slot_count_ += kChunkSize;
+    free_slots_.reserve(slot_count_);
+    // Push in reverse so the lowest new index is handed out first.
+    for (std::size_t i = kChunkSize; i > 0; --i) {
+      free_slots_.push_back(base + static_cast<std::uint32_t>(i - 1));
+    }
+  }
+  const std::uint32_t i = free_slots_.back();
+  free_slots_.pop_back();
+  Slot& s = slot(i);
+  ++s.gen;  // even -> odd: in use
+  s.cancelled = false;
+  return i;
+}
+
+void Scheduler::recycle_slot(std::uint32_t i) {
+  Slot& s = slot(i);
+  s.fn.reset();
+  ++s.gen;  // odd -> even: free; outstanding handles go stale
+  free_slots_.push_back(i);
+}
+
+void Scheduler::heap_push(Entry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!e.earlier_than(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Scheduler::heap_pop() {
+  // Bottom-up deletion: walk the hole at the root down to a leaf along the
+  // smallest-child path (no comparisons against the displaced element), then
+  // re-insert the last element at the hole with a short sift-up. The
+  // displaced element is near-maximal on average, so the classic top-down
+  // variant would compare it against ~every level for nothing.
+  const std::size_t n = heap_.size() - 1;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first_child = (hole << 2) + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c].earlier_than(heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  const Entry e = heap_[n];
+  heap_.pop_back();
+  if (hole == n) return;
+  // Sift `e` up from the leaf hole.
+  std::size_t i = hole;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!e.earlier_than(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+EventHandle Scheduler::schedule_at(SimTime at, EventFn fn) {
   if (at < now_) throw std::logic_error{"Scheduler: cannot schedule into the past"};
-  auto state = std::make_shared<EventHandle::State>();
-  state->fn = std::move(fn);
-  queue_.push(Entry{at, next_seq_++, state});
+  if (next_seq_ >= kMaxSeq) {
+    throw std::length_error{"Scheduler: event sequence space exhausted"};
+  }
+  const std::uint32_t i = acquire_slot();
+  Slot& s = slot(i);
+  s.fn = std::move(fn);
+  const std::uint64_t gen = s.gen;
+  heap_push(Entry{at, (next_seq_++ << kSlotBits) | i});
   ++live_count_;
-  return EventHandle{state};
+  return EventHandle{this, i, gen};
 }
 
 bool Scheduler::step(SimTime limit) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
     if (top.at > limit) return false;
-    Entry entry = top;
-    queue_.pop();
-    if (entry.state->cancelled) {
+    __builtin_prefetch(&slot(top.slot()));  // overlap the slot fetch with the sift
+    heap_pop();
+    // A slot is recycled exactly when its heap entry is popped, so
+    // `top.slot()` still refers to this entry's event here.
+    Slot& s = slot(top.slot());
+    if (s.cancelled) {
+      recycle_slot(top.slot());
       --live_count_;
       continue;
     }
-    now_ = entry.at;
-    entry.state->fired = true;
+    now_ = top.at;
+    // Bump the generation before invoking so handles to this event report
+    // "not pending" from inside the callback (matching the old fired flag),
+    // then run the callback in place -- the slot only joins the free list
+    // afterwards, so events the callback schedules cannot clobber it.
+    ++s.gen;  // odd -> even: no longer live
     --live_count_;
     ++executed_;
-    entry.state->fn();
+    s.fn();
+    s.fn.reset();
+    free_slots_.push_back(top.slot());
     return true;
   }
   return false;

@@ -1,0 +1,255 @@
+// Tests for the parallel harness (thread pool + run_sweep/run_averaged
+// determinism) and the scheduler's pooled-slot handle semantics that the
+// parallel rewrite must preserve.
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.topology.n = 30;
+  cfg.scheme = SchemeSpec::constant(0.5);
+  cfg.failure_fraction = 0.10;
+  cfg.seed = 1;
+  return cfg;
+}
+
+bool same_run(const RunResult& a, const RunResult& b) {
+  return a.initial_convergence_s == b.initial_convergence_s &&
+         a.convergence_delay_s == b.convergence_delay_s &&
+         a.recovery_delay_s == b.recovery_delay_s &&
+         a.messages_after_recovery == b.messages_after_recovery &&
+         a.messages_after_failure == b.messages_after_failure &&
+         a.adverts_after_failure == b.adverts_after_failure &&
+         a.withdrawals_after_failure == b.withdrawals_after_failure &&
+         a.messages_total == b.messages_total &&
+         a.messages_processed == b.messages_processed &&
+         a.batch_dropped == b.batch_dropped && a.events == b.events &&
+         a.routers == b.routers && a.failed_routers == b.failed_routers &&
+         a.routes_valid == b.routes_valid && a.audit_error == b.audit_error;
+}
+
+/// Restores BGPSIM_THREADS on scope exit so tests cannot leak the setting.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(const char* value) {
+    const char* old = std::getenv("BGPSIM_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    setenv("BGPSIM_THREADS", value, 1);
+  }
+  ~ScopedThreads() {
+    if (had_old_) {
+      setenv("BGPSIM_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("BGPSIM_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(HarnessThreads, ReadsEnvironment) {
+  {
+    ScopedThreads t{"4"};
+    EXPECT_EQ(harness_threads(), 4u);
+  }
+  {
+    ScopedThreads t{"1"};
+    EXPECT_EQ(harness_threads(), 1u);
+  }
+  {
+    ScopedThreads t{"garbage"};
+    EXPECT_GE(harness_threads(), 1u);  // falls back to hardware_concurrency
+  }
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ThreadPool::instance().for_each_index(
+      kN, 4, [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SerialFallbackRunsInOrder) {
+  std::vector<std::size_t> order;
+  ThreadPool::instance().for_each_index(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RethrowsLowestIndexException) {
+  try {
+    ThreadPool::instance().for_each_index(100, 4, [&](std::size_t i) {
+      if (i == 7 || i == 93) throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 7");
+  }
+}
+
+TEST(ThreadPool, UsableAgainAfterException) {
+  try {
+    ThreadPool::instance().for_each_index(4, 4,
+                                          [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> count{0};
+  ThreadPool::instance().for_each_index(50, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50u);
+}
+
+TEST(RunSweep, ParallelIdenticalToSerial) {
+  // Three distinct configs so mixed results would be detected.
+  std::vector<ExperimentConfig> configs(3, small_config());
+  configs[1].seed = 17;
+  configs[2].failure_fraction = 0.05;
+
+  std::vector<RunResult> serial;
+  std::vector<RunResult> parallel;
+  {
+    ScopedThreads t{"1"};
+    serial = run_sweep(configs);
+  }
+  {
+    ScopedThreads t{"4"};
+    parallel = run_sweep(configs);
+  }
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(parallel.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_TRUE(same_run(serial[i], parallel[i])) << "config " << i;
+  }
+  // And the configs really were distinct.
+  EXPECT_FALSE(same_run(serial[0], serial[1]));
+}
+
+TEST(RunAveraged, ParallelIdenticalToSerial) {
+  const auto cfg = small_config();
+  AveragedResult serial;
+  AveragedResult parallel;
+  {
+    ScopedThreads t{"1"};
+    serial = run_averaged(cfg, 4);
+  }
+  {
+    ScopedThreads t{"4"};
+    parallel = run_averaged(cfg, 4);
+  }
+  ASSERT_EQ(serial.runs.size(), 4u);
+  ASSERT_EQ(parallel.runs.size(), 4u);
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    EXPECT_TRUE(same_run(serial.runs[i], parallel.runs[i])) << "seed replica " << i;
+  }
+  EXPECT_EQ(serial.delay.mean, parallel.delay.mean);
+  EXPECT_EQ(serial.delay.stddev, parallel.delay.stddev);
+  EXPECT_EQ(serial.messages.mean, parallel.messages.mean);
+  EXPECT_EQ(serial.valid_fraction, parallel.valid_fraction);
+}
+
+TEST(RunSweep, EmptyInputYieldsEmptyOutput) {
+  EXPECT_TRUE(run_sweep({}).empty());
+}
+
+}  // namespace
+}  // namespace bgpsim::harness
+
+namespace bgpsim::sim {
+namespace {
+
+// --- Scheduler event-pool semantics -------------------------------------
+
+TEST(SchedulerPool, HandleToRecycledSlotIsStale) {
+  Scheduler sched;
+  int fired = 0;
+  // First event occupies slot 0; after it fires the slot is recycled.
+  auto h1 = sched.schedule_after(SimTime::seconds(1.0), [&] { ++fired; });
+  sched.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h1.pending());
+
+  // Second event reuses the recycled slot but with a bumped generation, so
+  // the stale handle must neither report pending nor cancel the new event.
+  auto h2 = sched.schedule_after(SimTime::seconds(1.0), [&] { ++fired; });
+  EXPECT_TRUE(h2.pending());
+  EXPECT_FALSE(h1.pending());
+  h1.cancel();  // stale: must be a no-op
+  EXPECT_TRUE(h2.pending());
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerPool, CancelAfterRecycleDoesNotKillNewEvent) {
+  Scheduler sched;
+  std::vector<int> fired;
+  std::vector<EventHandle> old_handles;
+  // Churn through many schedule/fire cycles, keeping every old handle.
+  for (int round = 0; round < 50; ++round) {
+    old_handles.push_back(
+        sched.schedule_after(SimTime::seconds(1.0), [&fired, round] { fired.push_back(round); }));
+    sched.run();
+  }
+  EXPECT_EQ(fired.size(), 50u);
+
+  // Cancelling every historical handle must not touch a freshly scheduled
+  // event, whichever recycled slot it landed in.
+  auto fresh = sched.schedule_after(SimTime::seconds(1.0), [&fired] { fired.push_back(-1); });
+  for (auto& h : old_handles) h.cancel();
+  EXPECT_TRUE(fresh.pending());
+  sched.run();
+  ASSERT_EQ(fired.size(), 51u);
+  EXPECT_EQ(fired.back(), -1);
+}
+
+TEST(SchedulerPool, PendingEventsAccounting) {
+  Scheduler sched;
+  EXPECT_EQ(sched.pending_events(), 0u);
+  auto h1 = sched.schedule_after(SimTime::seconds(1.0), [] {});
+  auto h2 = sched.schedule_after(SimTime::seconds(2.0), [] {});
+  auto h3 = sched.schedule_after(SimTime::seconds(3.0), [] {});
+  EXPECT_EQ(sched.pending_events(), 3u);
+
+  // Lazy cancellation: the heap entry stays until popped, but the count
+  // drops as soon as the pop skips it.
+  h2.cancel();
+  sched.run_until(SimTime::seconds(2.5));
+  EXPECT_EQ(sched.pending_events(), 1u);
+  EXPECT_FALSE(h1.pending());
+  EXPECT_FALSE(h2.pending());
+  EXPECT_TRUE(h3.pending());
+
+  sched.run();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_TRUE(sched.empty());
+  EXPECT_EQ(sched.executed_events(), 2u);  // cancelled event not counted
+}
+
+TEST(SchedulerPool, SlotsAreRecycledNotGrown) {
+  Scheduler sched;
+  // Sequential schedule/fire cycles keep reusing the same slot, so the pool
+  // must stay at its initial chunk size no matter how many events run.
+  for (int i = 0; i < 10000; ++i) {
+    sched.schedule_after(SimTime::seconds(1.0), [] {});
+    sched.run();
+  }
+  EXPECT_EQ(sched.executed_events(), 10000u);
+  EXPECT_LE(sched.pool_slots(), 1024u);
+}
+
+}  // namespace
+}  // namespace bgpsim::sim
