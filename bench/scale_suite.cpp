@@ -1,0 +1,199 @@
+// Scale suite: single-failure convergence at n in {240, 1000, 4000}.
+//
+// The paper validates on 120-node topologies; this suite tracks what the
+// simulator costs at production-ish scale, where per-router RIB memory --
+// not CPU -- is the binding constraint identified by the distributed-BGP
+// feasibility studies (arXiv:1209.0943). For each n it builds the paper's
+// 70-30 skewed topology, converges cold-start, measures the RIB storage
+// footprint (bytes per stored route, counting flat-slot capacity plus the
+// intern table / deep-copied hop heap), fails the grid-centre node and
+// re-converges, then writes one JSON record per n into BENCH_scale.json.
+//
+// The same source builds in both path-storage modes; the "mode" field in
+// the JSON says which one produced the numbers, so
+// tools/bench_compare.py can hold the interned build to >= 4x lower
+// bytes/route than a deep-copy run.
+//
+// Usage: scale_suite [output.json]   (default: BENCH_scale.json in the
+// current directory; run from the repo root to update the tracked file)
+//
+// Knobs: BGPSIM_SCALE_NS="240,1000,4000" overrides the node counts (CI
+// uses a small list to stay within its time budget); BGPSIM_SCALE_MRAI
+// the constant MRAI seconds (default 2.25).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "failure/failure.hpp"
+#include "topo/degree_sequence.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::size_t peak_rss_bytes() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+}
+
+std::vector<std::size_t> scale_ns() {
+  std::vector<std::size_t> ns;
+  if (const char* env = std::getenv("BGPSIM_SCALE_NS")) {
+    const std::string s{env};
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const auto tok = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 1) ns.push_back(static_cast<std::size_t>(v));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (ns.empty()) ns = {240, 1000, 4000};
+  return ns;
+}
+
+struct ScalePoint {
+  std::size_t n = 0;
+  double initial_convergence_s = 0.0;   // simulated time
+  double failure_convergence_s = 0.0;   // simulated time
+  double build_wall_s = 0.0;
+  double converge_wall_s = 0.0;
+  double failure_wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::size_t routes = 0;
+  std::size_t rib_bytes = 0;            // flat slots + path storage
+  std::size_t path_table_bytes = 0;
+  std::size_t distinct_paths = 0;
+  double bytes_per_route = 0.0;
+  std::size_t peak_rss = 0;
+};
+
+ScalePoint run_point(std::size_t n, double mrai_s) {
+  using namespace bgpsim;
+  ScalePoint pt;
+  pt.n = n;
+
+  const auto t_build = Clock::now();
+  sim::Rng topo_rng{1};
+  auto degrees = topo::skewed_sequence(n, topo::SkewSpec::s70_30(), topo_rng);
+  auto g = topo::realize_degree_sequence(std::move(degrees), topo_rng);
+  const double grid = 1000.0;
+  g.place_randomly(grid, grid, topo_rng);
+
+  bgp::BgpConfig cfg;  // paper defaults: U(1,30) ms CPU, 25 ms links
+  auto net = std::make_unique<bgp::Network>(
+      g, cfg, std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(mrai_s)), 7);
+  pt.build_wall_s = seconds_since(t_build);
+
+  const auto t_converge = Clock::now();
+  net->start();
+  pt.initial_convergence_s = net->run_to_quiescence().to_seconds();
+  pt.converge_wall_s = seconds_since(t_converge);
+
+  // Storage footprint at full RIBs (the steady state a long-running
+  // simulation pays for).
+  for (bgp::NodeId v = 0; v < n; ++v) {
+    const auto st = net->router(v).storage_stats();
+    pt.routes += st.loc_rib_routes + st.adj_in_routes + st.adj_out_routes;
+    pt.rib_bytes += st.rib_bytes;
+  }
+  pt.path_table_bytes = net->paths().memory_bytes();
+  pt.distinct_paths = net->paths().size();
+  pt.rib_bytes += pt.path_table_bytes;
+  pt.bytes_per_route =
+      pt.routes > 0 ? static_cast<double>(pt.rib_bytes) / static_cast<double>(pt.routes) : 0.0;
+
+  // Single failure at the grid centre.
+  const auto victims =
+      failure::geographic(net->positions(), 1, topo::Point{grid / 2.0, grid / 2.0});
+  const auto t_fail_wall = Clock::now();
+  const sim::SimTime t_fail = net->scheduler().now() + sim::SimTime::seconds(1.0);
+  net->scheduler().schedule_at(t_fail, [&net, &victims] { net->fail_nodes(victims); });
+  net->run_to_quiescence();
+  const auto& m = net->metrics();
+  pt.failure_convergence_s =
+      m.last_rib_change > t_fail ? (m.last_rib_change - t_fail).to_seconds() : 0.0;
+  pt.failure_wall_s = seconds_since(t_fail_wall);
+  pt.events = net->scheduler().executed_events();
+  pt.messages = m.updates_sent;
+  pt.peak_rss = peak_rss_bytes();
+  return pt;
+}
+
+double env_double(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+  const double mrai_s = env_double("BGPSIM_SCALE_MRAI", 2.25);
+#ifdef BGPSIM_DEEP_COPY_PATHS
+  const char* mode = "deepcopy";
+#else
+  const char* mode = "interned";
+#endif
+
+  std::vector<ScalePoint> points;
+  for (const std::size_t n : scale_ns()) {
+    std::printf("scale_suite [%s]: n=%zu ...\n", mode, n);
+    std::fflush(stdout);
+    const auto pt = run_point(n, mrai_s);
+    std::printf(
+        "  converged %.1fs sim (%.1fs wall), failure re-converged %.2fs sim (%.1fs wall)\n"
+        "  %zu routes, %.1f MiB RIB+paths (%.1f bytes/route, %zu distinct paths), "
+        "peak RSS %.1f MiB\n",
+        pt.initial_convergence_s, pt.converge_wall_s, pt.failure_convergence_s,
+        pt.failure_wall_s, pt.routes, static_cast<double>(pt.rib_bytes) / (1024.0 * 1024.0),
+        pt.bytes_per_route, pt.distinct_paths,
+        static_cast<double>(pt.peak_rss) / (1024.0 * 1024.0));
+    points.push_back(pt);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "scale_suite: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"suite\": \"scale\",\n  \"mode\": \"%s\",\n  \"mrai_s\": %.2f,\n  \"points\": [\n",
+               mode, mrai_s);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    std::fprintf(f,
+                 "    {\"n\": %zu, \"initial_convergence_s\": %.6f, "
+                 "\"failure_convergence_s\": %.6f, \"events\": %llu, \"messages\": %llu, "
+                 "\"routes\": %zu, \"rib_bytes\": %zu, \"path_table_bytes\": %zu, "
+                 "\"distinct_paths\": %zu, \"bytes_per_route\": %.2f, "
+                 "\"build_wall_s\": %.3f, \"converge_wall_s\": %.3f, \"failure_wall_s\": %.3f, "
+                 "\"peak_rss_bytes\": %zu}%s\n",
+                 pt.n, pt.initial_convergence_s, pt.failure_convergence_s,
+                 static_cast<unsigned long long>(pt.events),
+                 static_cast<unsigned long long>(pt.messages), pt.routes, pt.rib_bytes,
+                 pt.path_table_bytes, pt.distinct_paths, pt.bytes_per_route, pt.build_wall_s,
+                 pt.converge_wall_s, pt.failure_wall_s, pt.peak_rss,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("scale_suite: wrote %s\n", out_path.c_str());
+  return 0;
+}

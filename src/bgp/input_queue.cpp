@@ -2,6 +2,12 @@
 
 namespace bgpsim::bgp {
 
+std::vector<WorkItem>& InputQueue::dest_slot(Prefix key) {
+  if (key == kTeardownKey) return teardown_;
+  if (key >= by_dest_.size()) by_dest_.resize(static_cast<std::size_t>(key) + 1);
+  return by_dest_[key];
+}
+
 void InputQueue::push(WorkItem item) {
   ++size_;
   switch (mode_) {
@@ -10,15 +16,18 @@ void InputQueue::push(WorkItem item) {
       return;
     case QueueDiscipline::kBatched: {
       const Prefix key = item.kind == WorkItem::Kind::kPeerDown ? kTeardownKey : item.prefix;
-      auto [it, inserted] = by_dest_.try_emplace(key);
-      if (inserted || it->second.empty()) dest_order_.push_back(key);
-      it->second.push_back(std::move(item));
+      auto& slot = dest_slot(key);
+      if (slot.empty()) dest_order_.push_back(key);
+      slot.push_back(std::move(item));
       return;
     }
     case QueueDiscipline::kTcpBatch: {
-      auto [it, inserted] = by_peer_.try_emplace(item.from);
-      if (inserted || it->second.empty()) peer_order_.push_back(item.from);
-      it->second.push_back(std::move(item));
+      if (item.from >= by_peer_.size()) {
+        by_peer_.resize(static_cast<std::size_t>(item.from) + 1);
+      }
+      auto& slot = by_peer_[item.from];
+      if (slot.empty()) peer_order_.push_back(item.from);
+      slot.push_back(std::move(item));
       return;
     }
   }
@@ -45,15 +54,26 @@ std::vector<WorkItem> InputQueue::pop_destination_batch(std::uint64_t& dropped) 
   std::vector<WorkItem> out;
   const Prefix key = dest_order_.front();
   dest_order_.pop_front();
-  auto& items = by_dest_[key];
+  auto& items = dest_slot(key);
   size_ -= items.size();
   // Keep only the newest item per neighbor, preserving arrival order of the
   // survivors; everything older is stale. (For the teardown pseudo-
   // destination this just collapses duplicate teardowns from one peer.)
-  std::unordered_map<NodeId, std::size_t> last_index;
-  for (std::size_t i = 0; i < items.size(); ++i) last_index[items[i].from] = i;
+  // The scratch vectors are sender-indexed and stamp-versioned: no hashing,
+  // no clearing between batches.
+  ++stamp_;
+  for (const auto& item : items) {
+    if (item.from >= last_index_.size()) {
+      last_index_.resize(static_cast<std::size_t>(item.from) + 1, 0);
+      last_stamp_.resize(static_cast<std::size_t>(item.from) + 1, 0);
+    }
+  }
   for (std::size_t i = 0; i < items.size(); ++i) {
-    if (last_index[items[i].from] == i) {
+    last_index_[items[i].from] = i;
+    last_stamp_[items[i].from] = stamp_;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (last_stamp_[items[i].from] == stamp_ && last_index_[items[i].from] == i) {
       out.push_back(std::move(items[i]));
     } else {
       ++dropped;
@@ -80,10 +100,12 @@ std::vector<WorkItem> InputQueue::pop_peer_batch() {
 
 void InputQueue::clear() {
   fifo_.clear();
+  // Only slots still holding items need resetting (capacity is retained so
+  // the next convergence episode does not re-allocate).
+  for (const Prefix key : dest_order_) dest_slot(key).clear();
   dest_order_.clear();
-  by_dest_.clear();
+  for (const NodeId peer : peer_order_) by_peer_[peer].clear();
   peer_order_.clear();
-  by_peer_.clear();
   size_ = 0;
 }
 

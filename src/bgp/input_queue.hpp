@@ -15,11 +15,15 @@
 // tcp_batch_limit updates of one peer per batch. Nothing is deleted: the
 // only benefit is that route changes are pushed once per batch, so
 // same-destination updates that happen to share a batch collapse.
+//
+// Storage is prefix-/node-indexed flat vectors (the Router passes the
+// Network's prefix and node spaces as sizing hints), so the hot path does
+// no hashing and no per-destination node allocation; slots auto-grow for
+// out-of-hint keys, keeping the standalone-test surface unchanged.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/config.hpp"
@@ -33,7 +37,7 @@ struct WorkItem {
   NodeId from = 0;
   Prefix prefix = 0;  ///< kTeardownKey for kPeerDown items
   bool withdraw = false;
-  AsPath path;
+  PathRef path{};  ///< interned id (or owning AsPath in deep-copy builds)
 };
 
 /// Pseudo-destination under which kPeerDown items are queued in kBatched.
@@ -41,8 +45,13 @@ inline constexpr Prefix kTeardownKey = 0xFFFFFFFFu;
 
 class InputQueue {
  public:
-  explicit InputQueue(QueueDiscipline mode, std::size_t tcp_batch_limit = 16)
-      : mode_{mode}, tcp_limit_{tcp_batch_limit == 0 ? 1 : tcp_batch_limit} {}
+  explicit InputQueue(QueueDiscipline mode, std::size_t tcp_batch_limit = 16,
+                      std::size_t prefix_space = 0, std::size_t node_space = 0)
+      : mode_{mode}, tcp_limit_{tcp_batch_limit == 0 ? 1 : tcp_batch_limit} {
+    // Pre-size only the stores the configured discipline touches.
+    if (mode_ == QueueDiscipline::kBatched) by_dest_.resize(prefix_space);
+    if (mode_ == QueueDiscipline::kTcpBatch) by_peer_.resize(node_space);
+  }
 
   void push(WorkItem item);
 
@@ -58,6 +67,7 @@ class InputQueue {
   void clear();
 
  private:
+  std::vector<WorkItem>& dest_slot(Prefix key);
   std::vector<WorkItem> pop_destination_batch(std::uint64_t& dropped);
   std::vector<WorkItem> pop_peer_batch();
 
@@ -66,12 +76,19 @@ class InputQueue {
   std::size_t size_ = 0;
   // kFifo state.
   std::deque<WorkItem> fifo_;
-  // kBatched state: arrival order of destinations with queued work.
+  // kBatched state: arrival order of destinations with queued work. Slots
+  // are prefix-indexed; kPeerDown items live in their own teardown slot.
   std::deque<Prefix> dest_order_;
-  std::unordered_map<Prefix, std::vector<WorkItem>> by_dest_;
+  std::vector<std::vector<WorkItem>> by_dest_;
+  std::vector<WorkItem> teardown_;
+  // Dedup scratch for pop_destination_batch: per-sender index of the newest
+  // item in the current batch, versioned so it never needs re-zeroing.
+  std::vector<std::size_t> last_index_;
+  std::vector<std::uint64_t> last_stamp_;
+  std::uint64_t stamp_ = 0;
   // kTcpBatch state: round-robin order of peers with queued work.
   std::deque<NodeId> peer_order_;
-  std::unordered_map<NodeId, std::deque<WorkItem>> by_peer_;
+  std::vector<std::deque<WorkItem>> by_peer_;
 };
 
 }  // namespace bgpsim::bgp

@@ -1,5 +1,6 @@
 #include "bgp/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bgpsim::bgp {
@@ -9,6 +10,8 @@ Network::Network(const topo::Graph& g, BgpConfig cfg, std::shared_ptr<MraiContro
     : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto n = static_cast<NodeId>(g.size());
+  node_space_ = n;
+  prefix_space_ = static_cast<std::size_t>(n) * std::max<std::uint32_t>(1, cfg_.prefixes_per_origin);
   routers_.reserve(n);
   positions_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -31,6 +34,9 @@ Network::Network(const topo::HierTopology& h, BgpConfig cfg,
     : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto n = static_cast<NodeId>(h.num_routers());
+  node_space_ = n;
+  prefix_space_ = h.origin_router.size() *
+                  std::max<std::uint32_t>(1, cfg_.prefixes_per_origin);
   routers_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
     const auto as = h.as_of_router[v];
@@ -56,6 +62,8 @@ Network::Network(const topo::AsRelGraph& ar, BgpConfig cfg,
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto& g = ar.graph;
   const auto n = static_cast<NodeId>(g.size());
+  node_space_ = n;
+  prefix_space_ = static_cast<std::size_t>(n) * std::max<std::uint32_t>(1, cfg_.prefixes_per_origin);
   routers_.reserve(n);
   positions_.reserve(n);
   for (NodeId v = 0; v < n; ++v) {
@@ -124,6 +132,15 @@ void Network::recover_nodes(const std::vector<NodeId>& nodes) {
     }
   }
   for (const NodeId v : nodes) router(v).originate();
+}
+
+void Network::compact_paths() {
+#ifndef BGPSIM_DEEP_COPY_PATHS
+  PathTable fresh;
+  for (auto& r : routers_) r->remap_paths(paths_, fresh);
+  fresh.shrink_to_fit();
+  paths_ = std::move(fresh);
+#endif
 }
 
 std::vector<NodeId> Network::alive_nodes() const {

@@ -12,6 +12,7 @@
 #include "bgp/config.hpp"
 #include "bgp/metrics.hpp"
 #include "bgp/mrai.hpp"
+#include "bgp/path_table.hpp"
 #include "bgp/router.hpp"
 #include "bgp/trace.hpp"
 #include "sim/random.hpp"
@@ -46,8 +47,22 @@ class Network {
   void start();
 
   /// Runs the event loop until no events remain; returns the time of the
-  /// last event.
-  sim::SimTime run_to_quiescence() { return sched_.run(); }
+  /// last event. Quiescence is the path table's epoch boundary: with no
+  /// updates in flight, only RIB slots hold PathRefs, so the table is
+  /// compacted down to the live set before returning (convergence churn
+  /// interns millions of transient exploration paths that nothing
+  /// references once the network settles).
+  sim::SimTime run_to_quiescence() {
+    const sim::SimTime t = sched_.run();
+    compact_paths();
+    return t;
+  }
+
+  /// Rebuilds the path table from the paths RIBs still reference and
+  /// remaps every stored PathRef (ids are opaque handles, so behavior is
+  /// unchanged). Only valid when no update messages are in flight; a no-op
+  /// in deep-copy builds.
+  void compact_paths();
 
   /// Fails `victims` at the current simulation time: the routers die and
   /// every surviving neighbor's session drops immediately.
@@ -68,6 +83,15 @@ class Network {
   sim::Scheduler& scheduler() { return sched_; }
   sim::Rng& rng() { return rng_; }
   const BgpConfig& config() const { return cfg_; }
+  /// The network-wide AS-path intern table: one canonical copy per distinct
+  /// path; every PathRef held by routers/messages resolves against it.
+  PathTable& paths() { return paths_; }
+  const PathTable& paths() const { return paths_; }
+  /// Number of distinct prefixes that can exist in this network (#origin
+  /// ASes x prefixes_per_origin). Routers size their flat RIBs from this.
+  std::size_t prefix_space() const { return prefix_space_; }
+  /// Router-id space (flat RIB session lookup is NodeId-indexed).
+  std::size_t node_space() const { return node_space_; }
   /// True when sessions carry Gao-Rexford relations (affects what the
   /// route audit may assume about reachability).
   bool policy_routing() const { return policy_routing_; }
@@ -91,6 +115,9 @@ class Network {
   std::shared_ptr<MraiController> mrai_;
   sim::Scheduler sched_;
   sim::Rng rng_;
+  PathTable paths_;
+  std::size_t prefix_space_ = 0;
+  std::size_t node_space_ = 0;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<topo::Point> positions_;
   NetMetrics metrics_;

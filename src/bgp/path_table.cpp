@@ -1,0 +1,140 @@
+#include "bgp/path_table.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::bgp {
+
+namespace {
+constexpr std::size_t kInitialBuckets = 256;  // power of two
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+}  // namespace
+
+PathTable::PathTable() {
+  slots_.push_back(Slot{0, 0, hash_hops({})});
+  index_.assign(kInitialBuckets, kEmptyBucket);
+  index_mask_ = kInitialBuckets - 1;
+  index_[slots_[0].hash & index_mask_] = kEmptyPathId;
+}
+
+std::uint64_t PathTable::hash_hops(std::span<const AsId> hops) {
+  // FNV-1a over the hop words; good enough dispersion for power-of-two
+  // bucket counts and trivially portable.
+  std::uint64_t h = kFnvOffset;
+  for (const AsId as : hops) {
+    h ^= as;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+PathId PathTable::find_or_intern(std::span<const AsId> hops, std::uint64_t h) {
+  std::size_t b = h & index_mask_;
+  while (index_[b] != kEmptyBucket) {
+    const PathId cand = index_[b];
+    const Slot& s = slots_[cand];
+    if (s.hash == h && s.len == hops.size() &&
+        std::equal(hops.begin(), hops.end(), arena_.begin() + s.offset)) {
+      return cand;
+    }
+    b = (b + 1) & index_mask_;
+  }
+  const auto id = static_cast<PathId>(slots_.size());
+  Slot s;
+  s.offset = static_cast<std::uint32_t>(arena_.size());
+  s.len = static_cast<std::uint32_t>(hops.size());
+  s.hash = h;
+  arena_.insert(arena_.end(), hops.begin(), hops.end());
+  slots_.push_back(s);
+  index_[b] = id;
+  // Keep the open-addressed index under ~70% load.
+  if (slots_.size() * 10 >= index_.size() * 7) rehash(index_.size() * 2);
+  return id;
+}
+
+void PathTable::rehash(std::size_t new_buckets) {
+  index_.assign(new_buckets, kEmptyBucket);
+  index_mask_ = new_buckets - 1;
+  for (PathId id = 0; id < slots_.size(); ++id) {
+    std::size_t b = slots_[id].hash & index_mask_;
+    while (index_[b] != kEmptyBucket) b = (b + 1) & index_mask_;
+    index_[b] = id;
+  }
+}
+
+PathId PathTable::intern(std::span<const AsId> hops) {
+  return find_or_intern(hops, hash_hops(hops));
+}
+
+PathId PathTable::prepend(PathId base, AsId head) {
+  // Fast path: hash incrementally and look up without building the hop
+  // sequence; only a miss materializes the new path (into the arena).
+  const Slot& bs = slots_[base];
+  std::uint64_t h = kFnvOffset;
+  h ^= head;
+  h *= kFnvPrime;
+  for (std::uint32_t i = 0; i < bs.len; ++i) {
+    h ^= arena_[bs.offset + i];
+    h *= kFnvPrime;
+  }
+  std::size_t b = h & index_mask_;
+  while (index_[b] != kEmptyBucket) {
+    const PathId cand = index_[b];
+    const Slot& s = slots_[cand];
+    if (s.hash == h && s.len == bs.len + 1 && arena_[s.offset] == head &&
+        std::equal(arena_.begin() + s.offset + 1, arena_.begin() + s.offset + s.len,
+                   arena_.begin() + slots_[base].offset)) {
+      return cand;
+    }
+    b = (b + 1) & index_mask_;
+  }
+  // Miss: append head + base hops to the arena. Copy via indices, not the
+  // span from hops(base) -- insert() may reallocate the arena.
+  const auto id = static_cast<PathId>(slots_.size());
+  Slot s;
+  s.offset = static_cast<std::uint32_t>(arena_.size());
+  s.len = bs.len + 1;
+  s.hash = h;
+  const std::uint32_t base_off = bs.offset;
+  const std::uint32_t base_len = bs.len;
+  // Grow geometrically: an exact-size reserve here would reallocate (and
+  // copy) the whole arena on every miss.
+  if (arena_.capacity() < arena_.size() + base_len + 1) {
+    arena_.reserve(std::max(arena_.size() + base_len + 1, arena_.capacity() * 2));
+  }
+  arena_.push_back(head);
+  for (std::uint32_t i = 0; i < base_len; ++i) arena_.push_back(arena_[base_off + i]);
+  slots_.push_back(s);
+  index_[b] = id;
+  if (slots_.size() * 10 >= index_.size() * 7) rehash(index_.size() * 2);
+  return id;
+}
+
+bool PathTable::contains(PathId id, AsId as) const {
+  const auto h = hops(id);
+  for (const AsId hop : h) {
+    if (hop == as) return true;
+  }
+  return false;
+}
+
+AsPath PathTable::as_path(PathId id) const {
+  const auto h = hops(id);
+  return AsPath{std::vector<AsId>{h.begin(), h.end()}};
+}
+
+std::size_t PathTable::memory_bytes() const {
+  return arena_.capacity() * sizeof(AsId) + slots_.capacity() * sizeof(Slot) +
+         index_.capacity() * sizeof(std::uint32_t);
+}
+
+void PathTable::clear() {
+  arena_.clear();
+  slots_.clear();
+  slots_.push_back(Slot{0, 0, hash_hops({})});
+  index_.assign(kInitialBuckets, kEmptyBucket);
+  index_mask_ = kInitialBuckets - 1;
+  index_[slots_[0].hash & index_mask_] = kEmptyPathId;
+}
+
+}  // namespace bgpsim::bgp

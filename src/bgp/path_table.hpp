@@ -1,0 +1,151 @@
+// Hash-consed AS-path storage.
+//
+// Every distinct AS path in a simulation is stored exactly once in a
+// PathTable arena; routers, RIBs and in-flight messages hold 32-bit PathId
+// handles instead of owning vector<AsId> copies. Interning makes path
+// equality an integer compare and collapses the O(n^2 * path-length) heap
+// footprint of deep-copied RIBs to O(distinct paths) -- the memory wall
+// identified by the distributed-BGP-simulation feasibility studies
+// (arXiv:1209.0943) long before CPU becomes the constraint.
+//
+// Lifetime: a PathTable lives inside one Network and is reclaimed wholesale
+// with it (epoch reclamation -- paths are never freed individually; a
+// simulation run's working set of distinct paths is small and stable).
+// clear() resets the table to its initial state for explicit reuse.
+//
+// Building with -DBGPSIM_DEEP_COPY_PATHS=ON switches the protocol back to
+// the original deep-copied AsPath storage. The flag exists so tests can
+// cross-check that interning changes nothing about protocol behavior; the
+// PathRef aliases below let one protocol implementation serve both modes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace bgpsim::bgp {
+
+// PathId / kEmptyPathId / PathRef live in types.hpp (UpdateMessage carries
+// a PathRef). Ids are dense, starting at 0 for the empty path; equality of
+// ids is equality of paths (hash-consing invariant: every PathId in
+// circulation came from intern()/prepend()).
+class PathTable {
+ public:
+  PathTable();
+
+  PathTable(const PathTable&) = delete;
+  PathTable& operator=(const PathTable&) = delete;
+  PathTable(PathTable&&) noexcept = default;
+  PathTable& operator=(PathTable&&) noexcept = default;
+
+  /// Returns the id of the canonical copy of `hops`, interning it first if
+  /// this is the first time the table sees that hop sequence.
+  PathId intern(std::span<const AsId> hops);
+  PathId intern(const AsPath& path) {
+    return intern(std::span<const AsId>{path.hops()});
+  }
+
+  /// Interns the path equal to hops(base) with `head` prepended (the eBGP
+  /// export operation). O(length) only on first sight, O(1) equality after.
+  PathId prepend(PathId base, AsId head);
+
+  std::span<const AsId> hops(PathId id) const {
+    const Slot& s = slots_[id];
+    return {arena_.data() + s.offset, s.len};
+  }
+  std::uint32_t length(PathId id) const { return slots_[id].len; }
+  bool empty(PathId id) const { return slots_[id].len == 0; }
+  bool contains(PathId id, AsId as) const;
+  /// Materializes an owning AsPath (introspection/test surface only).
+  AsPath as_path(PathId id) const;
+
+  /// Number of distinct paths interned (>= 1: the empty path).
+  std::size_t size() const { return slots_.size(); }
+  /// Total hops stored across all distinct paths.
+  std::size_t arena_hops() const { return arena_.size(); }
+  /// Heap bytes owned by the table (arena + slots + hash index).
+  std::size_t memory_bytes() const;
+
+  /// Epoch reclamation: drops every interned path except the canonical
+  /// empty one. All outstanding PathIds other than kEmptyPathId become
+  /// invalid -- callers reset their RIBs alongside (run teardown).
+  void clear();
+
+  /// Trims capacity overshoot from geometric growth (post-compaction).
+  void shrink_to_fit() {
+    arena_.shrink_to_fit();
+    slots_.shrink_to_fit();
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint64_t hash = 0;
+  };
+
+  static std::uint64_t hash_hops(std::span<const AsId> hops);
+  /// Looks `hops` (with hash `h`) up in the open-addressed index; interns
+  /// and returns a fresh id on miss.
+  PathId find_or_intern(std::span<const AsId> hops, std::uint64_t h);
+  void rehash(std::size_t new_buckets);
+
+  static constexpr std::uint32_t kEmptyBucket = 0xFFFFFFFFu;
+
+  std::vector<AsId> arena_;   ///< concatenated hop storage
+  std::vector<Slot> slots_;   ///< PathId -> {offset, len, hash}
+  std::vector<std::uint32_t> index_;  ///< open addressing: bucket -> PathId
+  std::size_t index_mask_ = 0;
+};
+
+// --- path_* helpers: manipulate a PathRef in either build mode -------------
+//
+// The BGP core (RIB slots, UpdateMessage, WorkItem) stores PathRef values
+// and manipulates them only through the helpers below, so the same
+// protocol source compiles against interned ids (default) or deep-copied
+// AsPath values (-DBGPSIM_DEEP_COPY_PATHS=ON, the pre-interning baseline
+// kept for cross-check tests and the bytes/route comparison).
+
+#ifdef BGPSIM_DEEP_COPY_PATHS
+
+inline PathRef path_make(PathTable&, const AsPath& p) { return p; }
+inline PathRef path_make(PathTable&, std::vector<AsId> hops) {
+  return AsPath{std::move(hops)};
+}
+inline PathRef path_prepend(PathTable&, const PathRef& r, AsId head) {
+  return r.prepended(head);
+}
+inline bool path_contains(const PathTable&, const PathRef& r, AsId as) {
+  return r.contains(as);
+}
+inline std::size_t path_length(const PathTable&, const PathRef& r) {
+  return r.length();
+}
+inline AsPath path_materialize(const PathTable&, const PathRef& r) { return r; }
+inline PathRef path_empty() { return AsPath{}; }
+
+#else
+
+inline PathRef path_make(PathTable& t, const AsPath& p) { return t.intern(p); }
+inline PathRef path_make(PathTable& t, std::vector<AsId> hops) {
+  return t.intern(std::span<const AsId>{hops});
+}
+inline PathRef path_prepend(PathTable& t, PathRef r, AsId head) {
+  return t.prepend(r, head);
+}
+inline bool path_contains(const PathTable& t, PathRef r, AsId as) {
+  return t.contains(r, as);
+}
+inline std::size_t path_length(const PathTable& t, PathRef r) {
+  return t.length(r);
+}
+inline AsPath path_materialize(const PathTable& t, PathRef r) {
+  return t.as_path(r);
+}
+inline constexpr PathRef path_empty() { return kEmptyPathId; }
+
+#endif
+
+}  // namespace bgpsim::bgp

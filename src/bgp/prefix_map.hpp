@@ -1,0 +1,115 @@
+// Dense prefix-indexed storage for per-router RIB state.
+//
+// Prefixes are small dense integers (Network numbers them 0..P-1 at
+// construction), so a flat vector indexed by prefix beats a per-prefix
+// unordered_map on every axis that matters here: no per-node heap
+// allocation, no hashing on the hot path, cache-linear scans, and --
+// crucial for the simulator's determinism guarantee -- iteration in
+// ascending prefix order instead of hash order.
+//
+// The map auto-grows on write (tests inject prefixes beyond the announced
+// space) and grows geometrically so repeated ascending insertions stay
+// amortized O(1). A presence byte per slot distinguishes "empty" from a
+// default-constructed value. erase() resets the slot to T{} so value types
+// that own memory (AsPath in the deep-copy build) release it, matching the
+// node-freeing behavior of the maps this replaces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bgp/types.hpp"
+
+namespace bgpsim::bgp {
+
+template <typename T>
+class PrefixMap {
+ public:
+  /// Pre-sizes backing storage for prefixes [0, n) without marking any
+  /// present (Network passes its prefix-space size as a hint).
+  void reserve_prefixes(std::size_t n) {
+    if (n > slots_.size()) {
+      slots_.resize(n);
+      present_.resize(n, 0);
+    }
+  }
+
+  bool contains(Prefix p) const { return p < present_.size() && present_[p] != 0; }
+
+  const T* find(Prefix p) const { return contains(p) ? &slots_[p] : nullptr; }
+  T* find(Prefix p) { return contains(p) ? &slots_[p] : nullptr; }
+
+  /// Returns the slot for `p`, default-constructing (and marking present)
+  /// on first touch -- the operator[] of the maps this replaces.
+  T& operator[](Prefix p) {
+    ensure(p);
+    if (present_[p] == 0) {
+      present_[p] = 1;
+      ++count_;
+    }
+    return slots_[p];
+  }
+
+  void insert_or_assign(Prefix p, T value) { (*this)[p] = std::move(value); }
+
+  /// Removes `p`; returns 1 if it was present, 0 otherwise (erase() of the
+  /// maps this replaces). The slot is reset so owning values free memory.
+  std::size_t erase(Prefix p) {
+    if (!contains(p)) return 0;
+    slots_[p] = T{};
+    present_[p] = 0;
+    --count_;
+    return 1;
+  }
+
+  void clear() {
+    if (count_ == 0) return;
+    for (std::size_t p = 0; p < present_.size(); ++p) {
+      if (present_[p] != 0) {
+        slots_[p] = T{};
+        present_[p] = 0;
+      }
+    }
+    count_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Visits present entries in ascending prefix order as f(Prefix, T&).
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::size_t p = 0; p < present_.size(); ++p) {
+      if (present_[p] != 0) f(static_cast<Prefix>(p), slots_[p]);
+    }
+  }
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t p = 0; p < present_.size(); ++p) {
+      if (present_[p] != 0) f(static_cast<Prefix>(p), slots_[p]);
+    }
+  }
+
+  /// Bytes of backing storage (memory accounting for scale_suite).
+  std::size_t capacity_bytes() const {
+    return slots_.capacity() * sizeof(T) + present_.capacity();
+  }
+
+ private:
+  void ensure(Prefix p) {
+    if (p < slots_.size()) return;
+    // Geometric growth: ascending single-prefix insertions must not
+    // trigger a reallocation each.
+    std::size_t n = slots_.size() < 8 ? 8 : slots_.size() * 2;
+    if (n < static_cast<std::size_t>(p) + 1) n = static_cast<std::size_t>(p) + 1;
+    slots_.resize(n);
+    present_.resize(n, 0);
+  }
+
+  std::vector<T> slots_;
+  std::vector<std::uint8_t> present_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bgpsim::bgp

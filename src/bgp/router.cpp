@@ -3,23 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#if defined(BGPSIM_DEEP_COPY_PATHS) && defined(__GLIBC__)
+#include <malloc.h>  // malloc_usable_size, for honest deep-copy accounting
+#endif
+
 #include "bgp/network.hpp"
 
 namespace bgpsim::bgp {
-
-namespace {
-constexpr double kLoadTauSeconds = 2.0;  // decay window for overload signals
-// Route losses indicate the *extent* of a failure, which stays relevant for
-// the whole convergence episode -- decay much more slowly than load.
-constexpr double kLossTauSeconds = 15.0;
-}
 
 Router::Router(Network& net, NodeId id, AsId as, bool originates)
     : net_{net},
       id_{id},
       as_{as},
       originates_{originates},
-      queue_{net.config().queue, net.config().tcp_batch_limit},
+      queue_{net.config().queue, net.config().tcp_batch_limit, net.prefix_space(),
+             net.node_space()},
       busy_tracker_{kLoadTauSeconds},
       msg_tracker_{kLoadTauSeconds},
       loss_tracker_{kLossTauSeconds} {
@@ -27,6 +25,7 @@ Router::Router(Network& net, NodeId id, AsId as, bool originates)
   // model). Network overrides via set_origin_range for multi-prefix runs.
   origin_base_ = as_;
   origin_count_ = originates_ ? 1 : 0;
+  loc_rib_.reserve_prefixes(net.prefix_space());
 }
 
 void Router::set_origin_range(Prefix base, std::uint32_t count) {
@@ -35,22 +34,31 @@ void Router::set_origin_range(Prefix base, std::uint32_t count) {
 }
 
 void Router::add_session(NodeId peer, AsId peer_as, bool ebgp, PeerRelation relation) {
-  session_index_.emplace(peer, sessions_.size());
+  if (session_of_node_.size() <= peer) session_of_node_.resize(peer + 1, kNoSession);
+  session_of_node_[peer] = static_cast<std::uint32_t>(sessions_.size());
   auto& s = sessions_.emplace_back();
   s.peer = peer;
   s.peer_as = peer_as;
   s.ebgp = ebgp;
   s.relation = relation;
+  const std::size_t prefixes = net_.prefix_space();
+  s.adj_in.reserve_prefixes(prefixes);
+  s.adj_out.reserve_prefixes(prefixes);
+  // Timer/damping slots only exist for configurations that use them.
+  if (net_.config().per_destination_mrai) s.dest_timers.reserve_prefixes(prefixes);
+  if (net_.config().damping.enabled) s.damping.reserve_prefixes(prefixes);
 }
 
 Router::PeerSession* Router::session(NodeId peer) {
-  const auto it = session_index_.find(peer);
-  return it == session_index_.end() ? nullptr : &sessions_[it->second];
+  if (peer >= session_of_node_.size()) return nullptr;
+  const std::uint32_t idx = session_of_node_[peer];
+  return idx == kNoSession ? nullptr : &sessions_[idx];
 }
 
 const Router::PeerSession* Router::session(NodeId peer) const {
-  const auto it = session_index_.find(peer);
-  return it == session_index_.end() ? nullptr : &sessions_[it->second];
+  if (peer >= session_of_node_.size()) return nullptr;
+  const std::uint32_t idx = session_of_node_[peer];
+  return idx == kNoSession ? nullptr : &sessions_[idx];
 }
 
 // --- simulation entry points -----------------------------------------------
@@ -61,9 +69,9 @@ void Router::originate() {
     const Prefix p = origin_base_ + k;
     trace(TraceEvent::Kind::kOriginated, 0, p);
     trace(TraceEvent::Kind::kRibChanged, 0, p);
-    RouteEntry local;
+    RibRoute local;
     local.local = true;
-    loc_rib_[p] = local;
+    loc_rib_.insert_or_assign(p, local);
     ++net_.metrics().rib_changes;
     net_.metrics().last_rib_change = net_.scheduler().now();
     for (auto& s : sessions_) route_changed(s, p);
@@ -73,7 +81,8 @@ void Router::originate() {
 void Router::deliver(const UpdateMessage& msg) {
   if (!alive_) return;
   msg_tracker_.add(net_.scheduler().now(), 1.0);
-  trace(TraceEvent::Kind::kUpdateReceived, msg.from, msg.prefix, msg.withdraw);
+  trace(TraceEvent::Kind::kUpdateReceived, msg.from, msg.prefix, msg.withdraw, 0,
+        msg.withdraw ? 0 : static_cast<std::uint32_t>(path_length(net_.paths(), msg.path)));
   WorkItem item;
   item.kind = WorkItem::Kind::kUpdate;
   item.from = msg.from;
@@ -93,7 +102,7 @@ void Router::peer_failed(NodeId peer) {
   s->timer.cancel();
   s->timer_running = false;
   s->pending.clear();
-  for (auto& [p, h] : s->dest_timers) h.cancel();
+  s->dest_timers.for_each([](Prefix, sim::EventHandle& h) { h.cancel(); });
   s->dest_timers.clear();
   s->dest_pending.clear();
   s->adj_out.clear();
@@ -105,19 +114,16 @@ void Router::peer_failed(NodeId peer) {
     item.prefix = kTeardownKey;
     queue_.push(std::move(item));
   } else {
-    // One withdrawal-equivalent work item per route learned from the peer.
-    std::vector<Prefix> prefixes;
-    prefixes.reserve(s->adj_in.size());
-    for (const auto& [p, path] : s->adj_in) prefixes.push_back(p);
-    std::sort(prefixes.begin(), prefixes.end());  // deterministic order
-    for (const Prefix p : prefixes) {
+    // One withdrawal-equivalent work item per route learned from the peer,
+    // in ascending prefix order (PrefixMap iterates sorted).
+    s->adj_in.for_each([&](Prefix p, const PathRef&) {
       WorkItem item;
       item.kind = WorkItem::Kind::kUpdate;
       item.from = peer;
       item.prefix = p;
       item.withdraw = true;
       queue_.push(std::move(item));
-    }
+    });
   }
   maybe_start_processing();
 }
@@ -129,9 +135,9 @@ void Router::fail() {
   for (auto& s : sessions_) {
     s.timer.cancel();
     s.timer_running = false;
-    for (auto& [p, h] : s.dest_timers) h.cancel();
+    s.dest_timers.for_each([](Prefix, sim::EventHandle& h) { h.cancel(); });
     s.dest_timers.clear();
-    for (auto& [p, d] : s.damping) d.reuse_timer.cancel();
+    s.damping.for_each([](Prefix, DampState& d) { d.reuse_timer.cancel(); });
     s.damping.clear();
   }
   queue_.clear();
@@ -164,8 +170,9 @@ void Router::session_established(NodeId peer) {
   s->pending.clear();
   trace(TraceEvent::Kind::kSessionEstablished, peer);
   // A fresh BGP session starts with a full table exchange: queue every
-  // Loc-RIB entry for this peer (MRAI applies as usual).
-  for (const auto& [p, e] : loc_rib_) route_changed(*s, p);
+  // Loc-RIB entry for this peer, in ascending prefix order (MRAI applies
+  // as usual).
+  loc_rib_.for_each([&](Prefix p, const RibRoute&) { route_changed(*s, p); });
 }
 
 // --- processing pipeline ----------------------------------------------------
@@ -205,7 +212,7 @@ void Router::apply(const WorkItem& item, std::set<Prefix>& affected) {
   if (s == nullptr) return;
 
   if (item.kind == WorkItem::Kind::kPeerDown) {
-    for (const auto& [p, path] : s->adj_in) affected.insert(p);
+    s->adj_in.for_each([&](Prefix p, const PathRef&) { affected.insert(p); });
     s->adj_in.clear();
     return;
   }
@@ -222,7 +229,7 @@ void Router::apply(const WorkItem& item, std::set<Prefix>& affected) {
     return;
   }
   if (!s->up) return;  // stale advertisement from a fallen peer
-  if (item.path.contains(as_)) {
+  if (path_contains(net_.paths(), item.path, as_)) {
     // AS-path loop: the peer's best route goes through us, so this prefix
     // is unreachable via this peer (an implicit withdrawal).
     if (s->adj_in.erase(item.prefix) > 0) {
@@ -233,12 +240,12 @@ void Router::apply(const WorkItem& item, std::set<Prefix>& affected) {
     }
     return;
   }
-  auto it = s->adj_in.find(item.prefix);
-  if (it != s->adj_in.end() && it->second == item.path) return;  // no change
-  if (net_.config().damping.enabled && it != s->adj_in.end()) {
+  const PathRef* cur = s->adj_in.find(item.prefix);
+  if (cur != nullptr && *cur == item.path) return;  // no change
+  if (net_.config().damping.enabled && cur != nullptr) {
     damping_penalize(*s, item.prefix, net_.config().damping.attribute_change_penalty);
   }
-  s->adj_in[item.prefix] = item.path;
+  s->adj_in.insert_or_assign(item.prefix, item.path);
   affected.insert(item.prefix);
 }
 
@@ -248,43 +255,50 @@ bool Router::would_change(const WorkItem& item) const {
   if (item.kind == WorkItem::Kind::kPeerDown) return !s->adj_in.empty();
   if (item.withdraw) return s->adj_in.contains(item.prefix);
   if (!s->up) return false;  // stale advertisement, will be dropped
-  const auto it = s->adj_in.find(item.prefix);
-  if (item.path.contains(as_)) return it != s->adj_in.end();  // loop => erase
-  return it == s->adj_in.end() || it->second != item.path;
+  const PathRef* cur = s->adj_in.find(item.prefix);
+  if (path_contains(net_.paths(), item.path, as_)) {
+    return cur != nullptr;  // loop => erase
+  }
+  return cur == nullptr || *cur != item.path;
 }
 
-std::optional<RouteEntry> Router::compute_best(Prefix p) const {
-  std::optional<RouteEntry> best;
+bool Router::better_rib(const RibRoute& a, const RibRoute& b) const {
+  return better_route_by(
+      a, b, [this](const RibRoute& e) { return path_length(net_.paths(), e.path); });
+}
+
+std::optional<Router::RibRoute> Router::compute_best(Prefix p) const {
+  std::optional<RibRoute> best;
   if (originates_ && p >= origin_base_ && p < origin_base_ + origin_count_) {
-    RouteEntry local;
+    RibRoute local;
     local.local = true;
     return local;
   }
   for (const auto& s : sessions_) {
-    const auto it = s.adj_in.find(p);
-    if (it == s.adj_in.end()) continue;
+    const PathRef* in = s.adj_in.find(p);
+    if (in == nullptr) continue;
     if (net_.config().damping.enabled) {
-      const auto d = s.damping.find(p);
-      if (d != s.damping.end() && d->second.suppressed) continue;
+      const DampState* d = s.damping.find(p);
+      if (d != nullptr && d->suppressed) continue;
     }
-    RouteEntry cand;
-    cand.path = it->second;
+    RibRoute cand;
+    cand.path = *in;
     cand.learned_from = s.peer;
     cand.ebgp_learned = s.ebgp;
     cand.learned_rel = s.relation;
-    if (!best || better_route(cand, *best)) best = std::move(cand);
+    if (!best || better_rib(cand, *best)) best = cand;
   }
   return best;
 }
 
 void Router::run_decision(Prefix p) {
   auto nb = compute_best(p);
-  const auto cur = loc_rib_.find(p);
-  const bool had = cur != loc_rib_.end();
-  if (had && nb && cur->second == *nb) return;
+  const RibRoute* cur = loc_rib_.find(p);
+  const bool had = cur != nullptr;
+  if (had && nb && *cur == *nb) return;
   if (!had && !nb) return;
   if (nb) {
-    loc_rib_[p] = *nb;
+    loc_rib_.insert_or_assign(p, *nb);
   } else {
     loc_rib_.erase(p);
     loss_tracker_.add(net_.scheduler().now(), 1.0);
@@ -293,33 +307,34 @@ void Router::run_decision(Prefix p) {
   net_.metrics().last_rib_change = net_.scheduler().now();
   trace(TraceEvent::Kind::kRibChanged, 0, p);
   if (net_.config().per_destination_mrai && net_.config().dest_mrai_min_changes > 0) {
-    change_counts_.try_emplace(p, kLoadTauSeconds).first->second.add(net_.scheduler().now(),
-                                                                     1.0);
+    change_counts_[p].rate.add(net_.scheduler().now(), 1.0);
   }
   for (auto& s : sessions_) route_changed(s, p);
 }
 
 // --- advertisement scheduling ------------------------------------------------
 
-std::optional<AsPath> Router::advert_content(const PeerSession& s, Prefix p) const {
-  const auto it = loc_rib_.find(p);
-  if (it == loc_rib_.end()) return std::nullopt;
-  const RouteEntry& e = it->second;
-  if (e.local) return s.ebgp ? AsPath{{as_}} : AsPath{};
-  if (e.learned_from == s.peer) return std::nullopt;   // never advertise back
-  if (!e.ebgp_learned && !s.ebgp) return std::nullopt; // iBGP-learned: not to iBGP
+std::optional<PathRef> Router::advert_content(const PeerSession& s, Prefix p) const {
+  const RibRoute* e = loc_rib_.find(p);
+  if (e == nullptr) return std::nullopt;
+  if (e->local) {
+    return s.ebgp ? path_prepend(net_.paths(), path_empty(), as_) : path_empty();
+  }
+  if (e->learned_from == s.peer) return std::nullopt;   // never advertise back
+  if (!e->ebgp_learned && !s.ebgp) return std::nullopt; // iBGP-learned: not to iBGP
   // Gao-Rexford export (valley-free): routes learned from a peer or a
   // provider are only exported to customers. Customer-learned and local
   // routes go to everyone. Policy-free sessions (kNone) skip the rule.
   if (s.relation != PeerRelation::kNone &&
-      (e.learned_rel == PeerRelation::kPeer || e.learned_rel == PeerRelation::kProvider) &&
+      (e->learned_rel == PeerRelation::kPeer || e->learned_rel == PeerRelation::kProvider) &&
       s.relation != PeerRelation::kCustomer) {
     return std::nullopt;
   }
-  if (net_.config().sender_side_loop_detection && s.ebgp && e.path.contains(s.peer_as)) {
+  if (net_.config().sender_side_loop_detection && s.ebgp &&
+      path_contains(net_.paths(), e->path, s.peer_as)) {
     return std::nullopt;  // SSLD: the peer would reject this path anyway
   }
-  return s.ebgp ? e.path.prepended(as_) : e.path;
+  return s.ebgp ? path_prepend(net_.paths(), e->path, as_) : e->path;
 }
 
 void Router::route_changed(PeerSession& s, Prefix p) {
@@ -350,9 +365,9 @@ void Router::flush_pending(PeerSession& s) {
 bool Router::sync_to_peer(PeerSession& s, Prefix p) {
   const auto content = advert_content(s, p);
   if (content) {
-    const auto it = s.adj_out.find(p);
-    if (it != s.adj_out.end() && it->second == *content) return false;  // no news
-    s.adj_out[p] = *content;
+    const PathRef* out = s.adj_out.find(p);
+    if (out != nullptr && *out == *content) return false;  // no news
+    s.adj_out.insert_or_assign(p, *content);
     send(s, p, content);
     return true;
   }
@@ -363,7 +378,7 @@ bool Router::sync_to_peer(PeerSession& s, Prefix p) {
   return false;
 }
 
-void Router::send(PeerSession& s, Prefix p, const std::optional<AsPath>& content) {
+void Router::send(PeerSession& s, Prefix p, const std::optional<PathRef>& content) {
   UpdateMessage msg;
   msg.from = id_;
   msg.to = s.peer;
@@ -378,7 +393,8 @@ void Router::send(PeerSession& s, Prefix p, const std::optional<AsPath>& content
     ++m.adverts_sent;
   }
   m.last_activity = net_.scheduler().now();
-  trace(TraceEvent::Kind::kUpdateSent, s.peer, p, msg.withdraw);
+  trace(TraceEvent::Kind::kUpdateSent, s.peer, p, msg.withdraw, 0,
+        content ? static_cast<std::uint32_t>(path_length(net_.paths(), *content)) : 0);
   net_.transmit(std::move(msg));
 }
 
@@ -411,16 +427,15 @@ void Router::route_changed_per_dest(PeerSession& s, Prefix p) {
   // Deshpande/Sikdar gating: stable destinations (few recent changes) skip
   // the MRAI entirely; only flapping ones are rate-limited.
   if (const int min_changes = net_.config().dest_mrai_min_changes; min_changes > 0) {
-    const auto cc = change_counts_.find(p);
-    const double recent =
-        cc == change_counts_.end() ? 0.0 : cc->second.value(net_.scheduler().now());
+    ChangeCount* cc = change_counts_.find(p);
+    const double recent = cc == nullptr ? 0.0 : cc->rate.value(net_.scheduler().now());
     if (recent < static_cast<double>(min_changes)) {
       sync_to_peer(s, p);  // immediate, no timer
       return;
     }
   }
-  const auto it = s.dest_timers.find(p);
-  if (it != s.dest_timers.end() && it->second.pending()) {
+  sim::EventHandle* timer = s.dest_timers.find(p);
+  if (timer != nullptr && timer->pending()) {
     s.dest_pending.insert(p);
     return;
   }
@@ -428,8 +443,8 @@ void Router::route_changed_per_dest(PeerSession& s, Prefix p) {
     const sim::SimTime base = net_.mrai().interval(*this, s.peer);
     if (base <= sim::SimTime::zero()) return;
     const sim::SimTime ivl = net_.config().jitter_timers ? net_.rng().jittered(base) : base;
-    s.dest_timers[p] = net_.scheduler().schedule_after(
-        ivl, [this, peer = s.peer, p] { on_dest_mrai_expiry(peer, p); });
+    s.dest_timers.insert_or_assign(p, net_.scheduler().schedule_after(
+        ivl, [this, peer = s.peer, p] { on_dest_mrai_expiry(peer, p); }));
   }
 }
 
@@ -444,8 +459,8 @@ void Router::on_dest_mrai_expiry(NodeId peer, Prefix p) {
       if (base <= sim::SimTime::zero()) return;
       const sim::SimTime ivl =
           net_.config().jitter_timers ? net_.rng().jittered(base) : base;
-      s->dest_timers[p] = net_.scheduler().schedule_after(
-          ivl, [this, peer, p] { on_dest_mrai_expiry(peer, p); });
+      s->dest_timers.insert_or_assign(p, net_.scheduler().schedule_after(
+          ivl, [this, peer, p] { on_dest_mrai_expiry(peer, p); }));
     }
   }
 }
@@ -464,33 +479,38 @@ double Router::recent_message_rate() { return msg_tracker_.rate(net_.scheduler()
 double Router::recent_route_losses() { return loss_tracker_.value(net_.scheduler().now()); }
 
 std::optional<RouteEntry> Router::best(Prefix p) const {
-  const auto it = loc_rib_.find(p);
-  if (it == loc_rib_.end()) return std::nullopt;
-  return it->second;
+  const RibRoute* e = loc_rib_.find(p);
+  if (e == nullptr) return std::nullopt;
+  RouteEntry out;
+  out.path = path_materialize(net_.paths(), e->path);
+  out.learned_from = e->learned_from;
+  out.ebgp_learned = e->ebgp_learned;
+  out.local = e->local;
+  out.learned_rel = e->learned_rel;
+  return out;
 }
 
 std::vector<Prefix> Router::known_prefixes() const {
   std::vector<Prefix> out;
   out.reserve(loc_rib_.size());
-  for (const auto& [p, e] : loc_rib_) out.push_back(p);
-  std::sort(out.begin(), out.end());
+  loc_rib_.for_each([&](Prefix p, const RibRoute&) { out.push_back(p); });
   return out;
 }
 
 std::optional<AsPath> Router::adj_in(NodeId peer, Prefix p) const {
   const PeerSession* s = session(peer);
   if (s == nullptr) return std::nullopt;
-  const auto it = s->adj_in.find(p);
-  if (it == s->adj_in.end()) return std::nullopt;
-  return it->second;
+  const PathRef* in = s->adj_in.find(p);
+  if (in == nullptr) return std::nullopt;
+  return path_materialize(net_.paths(), *in);
 }
 
 std::optional<AsPath> Router::adj_out(NodeId peer, Prefix p) const {
   const PeerSession* s = session(peer);
   if (s == nullptr) return std::nullopt;
-  const auto it = s->adj_out.find(p);
-  if (it == s->adj_out.end()) return std::nullopt;
-  return it->second;
+  const PathRef* out = s->adj_out.find(p);
+  if (out == nullptr) return std::nullopt;
+  return path_materialize(net_.paths(), *out);
 }
 
 bool Router::peer_session_up(NodeId peer) const {
@@ -503,6 +523,56 @@ std::vector<NodeId> Router::peers() const {
   out.reserve(sessions_.size());
   for (const auto& s : sessions_) out.push_back(s.peer);
   return out;
+}
+
+Router::StorageStats Router::storage_stats() const {
+  StorageStats st;
+  st.loc_rib_routes = loc_rib_.size();
+  st.rib_bytes = loc_rib_.capacity_bytes();
+  for (const auto& s : sessions_) {
+    st.adj_in_routes += s.adj_in.size();
+    st.adj_out_routes += s.adj_out.size();
+    st.rib_bytes += s.adj_in.capacity_bytes() + s.adj_out.capacity_bytes() +
+                    s.dest_timers.capacity_bytes() + s.damping.capacity_bytes();
+  }
+#ifdef BGPSIM_DEEP_COPY_PATHS
+  // Flat-slot capacity misses the heap block owned by each stored AsPath.
+  // Count the block's real footprint -- allocator-rounded usable size plus
+  // the chunk header where glibc lets us measure it, else the capacity --
+  // so deep-copy vs interned byte comparisons are honest (peak RSS agrees
+  // with this accounting, not with raw capacity sums).
+  auto owned = [](const AsPath& path) -> std::size_t {
+    const auto& hops = path.hops();
+    if (hops.capacity() == 0) return 0;
+#ifdef __GLIBC__
+    return malloc_usable_size(const_cast<AsId*>(hops.data())) + 8;
+#else
+    return hops.capacity() * sizeof(AsId);
+#endif
+  };
+  std::size_t heap = 0;
+  loc_rib_.for_each([&](Prefix, const RibRoute& e) { heap += owned(e.path); });
+  for (const auto& s : sessions_) {
+    s.adj_in.for_each([&](Prefix, const AsPath& a) { heap += owned(a); });
+    s.adj_out.for_each([&](Prefix, const AsPath& a) { heap += owned(a); });
+  }
+  st.rib_bytes += heap;
+#endif
+  return st;
+}
+
+void Router::remap_paths(const PathTable& old, PathTable& fresh) {
+#ifndef BGPSIM_DEEP_COPY_PATHS
+  loc_rib_.for_each(
+      [&](Prefix, RibRoute& e) { e.path = fresh.intern(old.hops(e.path)); });
+  for (auto& s : sessions_) {
+    s.adj_in.for_each([&](Prefix, PathRef& p) { p = fresh.intern(old.hops(p)); });
+    s.adj_out.for_each([&](Prefix, PathRef& p) { p = fresh.intern(old.hops(p)); });
+  }
+#else
+  (void)old;
+  (void)fresh;
+#endif
 }
 
 void Router::damping_penalize(PeerSession& s, Prefix p, double amount) {
@@ -535,28 +605,27 @@ void Router::damping_reuse_check(NodeId peer, Prefix p) {
   if (!alive_) return;
   PeerSession* s = session(peer);
   if (s == nullptr) return;
-  const auto it = s->damping.find(p);
-  if (it == s->damping.end() || !it->second.suppressed) return;
-  auto& d = it->second;
+  DampState* d = s->damping.find(p);
+  if (d == nullptr || !d->suppressed) return;
   const auto now = net_.scheduler().now();
-  const double dt = (now - d.last_decay).to_seconds();
-  d.penalty *= std::exp2(-dt / net_.config().damping.half_life_s);
-  d.last_decay = now;
-  if (d.penalty <= net_.config().damping.reuse_threshold) {
-    d.suppressed = false;
+  const double dt = (now - d->last_decay).to_seconds();
+  d->penalty *= std::exp2(-dt / net_.config().damping.half_life_s);
+  d->last_decay = now;
+  if (d->penalty <= net_.config().damping.reuse_threshold) {
+    d->suppressed = false;
     trace(TraceEvent::Kind::kRouteReused, peer, p);
     run_decision(p);  // the suppressed route is eligible again
   } else {
     const double wait_s = net_.config().damping.half_life_s *
-                          std::log2(d.penalty / net_.config().damping.reuse_threshold);
-    d.reuse_timer = net_.scheduler().schedule_after(
+                          std::log2(d->penalty / net_.config().damping.reuse_threshold);
+    d->reuse_timer = net_.scheduler().schedule_after(
         sim::SimTime::seconds(std::max(wait_s, 0.001)),
         [this, peer, p] { damping_reuse_check(peer, p); });
   }
 }
 
 void Router::trace(TraceEvent::Kind kind, NodeId peer, Prefix prefix, bool withdraw,
-                   std::size_t batch_size) {
+                   std::size_t batch_size, std::uint32_t path_len) {
   if (!net_.tracing()) return;
   TraceEvent event;
   event.kind = kind;
@@ -566,6 +635,7 @@ void Router::trace(TraceEvent::Kind kind, NodeId peer, Prefix prefix, bool withd
   event.prefix = prefix;
   event.withdraw = withdraw;
   event.batch_size = batch_size;
+  event.path_len = path_len;
   net_.emit_trace(event);
 }
 }  // namespace bgpsim::bgp

@@ -9,15 +9,15 @@
 // on.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "bgp/config.hpp"
 #include "bgp/input_queue.hpp"
 #include "bgp/metrics.hpp"
+#include "bgp/path_table.hpp"
+#include "bgp/prefix_map.hpp"
 #include "bgp/trace.hpp"
 #include "bgp/types.hpp"
 #include "sim/scheduler.hpp"
@@ -97,6 +97,23 @@ class Router {
   bool peer_session_up(NodeId peer) const;
   std::vector<NodeId> peers() const;
 
+  /// RIB occupancy and backing-store footprint (scale_suite memory
+  /// accounting). Route counts are present slots; bytes are the capacity of
+  /// the flat stores (excluding interned path bodies, owned by the
+  /// Network's PathTable).
+  struct StorageStats {
+    std::size_t loc_rib_routes = 0;
+    std::size_t adj_in_routes = 0;
+    std::size_t adj_out_routes = 0;
+    std::size_t rib_bytes = 0;
+  };
+  StorageStats storage_stats() const;
+
+  /// Re-interns every RIB-held path into `fresh` (path-table compaction,
+  /// driven by Network::compact_paths at quiescence). No-op in deep-copy
+  /// builds, where paths own their storage.
+  void remap_paths(const PathTable& old, PathTable& fresh);
+
  private:
   /// RFC 2439 flap-damping bookkeeping for one (peer, prefix).
   struct DampState {
@@ -106,6 +123,19 @@ class Router {
     sim::EventHandle reuse_timer;
   };
 
+  /// A Loc-RIB slot. Same fields as the public RouteEntry but the path is
+  /// a PathRef (interned id by default); best() materializes a RouteEntry
+  /// for introspection.
+  struct RibRoute {
+    PathRef path{};
+    NodeId learned_from = 0;
+    bool ebgp_learned = false;
+    bool local = false;
+    PeerRelation learned_rel = PeerRelation::kNone;
+
+    bool operator==(const RibRoute&) const = default;
+  };
+
   struct PeerSession {
     NodeId peer = 0;
     AsId peer_as = 0;
@@ -113,18 +143,19 @@ class Router {
     bool up = true;
     PeerRelation relation = PeerRelation::kNone;
     // Advertised state (Adj-RIB-Out): absent => withdrawn / never sent.
-    std::unordered_map<Prefix, AsPath> adj_out;
+    PrefixMap<PathRef> adj_out;
     // Routes learned from this peer (Adj-RIB-In).
-    std::unordered_map<Prefix, AsPath> adj_in;
+    PrefixMap<PathRef> adj_in;
     // Per-peer MRAI state.
     bool timer_running = false;
     sim::EventHandle timer;
     std::set<Prefix> pending;  ///< ordered => deterministic flush order
-    // Per-destination MRAI state (only when cfg.per_destination_mrai).
+    // Per-destination MRAI state (only when cfg.per_destination_mrai);
+    // grown lazily so the common per-peer-MRAI runs pay nothing.
     std::set<Prefix> dest_pending;
-    std::unordered_map<Prefix, sim::EventHandle> dest_timers;
-    // Flap-damping state (only when cfg.damping.enabled).
-    std::unordered_map<Prefix, DampState> damping;
+    PrefixMap<sim::EventHandle> dest_timers;
+    // Flap-damping state (only when cfg.damping.enabled; lazily grown).
+    PrefixMap<DampState> damping;
   };
 
   PeerSession* session(NodeId peer);
@@ -140,13 +171,16 @@ class Router {
   /// BgpConfig::free_redundant_updates).
   bool would_change(const WorkItem& item) const;
   void run_decision(Prefix p);
-  std::optional<RouteEntry> compute_best(Prefix p) const;
+  std::optional<RibRoute> compute_best(Prefix p) const;
+  /// The decision-process preference order over internal RIB slots; the
+  /// same comparator as the public better_route() (see better_route_by).
+  bool better_rib(const RibRoute& a, const RibRoute& b) const;
 
   // Advertisement scheduling.
   void route_changed(PeerSession& s, Prefix p);
   void flush_pending(PeerSession& s);
   /// What we would advertise to `s` for `p`; nullopt => withdraw.
-  std::optional<AsPath> advert_content(const PeerSession& s, Prefix p) const;
+  std::optional<PathRef> advert_content(const PeerSession& s, Prefix p) const;
   /// Brings the peer's Adj-RIB-Out in sync with the Loc-RIB; returns true
   /// if an *advertisement* was sent (withdrawals do not restart the MRAI
   /// unless configured to).
@@ -156,9 +190,9 @@ class Router {
   // Per-destination MRAI variant.
   void route_changed_per_dest(PeerSession& s, Prefix p);
   void on_dest_mrai_expiry(NodeId peer, Prefix p);
-  void send(PeerSession& s, Prefix p, const std::optional<AsPath>& content);
+  void send(PeerSession& s, Prefix p, const std::optional<PathRef>& content);
   void trace(TraceEvent::Kind kind, NodeId peer = 0, Prefix prefix = 0, bool withdraw = false,
-             std::size_t batch_size = 0);
+             std::size_t batch_size = 0, std::uint32_t path_len = 0);
   // Flap damping.
   void damping_penalize(PeerSession& s, Prefix p, double amount);
   void damping_reuse_check(NodeId peer, Prefix p);
@@ -171,10 +205,18 @@ class Router {
   Prefix origin_base_ = 0;
   std::uint32_t origin_count_ = 0;
 
-  std::vector<PeerSession> sessions_;
-  std::unordered_map<NodeId, std::size_t> session_index_;
+  static constexpr double kLoadTauSeconds = 2.0;  ///< decay window for overload signals
+  // Route losses indicate the *extent* of a failure, which stays relevant
+  // for the whole convergence episode -- decay much more slowly than load.
+  static constexpr double kLossTauSeconds = 15.0;
 
-  std::unordered_map<Prefix, RouteEntry> loc_rib_;
+  std::vector<PeerSession> sessions_;
+  /// NodeId -> index into sessions_; kNoSession for non-peers. Replaces the
+  /// per-lookup hash of the old unordered_map session index.
+  static constexpr std::uint32_t kNoSession = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> session_of_node_;
+
+  PrefixMap<RibRoute> loc_rib_;
 
   InputQueue queue_;
   bool cpu_busy_ = false;
@@ -183,8 +225,12 @@ class Router {
   DecayingRate msg_tracker_;
   DecayingRate loss_tracker_;
   /// Recent per-prefix route-change counts (Deshpande/Sikdar-style gating
-  /// of the per-destination MRAI).
-  std::unordered_map<Prefix, DecayingRate> change_counts_;
+  /// of the per-destination MRAI). Wrapped so the flat map's slots are
+  /// default-constructible with the right decay constant.
+  struct ChangeCount {
+    DecayingRate rate{kLoadTauSeconds};
+  };
+  PrefixMap<ChangeCount> change_counts_;
 };
 
 }  // namespace bgpsim::bgp

@@ -45,6 +45,7 @@ std::string TraceEvent::to_string() const {
     case Kind::kUpdateSent:
     case Kind::kUpdateReceived:
       os << (withdraw ? " withdraw" : " advert") << " prefix " << prefix << " peer " << peer;
+      if (!withdraw) os << " len " << path_len;
       break;
     case Kind::kRibChanged:
     case Kind::kOriginated:

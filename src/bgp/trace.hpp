@@ -48,6 +48,7 @@ struct TraceEvent {
   Prefix prefix = 0;      ///< valid for Sent/Received/RibChanged/Originated
   bool withdraw = false;  ///< valid for Sent/Received
   std::size_t batch_size = 0;  ///< valid for BatchProcessed
+  std::uint32_t path_len = 0;  ///< AS-path hop count (Sent/Received adverts)
 
   std::string to_string() const;
 };

@@ -26,13 +26,7 @@ int relation_rank(PeerRelation rel) {
 }
 
 bool better_route(const RouteEntry& a, const RouteEntry& b) {
-  if (a.local != b.local) return a.local;
-  const int ra = relation_rank(a.learned_rel);
-  const int rb = relation_rank(b.learned_rel);
-  if (ra != rb) return ra < rb;
-  if (a.as_hops() != b.as_hops()) return a.as_hops() < b.as_hops();
-  if (a.ebgp_learned != b.ebgp_learned) return a.ebgp_learned;
-  return a.learned_from < b.learned_from;
+  return better_route_by(a, b, [](const RouteEntry& e) { return e.path.length(); });
 }
 
 }  // namespace bgpsim::bgp

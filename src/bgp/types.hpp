@@ -19,6 +19,11 @@ using NodeId = topo::NodeId;  ///< router index within a Network
 using AsId = std::uint32_t;
 using Prefix = std::uint32_t;  ///< one prefix per AS; equals the origin AsId
 
+/// Handle to a path interned in a PathTable (see path_table.hpp). Value 0
+/// is always the canonical empty path.
+using PathId = std::uint32_t;
+inline constexpr PathId kEmptyPathId = 0;
+
 /// An AS-level path as carried in UPDATE messages. Empty paths are valid:
 /// they appear on iBGP advertisements of locally-originated prefixes.
 class AsPath {
@@ -82,12 +87,41 @@ struct RouteEntry {
 /// (deterministic tie-break).
 bool better_route(const RouteEntry& a, const RouteEntry& b);
 
+/// The decision-process comparator, parameterized over how a candidate's
+/// AS-hop count is obtained. better_route() and the router's internal
+/// (PathRef-holding) RIB comparison both instantiate this, so there is
+/// exactly one definition of the route-preference order.
+template <typename E, typename HopsFn>
+bool better_route_by(const E& a, const E& b, HopsFn&& hops) {
+  if (a.local != b.local) return a.local;
+  const int ra = relation_rank(a.learned_rel);
+  const int rb = relation_rank(b.learned_rel);
+  if (ra != rb) return ra < rb;
+  const std::size_t ha = a.local ? 0 : hops(a);
+  const std::size_t hb = b.local ? 0 : hops(b);
+  if (ha != hb) return ha < hb;
+  if (a.ebgp_learned != b.ebgp_learned) return a.ebgp_learned;
+  return a.learned_from < b.learned_from;
+}
+
+/// The path representation carried by UPDATE messages and stored in RIB
+/// slots: an interned PathId by default, or an owning AsPath when built
+/// with -DBGPSIM_DEEP_COPY_PATHS=ON (the pre-interning baseline, kept for
+/// cross-check tests). Manipulated via the path_* helpers in
+/// path_table.hpp; a default-constructed PathRef is the empty path in both
+/// modes.
+#ifdef BGPSIM_DEEP_COPY_PATHS
+using PathRef = AsPath;
+#else
+using PathRef = PathId;
+#endif
+
 struct UpdateMessage {
   NodeId from = 0;
   NodeId to = 0;
   Prefix prefix = 0;
   bool withdraw = false;
-  AsPath path;  ///< meaningful only when !withdraw
+  PathRef path{};  ///< meaningful only when !withdraw
 };
 
 }  // namespace bgpsim::bgp

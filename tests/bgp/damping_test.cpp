@@ -38,7 +38,7 @@ struct FlapHarness {
       adv.from = 1;
       adv.to = 0;
       adv.prefix = p;
-      adv.path = AsPath{{1, static_cast<AsId>(100 + i)}};
+      adv.path = path_make(net.paths(), AsPath{{1, static_cast<AsId>(100 + i)}});
       net.router(0).deliver(adv);
       UpdateMessage wdr = adv;
       wdr.withdraw = true;
@@ -62,7 +62,7 @@ TEST(Damping, FlappingRouteGetsSuppressed) {
   adv.from = 1;
   adv.to = 0;
   adv.prefix = 5;
-  adv.path = AsPath{{1, 99}};
+  adv.path = path_make(h.net.paths(), AsPath{{1, 99}});
   h.net.router(0).deliver(adv);
   h.net.scheduler().run_until(h.net.scheduler().now() + sim::SimTime::seconds(1.0));
   EXPECT_TRUE(h.net.router(0).adj_in(1, 5).has_value());
@@ -79,7 +79,7 @@ TEST(Damping, SuppressedRouteIsReusedAfterDecay) {
   adv.from = 1;
   adv.to = 0;
   adv.prefix = 5;
-  adv.path = AsPath{{1, 99}};
+  adv.path = path_make(h.net.paths(), AsPath{{1, 99}});
   h.net.router(0).deliver(adv);
   h.net.run_to_quiescence();  // runs through the reuse timer
   EXPECT_GE(sink.count(TraceEvent::Kind::kRouteReused), 1u);
@@ -141,7 +141,7 @@ TEST(Damping, SuppressingTheLastRouteDelaysReachability) {
   adv.from = 1;
   adv.to = 0;
   adv.prefix = 5;
-  adv.path = AsPath{{1, 99}};
+  adv.path = path_make(h.net.paths(), AsPath{{1, 99}});
   h.net.router(0).deliver(adv);
   const auto t_stable = h.net.scheduler().now();
   h.net.run_to_quiescence();

@@ -2,14 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include "bgp/path_table.hpp"
+
 namespace bgpsim::bgp {
 namespace {
+
+/// Shared intern table for test-built WorkItems (the queue itself never
+/// looks inside a path, so one table for the whole file is fine).
+PathTable& table() {
+  static PathTable t;
+  return t;
+}
 
 WorkItem update(NodeId from, Prefix prefix, std::vector<AsId> hops = {}) {
   WorkItem w;
   w.from = from;
   w.prefix = prefix;
-  w.path = AsPath{std::move(hops)};
+  w.path = path_make(table(), std::move(hops));
   return w;
 }
 
@@ -82,7 +91,7 @@ TEST(BatchedQueue, DropsStaleUpdatesFromSameNeighbor) {
   auto b = q.pop_batch(dropped);
   ASSERT_EQ(b.size(), 2u);  // newest from neighbor 1, plus neighbor 2's
   EXPECT_EQ(b[0].from, 1u);
-  EXPECT_EQ(b[0].path, AsPath({3}));
+  EXPECT_EQ(path_materialize(table(), b[0].path), AsPath({3}));
   EXPECT_EQ(b[1].from, 2u);
   EXPECT_EQ(dropped, 2u);
 }

@@ -1,0 +1,138 @@
+// PathTable: hash-consing identity, prepend round-trips, epoch
+// reclamation, and a golden-value cross-check that the path-storage mode
+// (interned vs -DBGPSIM_DEEP_COPY_PATHS=ON deep copies) is invisible to
+// the protocol. See also tools/identity_check.cpp, which CI diffs across
+// both builds over a full parameter grid.
+#include "bgp/path_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+TEST(PathTable, InternIdentity) {
+  PathTable t;
+  EXPECT_EQ(t.size(), 1u);  // canonical empty path
+  EXPECT_EQ(t.intern(AsPath{}), kEmptyPathId);
+  EXPECT_TRUE(t.empty(kEmptyPathId));
+
+  const AsPath a{{3, 2, 1}};
+  const AsPath b{{3, 2, 1}};
+  const AsPath c{{1, 2, 3}};
+  const PathId ia = t.intern(a);
+  EXPECT_EQ(t.intern(b), ia) << "equal hop sequences must intern to one id";
+  EXPECT_NE(t.intern(c), ia) << "order matters: reversed path is distinct";
+  EXPECT_EQ(t.size(), 3u);  // empty, {3,2,1}, {1,2,3}
+
+  // Interning is idempotent and id equality is path equality.
+  EXPECT_EQ(t.intern(a), t.intern(b));
+  EXPECT_EQ(t.as_path(ia), a);
+}
+
+TEST(PathTable, PrependRoundTrips) {
+  PathTable t;
+  // Build 5 -> 4 -> ... -> 1 one hop at a time, as eBGP export does.
+  PathId id = kEmptyPathId;
+  for (AsId as = 1; as <= 5; ++as) id = t.prepend(id, as);
+  EXPECT_EQ(t.as_path(id), AsPath({5, 4, 3, 2, 1}));
+  EXPECT_EQ(t.length(id), 5u);
+
+  // The incremental build must land on the same id as a direct intern.
+  EXPECT_EQ(t.intern(AsPath{{5, 4, 3, 2, 1}}), id);
+  // And prepending again from the shared prefix reuses the table.
+  const PathId from_four = t.prepend(t.intern(AsPath{{4, 3, 2, 1}}), 5);
+  EXPECT_EQ(from_four, id);
+}
+
+TEST(PathTable, ContainsAndLength) {
+  PathTable t;
+  const PathId id = t.intern(AsPath{{7, 5, 3}});
+  EXPECT_TRUE(t.contains(id, 7));
+  EXPECT_TRUE(t.contains(id, 3));
+  EXPECT_FALSE(t.contains(id, 4));
+  EXPECT_FALSE(t.contains(kEmptyPathId, 7));
+  EXPECT_EQ(t.length(kEmptyPathId), 0u);
+  EXPECT_EQ(t.length(id), 3u);
+}
+
+TEST(PathTable, ClearReclaimsBetweenRuns) {
+  PathTable t;
+  for (AsId as = 1; as <= 100; ++as) t.intern(AsPath{{as, 0}});
+  EXPECT_EQ(t.size(), 101u);
+  EXPECT_GT(t.arena_hops(), 0u);
+
+  t.clear();
+  EXPECT_EQ(t.size(), 1u) << "clear() keeps only the canonical empty path";
+  EXPECT_EQ(t.arena_hops(), 0u);
+  EXPECT_EQ(t.intern(AsPath{}), kEmptyPathId);
+
+  // A fresh epoch hands out dense ids again, starting right after empty.
+  const PathId first = t.intern(AsPath{{42}});
+  EXPECT_EQ(first, PathId{1});
+  EXPECT_EQ(t.as_path(first), AsPath({42}));
+}
+
+TEST(PathTable, SurvivesRehashAndArenaGrowth) {
+  PathTable t;
+  std::vector<PathId> ids;
+  // Enough distinct multi-hop paths to force several index rehashes and
+  // arena reallocations; prepend reads hops out of the arena it appends
+  // to, so this exercises the alias-safety of that fast path too.
+  for (AsId as = 0; as < 5000; ++as) {
+    ids.push_back(t.prepend(t.intern(AsPath{{as, as, as}}), as + 1));
+  }
+  EXPECT_EQ(t.size(), 1u + 2 * 5000u);
+  for (AsId as = 0; as < 5000; ++as) {
+    EXPECT_EQ(t.as_path(ids[as]), AsPath({static_cast<AsId>(as + 1), as, as, as}));
+    EXPECT_EQ(t.intern(AsPath{{static_cast<AsId>(as + 1), as, as, as}}), ids[as]);
+  }
+}
+
+TEST(PathTable, HelpersWorkInEitherStorageMode) {
+  // The path_* helpers are the only way protocol code touches PathRef;
+  // this must compile and behave the same under BGPSIM_DEEP_COPY_PATHS.
+  PathTable t;
+  PathRef r = path_make(t, AsPath{{2, 1}});
+  r = path_prepend(t, r, 3);
+  EXPECT_EQ(path_length(t, r), 3u);
+  EXPECT_TRUE(path_contains(t, r, 1));
+  EXPECT_FALSE(path_contains(t, r, 9));
+  EXPECT_EQ(path_materialize(t, r), AsPath({3, 2, 1}));
+  EXPECT_EQ(path_length(t, path_empty()), 0u);
+}
+
+// Golden cross-check: a 240-node fig01-style run (70-30 skewed topology,
+// 1% failure, 2.25 s MRAI, seed 1) must produce these exact results in
+// BOTH path-storage modes -- the same constants are compiled into the
+// deep-copy build, so a divergence in either mode fails here. The values
+// are machine-independent (fixed-seed mt19937_64 + a deterministic event
+// loop); they change only if the simulated protocol changes, which is
+// exactly what this test exists to flag.
+TEST(PathTableCrossCheck, Fig01RunMatchesGoldenNetMetrics) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.kind = harness::TopologySpec::Kind::kSkewed;
+  cfg.topology.n = 240;
+  cfg.topology.skew = topo::SkewSpec::s70_30();
+  cfg.failure_fraction = 0.01;
+  cfg.scheme = harness::SchemeSpec::constant(2.25);
+  cfg.seed = 1;
+
+  const harness::RunResult r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.routes_valid) << r.audit_error;
+  EXPECT_EQ(r.routers, 240u);
+  EXPECT_EQ(r.failed_routers, 2u);
+  EXPECT_EQ(r.messages_total, UINT64_C(352053));
+  EXPECT_EQ(r.messages_after_failure, UINT64_C(76065));
+  EXPECT_EQ(r.adverts_after_failure, UINT64_C(59411));
+  EXPECT_EQ(r.withdrawals_after_failure, UINT64_C(16654));
+  EXPECT_EQ(r.events, UINT64_C(762179));
+  EXPECT_DOUBLE_EQ(r.initial_convergence_s, 0x1.9eaab111d2b2cp+5);
+  EXPECT_DOUBLE_EQ(r.convergence_delay_s, 0x1.c931003472116p+6);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

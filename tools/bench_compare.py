@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Compare bgpsim BENCH_*.json files and gate CI on regressions.
+
+Two subcommands:
+
+  regress BASELINE CANDIDATE [--tolerance 0.15]
+      Compares a freshly produced bench JSON against the checked-in
+      baseline. Simulation-result fields (event/message/route counts,
+      identity flags) must match the baseline EXACTLY -- they are
+      machine-independent, so any drift means the decision process
+      changed, which is a hard failure. Throughput/wall-clock fields may
+      regress by at most --tolerance (default 15%).
+
+  memratio INTERNED DEEPCOPY [--min-ratio 4.0]
+      Compares two scale-suite runs (the default interned build vs the
+      -DBGPSIM_DEEP_COPY_PATHS=ON baseline) and requires the interned
+      build to use at least --min-ratio times fewer bytes per stored
+      route at every common n.
+
+Exit status: 0 = all gates pass, 1 = regression / mismatch, 2 = usage or
+malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+class Gate:
+    def __init__(self):
+        self.failures = []
+
+    def exact(self, name, base, cand):
+        if base != cand:
+            self.failures.append(
+                f"IDENTITY MISMATCH {name}: baseline {base!r} != candidate {cand!r}")
+        else:
+            print(f"  ok  {name}: {cand!r} (exact)")
+
+    def require(self, name, cond, detail):
+        if not cond:
+            self.failures.append(f"FAILED {name}: {detail}")
+        else:
+            print(f"  ok  {name}: {detail}")
+
+    def throughput(self, name, base, cand, tolerance):
+        # Higher is better; candidate may be slower by at most `tolerance`.
+        if base <= 0:
+            print(f"  --  {name}: no baseline, skipped")
+            return
+        ratio = cand / base
+        verdict = ratio >= 1.0 - tolerance
+        line = f"{name}: {cand:g} vs baseline {base:g} ({ratio:.2%})"
+        if verdict:
+            print(f"  ok  {line}")
+        else:
+            self.failures.append(f"THROUGHPUT REGRESSION {line}, tolerance {tolerance:.0%}")
+
+    def finish(self):
+        if self.failures:
+            print()
+            for f in self.failures:
+                print(f, file=sys.stderr)
+            return 1
+        print("bench_compare: all gates passed")
+        return 0
+
+
+def regress_fig01(base, cand, tolerance, gate):
+    for field in ("nodes", "seeds_per_point", "runs", "events_total"):
+        gate.exact(field, base.get(field), cand.get(field))
+    gate.require(
+        "parallel_identical_to_serial",
+        cand.get("parallel_identical_to_serial") is True,
+        f"candidate flag = {cand.get('parallel_identical_to_serial')}")
+    gate.throughput("serial_events_per_s", base.get("serial_events_per_s", 0),
+                    cand.get("serial_events_per_s", 0), tolerance)
+    gate.throughput("parallel_events_per_s", base.get("parallel_events_per_s", 0),
+                    cand.get("parallel_events_per_s", 0), tolerance)
+
+
+def regress_scale(base, cand, tolerance, gate):
+    gate.exact("mode", base.get("mode"), cand.get("mode"))
+    base_by_n = {p["n"]: p for p in base.get("points", [])}
+    common = 0
+    for p in cand.get("points", []):
+        bp = base_by_n.get(p["n"])
+        if bp is None:
+            print(f"  --  n={p['n']}: not in baseline, skipped")
+            continue
+        common += 1
+        for field in ("events", "messages", "routes"):
+            gate.exact(f"n={p['n']}.{field}", bp.get(field), p.get(field))
+        # Memory is a tracked resource: treat bytes/route like inverse
+        # throughput (candidate may grow by at most `tolerance`).
+        gate.throughput(f"n={p['n']}.routes_per_byte",
+                        1.0 / bp["bytes_per_route"], 1.0 / p["bytes_per_route"], tolerance)
+        wall_b = bp.get("converge_wall_s", 0) + bp.get("failure_wall_s", 0)
+        wall_c = p.get("converge_wall_s", 0) + p.get("failure_wall_s", 0)
+        if wall_b > 0 and wall_c > 0:
+            gate.throughput(f"n={p['n']}.events_per_wall_s",
+                            bp["events"] / wall_b, p["events"] / wall_c, tolerance)
+    gate.require("common points", common > 0, f"{common} n-values compared")
+
+
+def cmd_regress(args):
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    gate = Gate()
+    gate.exact("suite", base.get("suite"), cand.get("suite"))
+    suite = base.get("suite")
+    print(f"bench_compare: suite={suite}, tolerance={args.tolerance:.0%}")
+    if suite == "fig01_sweep":
+        regress_fig01(base, cand, args.tolerance, gate)
+    elif suite == "scale":
+        regress_scale(base, cand, args.tolerance, gate)
+    else:
+        print(f"bench_compare: unknown suite {suite!r}", file=sys.stderr)
+        return 2
+    return gate.finish()
+
+
+def cmd_memratio(args):
+    interned = load(args.interned)
+    deep = load(args.deepcopy)
+    gate = Gate()
+    gate.require("interned mode", interned.get("mode") == "interned",
+                 f"mode = {interned.get('mode')}")
+    gate.require("deepcopy mode", deep.get("mode") == "deepcopy",
+                 f"mode = {deep.get('mode')}")
+    deep_by_n = {p["n"]: p for p in deep.get("points", [])}
+    common = 0
+    for p in interned.get("points", []):
+        dp = deep_by_n.get(p["n"])
+        if dp is None:
+            continue
+        common += 1
+        # The storage refactor must not change what is stored, only how.
+        for field in ("events", "messages", "routes"):
+            gate.exact(f"n={p['n']}.{field}", dp.get(field), p.get(field))
+        ratio = dp["bytes_per_route"] / p["bytes_per_route"]
+        gate.require(
+            f"n={p['n']}.bytes_per_route ratio",
+            ratio >= args.min_ratio,
+            f"deepcopy {dp['bytes_per_route']:.1f} / interned {p['bytes_per_route']:.1f} "
+            f"= {ratio:.2f}x (need >= {args.min_ratio:g}x)")
+    gate.require("common points", common > 0, f"{common} n-values compared")
+    return gate.finish()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    reg = sub.add_parser("regress", help="baseline vs fresh candidate")
+    reg.add_argument("baseline")
+    reg.add_argument("candidate")
+    reg.add_argument("--tolerance", type=float, default=0.15,
+                     help="allowed throughput/memory regression (default 0.15)")
+    reg.set_defaults(func=cmd_regress)
+
+    mem = sub.add_parser("memratio", help="interned vs deep-copy bytes/route")
+    mem.add_argument("interned")
+    mem.add_argument("deepcopy")
+    mem.add_argument("--min-ratio", type=float, default=4.0,
+                     help="required deepcopy/interned bytes-per-route ratio (default 4)")
+    mem.set_defaults(func=cmd_memratio)
+
+    args = ap.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+// Prints the exact results of a small fig01-style grid (240 nodes) so two
+// builds can be diffed for behavioral identity.
+//
+// CI builds this twice -- once with interned AS paths (the default) and
+// once with -DBGPSIM_DEEP_COPY_PATHS=ON (the pre-interning deep-copy
+// storage) -- runs both and requires byte-identical output: the path
+// representation must be invisible to the decision process. Floating-point
+// fields are printed as hexfloats, so equality of the text is equality of
+// the bits.
+//
+// Usage: identity_check [> out.txt]   Knobs: BGPSIM_N, BGPSIM_SEEDS.
+#include <cinttypes>
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
+
+int main() {
+  using namespace bgpsim;
+  const std::size_t n = harness::bench_seeds(2);  // seeds per grid point
+
+  std::vector<harness::ExperimentConfig> grid;
+  for (const double failure : {0.01, 0.05}) {
+    for (const double mrai : {0.5, 2.25}) {
+      for (std::size_t i = 0; i < n; ++i) {
+        harness::ExperimentConfig cfg;
+        cfg.topology.kind = harness::TopologySpec::Kind::kSkewed;
+        cfg.topology.n = 240;
+        cfg.topology.skew = topo::SkewSpec::s70_30();
+        cfg.failure_fraction = failure;
+        cfg.scheme = harness::SchemeSpec::constant(mrai);
+        cfg.seed = 1 + i;
+        grid.push_back(cfg);
+      }
+    }
+  }
+
+  const auto results = harness::run_sweep(grid);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::printf(
+        "run %zu seed %" PRIu64 ": init %a conv %a rec %a msgs %" PRIu64 " adv %" PRIu64
+        " wdr %" PRIu64 " total %" PRIu64 " proc %" PRIu64 " dropped %" PRIu64
+        " events %" PRIu64 " routers %zu failed %zu valid %d audit '%s'\n",
+        i, grid[i].seed, r.initial_convergence_s, r.convergence_delay_s, r.recovery_delay_s,
+        r.messages_after_failure, r.adverts_after_failure, r.withdrawals_after_failure,
+        r.messages_total, r.messages_processed, r.batch_dropped, r.events, r.routers,
+        r.failed_routers, r.routes_valid ? 1 : 0, r.audit_error.c_str());
+  }
+  return 0;
+}
