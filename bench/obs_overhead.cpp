@@ -1,0 +1,168 @@
+// Observability overhead suite.
+//
+// Runs the same fig01-style workload twice -- once with no sink or sampler
+// (the default every figure bench uses), once with a CountingSink plus a
+// TelemetrySampler attached to every run -- and writes BENCH_obs.json.
+// Three claims are encoded for CI (tools/bench_compare.py, suite
+// "obs_overhead"):
+//
+//   1. events_total in disabled mode matches the recorded baseline exactly
+//      (observability must not change the simulation),
+//   2. disabled-mode throughput stays within the CI tolerance of the
+//      baseline (the "zero cost when off" guarantee: no sink installed means
+//      no event construction at all),
+//   3. the instrumented pass produces protocol results bit-identical to the
+//      disabled pass (samplers are read-only observers) -- only scheduler
+//      event counts may differ, by exactly the sampling ticks.
+//
+// Usage: obs_overhead [output.json]   (default BENCH_obs.json)
+// Knobs: BGPSIM_N, BGPSIM_SEEDS, BGPSIM_THREADS as usual.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "obs/telemetry.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Protocol-result equality, deliberately excluding the two fields the
+/// sampler's own scheduler ticks legitimately touch: RunResult::events (the
+/// ticks are events) and initial_convergence_s (quiescence is dated by the
+/// last event, which with a sampler is the final tick -- the phase boundary
+/// rounds up to the sampling interval). Every relative measurement --
+/// convergence delay, message counts, RIB audit -- must match bit-for-bit.
+bool same_protocol(const bgpsim::harness::RunResult& a, const bgpsim::harness::RunResult& b) {
+  return a.convergence_delay_s == b.convergence_delay_s &&
+         a.recovery_delay_s == b.recovery_delay_s &&
+         a.messages_after_recovery == b.messages_after_recovery &&
+         a.messages_after_failure == b.messages_after_failure &&
+         a.adverts_after_failure == b.adverts_after_failure &&
+         a.withdrawals_after_failure == b.withdrawals_after_failure &&
+         a.messages_total == b.messages_total &&
+         a.messages_processed == b.messages_processed &&
+         a.batch_dropped == b.batch_dropped && a.routers == b.routers &&
+         a.failed_routers == b.failed_routers && a.routes_valid == b.routes_valid &&
+         a.audit_error == b.audit_error;
+}
+
+/// Per-run observer state; each run only ever touches its own slot, so the
+/// instrumented sweep stays thread-safe.
+struct Capture {
+  std::unique_ptr<bgpsim::bgp::CountingSink> sink;
+  std::unique_ptr<bgpsim::obs::TelemetrySampler> sampler;
+  std::uint64_t trace_events = 0;
+  std::size_t samples = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  const std::size_t seeds = bench::seed_count();
+
+  std::vector<harness::ExperimentConfig> sweep;
+  for (const double failure : bench::failure_grid()) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      auto cfg = bench::paper_default();
+      cfg.failure_fraction = failure;
+      cfg.scheme = harness::SchemeSpec::constant(0.5);
+      cfg.seed = cfg.seed + i;
+      sweep.push_back(cfg);
+    }
+  }
+  std::printf("obs_overhead: %zu runs (%zu nodes, %zu seeds/point), %zu thread(s)\n",
+              sweep.size(), bench::node_count(), seeds, harness::harness_threads());
+
+  // Pass 1: observability disabled -- the exact configuration every figure
+  // bench runs with. No sink installed means Router::trace() never even
+  // constructs a TraceEvent.
+  const auto t_disabled = Clock::now();
+  const auto disabled = harness::run_sweep(sweep);
+  const double disabled_s = seconds_since(t_disabled);
+
+  // Pass 2: CountingSink + TelemetrySampler on every run.
+  auto instrumented_cfgs = sweep;
+  std::vector<Capture> captures(instrumented_cfgs.size());
+  for (std::size_t i = 0; i < instrumented_cfgs.size(); ++i) {
+    Capture* cap = &captures[i];
+    instrumented_cfgs[i].instrument = [cap](bgp::Network& net, std::uint64_t) {
+      cap->sink = std::make_unique<bgp::CountingSink>();
+      net.set_trace_sink(cap->sink.get());
+      obs::TelemetryConfig tc;
+      cap->sampler = std::make_unique<obs::TelemetrySampler>(net, tc);
+    };
+    instrumented_cfgs[i].on_phase = [cap](harness::RunPhase) { cap->sampler->start(); };
+    instrumented_cfgs[i].on_complete = [cap](bgp::Network& net, std::uint64_t) {
+      cap->trace_events = cap->sink->total();
+      cap->samples = cap->sampler->samples();
+      net.set_trace_sink(nullptr);
+      cap->sampler.reset();  // the PeriodicTask must not outlive the run's scheduler
+    };
+  }
+  const auto t_instr = Clock::now();
+  const auto instrumented = harness::run_sweep(instrumented_cfgs);
+  const double instrumented_s = seconds_since(t_instr);
+
+  bool identical = disabled.size() == instrumented.size();
+  for (std::size_t i = 0; identical && i < disabled.size(); ++i) {
+    identical = same_protocol(disabled[i], instrumented[i]);
+  }
+
+  std::uint64_t events = 0;
+  for (const auto& r : disabled) events += r.events;
+  std::uint64_t trace_events = 0;
+  std::uint64_t samples = 0;
+  for (const auto& c : captures) {
+    trace_events += c.trace_events;
+    samples += c.samples;
+  }
+
+  const double overhead = disabled_s > 0 ? instrumented_s / disabled_s : 0.0;
+  std::printf("  disabled:     %.3f s  (%.0f events/s)\n", disabled_s,
+              disabled_s > 0 ? static_cast<double>(events) / disabled_s : 0.0);
+  std::printf("  instrumented: %.3f s  (%.2fx; %llu trace events, %llu samples)\n",
+              instrumented_s, overhead, static_cast<unsigned long long>(trace_events),
+              static_cast<unsigned long long>(samples));
+  std::printf("  protocol results identical: %s\n", identical ? "yes" : "NO (BUG)");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs_overhead: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"obs_overhead\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"seeds_per_point\": %zu,\n"
+               "  \"runs\": %zu,\n"
+               "  \"events_total\": %llu,\n"
+               "  \"trace_events_total\": %llu,\n"
+               "  \"telemetry_samples_total\": %llu,\n"
+               "  \"disabled_wall_s\": %.6f,\n"
+               "  \"instrumented_wall_s\": %.6f,\n"
+               "  \"disabled_events_per_s\": %.0f,\n"
+               "  \"instrumented_events_per_s\": %.0f,\n"
+               "  \"overhead_ratio\": %.4f,\n"
+               "  \"results_identical\": %s\n"
+               "}\n",
+               bench::node_count(), seeds, sweep.size(),
+               static_cast<unsigned long long>(events),
+               static_cast<unsigned long long>(trace_events),
+               static_cast<unsigned long long>(samples), disabled_s, instrumented_s,
+               disabled_s > 0 ? static_cast<double>(events) / disabled_s : 0.0,
+               instrumented_s > 0 ? static_cast<double>(events) / instrumented_s : 0.0,
+               overhead, identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}

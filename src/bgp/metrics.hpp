@@ -45,6 +45,17 @@ class DecayingRate {
     return value_;
   }
 
+  /// Read-only variants: compute the decayed value without folding the
+  /// decay into the stored state. Mathematically these match rate()/value(),
+  /// but exp(-a)*exp(-b) != exp(-(a+b)) in floating point -- so observers
+  /// (the telemetry sampler) MUST use these to leave the simulation's own
+  /// later reads bit-identical to an unobserved run.
+  double peek_rate(sim::SimTime now) const { return peek_value(now) / tau_; }
+  double peek_value(sim::SimTime now) const {
+    const double dt = (now - last_).to_seconds();
+    return dt > 0 ? value_ * std::exp(-dt / tau_) : value_;
+  }
+
  private:
   void decay_to(sim::SimTime now) {
     const double dt = (now - last_).to_seconds();

@@ -80,6 +80,7 @@ void Router::originate() {
 
 void Router::deliver(const UpdateMessage& msg) {
   if (!alive_) return;
+  ++updates_received_;
   msg_tracker_.add(net_.scheduler().now(), 1.0);
   trace(TraceEvent::Kind::kUpdateReceived, msg.from, msg.prefix, msg.withdraw, 0,
         msg.withdraw ? 0 : static_cast<std::uint32_t>(path_length(net_.paths(), msg.path)));
@@ -189,6 +190,7 @@ void Router::maybe_start_processing() {
     if (net_.config().free_redundant_updates && !would_change(item)) continue;
     cost += net_.rng().uniform_time(net_.config().proc_min, net_.config().proc_max);
   }
+  trace(TraceEvent::Kind::kBatchStarted, 0, 0, false, batch.size());
   net_.scheduler().schedule_after(cost, [this, b = std::move(batch), cost]() mutable {
     if (!alive_) return;
     busy_tracker_.add(net_.scheduler().now(), cost.to_seconds());
@@ -386,6 +388,7 @@ void Router::send(PeerSession& s, Prefix p, const std::optional<PathRef>& conten
   msg.withdraw = !content.has_value();
   if (content) msg.path = *content;
   auto& m = net_.metrics();
+  ++updates_sent_;
   ++m.updates_sent;
   if (msg.withdraw) {
     ++m.withdrawals_sent;
@@ -475,6 +478,14 @@ sim::SimTime Router::unfinished_work() const {
 double Router::recent_utilization() { return busy_tracker_.rate(net_.scheduler().now()); }
 
 double Router::recent_message_rate() { return msg_tracker_.rate(net_.scheduler().now()); }
+
+double Router::utilization_estimate() const {
+  return busy_tracker_.peek_rate(net_.scheduler().now());
+}
+
+double Router::message_rate_estimate() const {
+  return msg_tracker_.peek_rate(net_.scheduler().now());
+}
 
 double Router::recent_route_losses() { return loss_tracker_.value(net_.scheduler().now()); }
 

@@ -80,6 +80,15 @@ class Router {
   double recent_utilization();
   /// Decayed received-update rate (messages/second).
   double recent_message_rate();
+  /// Read-only counterparts for observers: same quantities, but without
+  /// touching the decay accumulators, so sampling cannot perturb the
+  /// floating-point state the dynamic-MRAI monitors read later.
+  double utilization_estimate() const;
+  double message_rate_estimate() const;
+  /// Cumulative per-router update traffic (cheap taps for the telemetry
+  /// sampler; NetMetrics only has network-wide totals).
+  std::uint64_t updates_sent() const { return updates_sent_; }
+  std::uint64_t updates_received() const { return updates_received_; }
   /// Decayed count of prefixes whose selected route was recently *lost*
   /// (Loc-RIB entry removed) -- a direct observable for the extent of a
   /// failure (paper section 5, future work).
@@ -204,6 +213,8 @@ class Router {
   bool alive_ = true;
   Prefix origin_base_ = 0;
   std::uint32_t origin_count_ = 0;
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t updates_received_ = 0;
 
   static constexpr double kLoadTauSeconds = 2.0;  ///< decay window for overload signals
   // Route losses indicate the *extent* of a failure, which stays relevant

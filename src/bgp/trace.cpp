@@ -6,6 +6,12 @@
 
 namespace bgpsim::bgp {
 
+// to_string's switch has no default, so -Werror=switch turns a Kind added
+// without a name into a build failure; the static_assert documents that
+// kNumKinds is sentinel-derived, not hand-maintained.
+static_assert(TraceEvent::kNumKinds == static_cast<std::size_t>(TraceEvent::Kind::kCount),
+              "kNumKinds must be derived from the kCount sentinel");
+
 const char* to_string(TraceEvent::Kind kind) {
   switch (kind) {
     case TraceEvent::Kind::kOriginated:
@@ -14,6 +20,8 @@ const char* to_string(TraceEvent::Kind kind) {
       return "update-sent";
     case TraceEvent::Kind::kUpdateReceived:
       return "update-received";
+    case TraceEvent::Kind::kBatchStarted:
+      return "batch-started";
     case TraceEvent::Kind::kBatchProcessed:
       return "batch-processed";
     case TraceEvent::Kind::kRibChanged:
@@ -34,6 +42,8 @@ const char* to_string(TraceEvent::Kind kind) {
       return "route-suppressed";
     case TraceEvent::Kind::kRouteReused:
       return "route-reused";
+    case TraceEvent::Kind::kCount:
+      break;  // sentinel, never emitted
   }
   return "?";
 }
@@ -61,11 +71,13 @@ std::string TraceEvent::to_string() const {
     case Kind::kRouteReused:
       os << " prefix " << prefix << " peer " << peer;
       break;
+    case Kind::kBatchStarted:
     case Kind::kBatchProcessed:
       os << " batch " << batch_size;
       break;
     case Kind::kRouterFailed:
     case Kind::kRouterRecovered:
+    case Kind::kCount:
       break;
   }
   return std::move(os).str();

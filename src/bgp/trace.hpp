@@ -28,6 +28,7 @@ struct TraceEvent {
     kOriginated,      ///< router installed its local prefix
     kUpdateSent,      ///< advertisement or withdrawal put on the wire
     kUpdateReceived,  ///< update delivered into the input queue
+    kBatchStarted,    ///< CPU picked up a processing batch
     kBatchProcessed,  ///< CPU finished a processing batch
     kRibChanged,      ///< Loc-RIB best route changed
     kMraiStarted,     ///< MRAI timer (re)started towards a peer
@@ -38,8 +39,11 @@ struct TraceEvent {
     kSessionEstablished,  ///< session (re)established; full table resent
     kRouteSuppressed, ///< flap damping suppressed a (peer, prefix)
     kRouteReused,     ///< flap damping released a suppressed route
+    kCount,           ///< sentinel -- keep last, never emitted
   };
-  static constexpr std::size_t kNumKinds = 13;
+  /// Derived from the kCount sentinel so adding a Kind automatically grows
+  /// every per-kind array (CountingSink, exporters, the binary format).
+  static constexpr std::size_t kNumKinds = static_cast<std::size_t>(Kind::kCount);
 
   Kind kind = Kind::kOriginated;
   sim::SimTime at;
@@ -78,29 +82,57 @@ class CountingSink final : public TraceSink {
   std::array<std::uint64_t, TraceEvent::kNumKinds> counts_{};
 };
 
-/// Records events in memory, up to a cap (older events are kept; once full,
-/// new events are counted but not stored).
+/// Records events in memory, up to a cap. Two overflow policies:
+/// kKeepOldest (default) stores the first max_events and counts the rest;
+/// kDropOldest overwrites the oldest stored event ring-buffer style, so a
+/// bounded sink on a long run keeps the convergence *tail* -- usually the
+/// interesting part -- instead of the cold start.
 class RecordingSink final : public TraceSink {
  public:
-  explicit RecordingSink(std::size_t max_events = 100'000) : max_events_{max_events} {}
+  enum class Overflow : std::uint8_t { kKeepOldest, kDropOldest };
+
+  explicit RecordingSink(std::size_t max_events = 100'000,
+                         Overflow policy = Overflow::kKeepOldest)
+      : max_events_{max_events}, policy_{policy} {}
 
   void on_event(const TraceEvent& event) override {
     if (events_.size() < max_events_) {
       events_.push_back(event);
-    } else {
-      ++overflow_;
+      return;
+    }
+    ++overflow_;
+    if (policy_ == Overflow::kDropOldest && max_events_ > 0) {
+      events_[next_] = event;
+      next_ = (next_ + 1) % max_events_;
     }
   }
 
+  /// Raw storage. Chronological under kKeepOldest; under kDropOldest the
+  /// ring may be rotated once it has wrapped -- use snapshot() for ordered
+  /// access.
   const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Stored events in chronological order, whatever the policy.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(next_), events_.end());
+    out.insert(out.end(), events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(next_));
+    return out;
+  }
+
   std::uint64_t overflow() const { return overflow_; }
+  Overflow policy() const { return policy_; }
   void clear() {
     events_.clear();
+    next_ = 0;
     overflow_ = 0;
   }
 
  private:
   std::size_t max_events_;
+  Overflow policy_;
+  std::size_t next_ = 0;  ///< ring write position once full (kDropOldest)
   std::vector<TraceEvent> events_;
   std::uint64_t overflow_ = 0;
 };

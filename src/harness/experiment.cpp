@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -103,9 +104,16 @@ BuiltScheme build_scheme(const SchemeSpec& spec, const std::vector<std::size_t>&
   throw std::logic_error{"build_scheme: unknown kind"};
 }
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& cfg) {
+  const auto t_run = Clock::now();
   sim::Rng rng{cfg.seed};
   sim::Rng topo_rng = rng.fork();
   const auto net_seed = rng.engine()();
@@ -135,11 +143,19 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
 
   RunResult res;
   res.routers = net->size();
+  res.timing.build_s = seconds_since(t_run);
+
+  // Observers (trace sinks, telemetry samplers) attach before the first
+  // event fires.
+  if (cfg.instrument) cfg.instrument(*net, cfg.seed);
 
   // Phase 1: cold-start convergence.
+  const auto t_converge = Clock::now();
   net->start();
+  if (cfg.on_phase) cfg.on_phase(RunPhase::kColdStart);
   const sim::SimTime quiet = net->run_to_quiescence();
   res.initial_convergence_s = quiet.to_seconds();
+  res.timing.converge_s = seconds_since(t_converge);
 
   // The paper's dynamic scheme starts every node at the lowest MRAI level.
   if (scheme.dynamic) scheme.dynamic->reset();
@@ -154,8 +170,10 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   const std::uint64_t adv_before = net->metrics().adverts_sent;
   const std::uint64_t wdr_before = net->metrics().withdrawals_sent;
 
+  const auto t_phase2 = Clock::now();
   const sim::SimTime t_fail = net->scheduler().now() + cfg.pre_failure_gap;
   net->scheduler().schedule_at(t_fail, [&net, &victims] { net->fail_nodes(victims); });
+  if (cfg.on_phase) cfg.on_phase(RunPhase::kFailure);
   net->run_to_quiescence();
 
   {
@@ -166,18 +184,22 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
     res.adverts_after_failure = m.adverts_sent - adv_before;
     res.withdrawals_after_failure = m.withdrawals_sent - wdr_before;
   }
+  res.timing.failure_s = seconds_since(t_phase2);
 
   // Phase 3 (optional): the failed region comes back and the network must
   // re-absorb its prefixes (the "recovery flood", the Tup analogue).
   if (cfg.measure_recovery && !victims.empty()) {
+    const auto t_phase3 = Clock::now();
     const std::uint64_t msgs_pre_rec = net->metrics().updates_sent;
     const sim::SimTime t_rec = net->scheduler().now() + cfg.pre_failure_gap;
     net->scheduler().schedule_at(t_rec, [&net, &victims] { net->recover_nodes(victims); });
+    if (cfg.on_phase) cfg.on_phase(RunPhase::kRecovery);
     net->run_to_quiescence();
     const auto& m = net->metrics();
     res.recovery_delay_s =
         m.last_rib_change > t_rec ? (m.last_rib_change - t_rec).to_seconds() : 0.0;
     res.messages_after_recovery = m.updates_sent - msgs_pre_rec;
+    res.timing.recovery_s = seconds_since(t_phase3);
   }
 
   const auto& m = net->metrics();
@@ -186,9 +208,14 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   res.batch_dropped = m.batch_dropped;
   res.events = net->scheduler().executed_events();
 
+  const auto t_audit = Clock::now();
   const auto audit = audit_routes(*net);
   res.routes_valid = !audit.has_value();
   if (audit) res.audit_error = *audit;
+  res.timing.audit_s = seconds_since(t_audit);
+
+  if (cfg.on_complete) cfg.on_complete(*net, cfg.seed);
+  res.timing.total_s = seconds_since(t_run);
   return res;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -95,6 +96,9 @@ struct SchemeSpec {
   }
 };
 
+/// The three simulated phases of a run, in order.
+enum class RunPhase { kColdStart, kFailure, kRecovery };
+
 struct ExperimentConfig {
   TopologySpec topology{};
   SchemeSpec scheme{};
@@ -107,6 +111,33 @@ struct ExperimentConfig {
   /// region is brought back up and the re-convergence ("recovery flood") is
   /// measured into RunResult::recovery_delay_s.
   bool measure_recovery = false;
+  /// Observability hook, invoked once per run after the Network is built and
+  /// before start(). Attach trace sinks / telemetry samplers here (they must
+  /// be read-only observers -- see obs/telemetry.hpp). Sweep drivers that
+  /// capture a single run typically guard on the seed argument. Not compared
+  /// by the bit-identical replica checks, so leaving it unset keeps the run
+  /// byte-for-byte what it was.
+  std::function<void(bgp::Network&, std::uint64_t seed)> instrument;
+  /// Called immediately before each phase's events are drained (after the
+  /// phase's trigger is scheduled). Self-terminating periodic observers --
+  /// TelemetrySampler, TimelineRecorder -- stop at quiescence, so restart
+  /// them here to cover the failure/recovery floods too.
+  std::function<void(RunPhase)> on_phase;
+  /// Called once after the run (audit included) while the Network is still
+  /// alive. Harvest and tear down observers attached in `instrument` here:
+  /// a sampler's PeriodicTask must not outlive the run's Scheduler.
+  std::function<void(bgp::Network&, std::uint64_t seed)> on_complete;
+};
+
+/// Wall-clock cost of each run phase (host time, not simulated time). Filled
+/// by run_experiment for profiling; never part of determinism comparisons.
+struct PhaseTimings {
+  double build_s = 0.0;     ///< topology + network construction
+  double converge_s = 0.0;  ///< cold-start convergence
+  double failure_s = 0.0;   ///< failure injection + re-convergence
+  double recovery_s = 0.0;  ///< optional recovery phase
+  double audit_s = 0.0;     ///< route audit
+  double total_s = 0.0;
 };
 
 struct RunResult {
@@ -125,6 +156,7 @@ struct RunResult {
   std::size_t failed_routers = 0;
   bool routes_valid = false;         ///< post-failure audit verdict
   std::string audit_error;           ///< first violation, when !routes_valid
+  PhaseTimings timing;               ///< host wall-clock per phase
 };
 
 RunResult run_experiment(const ExperimentConfig& cfg);
@@ -144,6 +176,10 @@ struct AveragedResult {
   double valid_fraction = 0.0;
   std::vector<RunResult> runs;
 };
+
+/// Folds per-run results into the averaged view (delay/message stats, valid
+/// fraction). run_averaged = run_sweep over seed replicas + this.
+AveragedResult aggregate_runs(std::vector<RunResult> runs);
 
 /// Runs `num_seeds` independent replicas (seeds cfg.seed, cfg.seed+1, ...).
 /// Replicas execute on the harness thread pool (see harness/parallel.hpp;

@@ -161,12 +161,9 @@ std::vector<RunResult> run_sweep(const std::vector<ExperimentConfig>& configs) {
   return out;
 }
 
-AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
-  std::vector<ExperimentConfig> cfgs(num_seeds, cfg);
-  for (std::size_t i = 0; i < num_seeds; ++i) cfgs[i].seed = cfg.seed + i;
-
+AveragedResult aggregate_runs(std::vector<RunResult> runs) {
   AveragedResult out;
-  out.runs = run_sweep(cfgs);
+  out.runs = std::move(runs);
   std::vector<double> delays;
   std::vector<double> msgs;
   delays.reserve(out.runs.size());
@@ -179,9 +176,16 @@ AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
   }
   out.delay = Stats::of(delays);
   out.messages = Stats::of(msgs);
-  out.valid_fraction =
-      num_seeds == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(num_seeds);
+  out.valid_fraction = out.runs.empty()
+                           ? 0.0
+                           : static_cast<double>(valid) / static_cast<double>(out.runs.size());
   return out;
+}
+
+AveragedResult run_averaged(ExperimentConfig cfg, std::size_t num_seeds) {
+  std::vector<ExperimentConfig> cfgs(num_seeds, cfg);
+  for (std::size_t i = 0; i < num_seeds; ++i) cfgs[i].seed = cfg.seed + i;
+  return aggregate_runs(run_sweep(cfgs));
 }
 
 }  // namespace bgpsim::harness

@@ -1,0 +1,63 @@
+#include "harness/profile.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+#include "harness/parallel.hpp"
+
+namespace bgpsim::harness {
+
+void SweepProfile::write_json(std::ostream& os) const {
+  os << "{\n"
+     << "  \"wall_s\": " << wall_s << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"runs\": " << runs << ",\n"
+     << "  \"events\": " << events << ",\n"
+     << "  \"events_per_s\": " << events_per_s() << ",\n"
+     << "  \"busy_s\": " << busy_s << ",\n"
+     << "  \"utilization\": " << utilization() << ",\n"
+     << "  \"phase_totals_s\": {\n"
+     << "    \"build\": " << phase_totals.build_s << ",\n"
+     << "    \"converge\": " << phase_totals.converge_s << ",\n"
+     << "    \"failure\": " << phase_totals.failure_s << ",\n"
+     << "    \"recovery\": " << phase_totals.recovery_s << ",\n"
+     << "    \"audit\": " << phase_totals.audit_s << "\n"
+     << "  }\n"
+     << "}\n";
+}
+
+void SweepProfile::write_json_file(const std::string& path) const {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error{"SweepProfile: cannot write " + path};
+  write_json(os);
+  if (!os) throw std::runtime_error{"SweepProfile: write failed for " + path};
+}
+
+std::vector<RunResult> run_sweep_profiled(const std::vector<ExperimentConfig>& configs,
+                                          SweepProfile& profile) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t threads = harness_threads();
+
+  std::vector<RunResult> out(configs.size());
+  ThreadPool::instance().for_each_index(
+      configs.size(), threads, [&](std::size_t i) { out[i] = run_experiment(configs[i]); });
+
+  profile = SweepProfile{};
+  profile.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  profile.threads = std::min(threads, std::max<std::size_t>(configs.size(), 1));
+  profile.runs = out.size();
+  for (const auto& r : out) {
+    profile.events += r.events;
+    profile.busy_s += r.timing.total_s;
+    profile.phase_totals.build_s += r.timing.build_s;
+    profile.phase_totals.converge_s += r.timing.converge_s;
+    profile.phase_totals.failure_s += r.timing.failure_s;
+    profile.phase_totals.recovery_s += r.timing.recovery_s;
+    profile.phase_totals.audit_s += r.timing.audit_s;
+    profile.phase_totals.total_s += r.timing.total_s;
+  }
+  return out;
+}
+
+}  // namespace bgpsim::harness

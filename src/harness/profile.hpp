@@ -1,0 +1,51 @@
+// Sweep-level wall-clock profiling.
+//
+// run_experiment stamps every RunResult with host-time PhaseTimings; this
+// module aggregates them across a sweep into a SweepProfile -- total wall
+// time, thread-pool utilization (busy run-seconds over wall-seconds times
+// degree), simulated-events throughput and per-phase totals -- and renders
+// it as JSON for dashboards or `bgpsim_run --profile=<file>`.
+//
+// Profiling never feeds back into the simulation: the timings live outside
+// the fields the bit-identical replica checks compare.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+
+struct SweepProfile {
+  double wall_s = 0.0;        ///< host time for the whole sweep
+  std::size_t threads = 0;    ///< parallel degree used
+  std::size_t runs = 0;
+  std::uint64_t events = 0;   ///< simulated events across all runs
+  double busy_s = 0.0;        ///< sum of per-run total wall time
+  PhaseTimings phase_totals;  ///< per-phase sums across runs
+
+  /// Fraction of (wall_s * threads) spent inside runs; 1.0 = perfectly
+  /// packed pool, low values = stragglers or tiny sweeps.
+  double utilization() const {
+    const double capacity = wall_s * static_cast<double>(threads);
+    return capacity > 0.0 ? busy_s / capacity : 0.0;
+  }
+  double events_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+
+  void write_json(std::ostream& os) const;
+  /// Throws std::runtime_error when the file cannot be written.
+  void write_json_file(const std::string& path) const;
+};
+
+/// run_sweep plus profiling: executes the configs on the harness pool
+/// exactly like run_sweep (same results, same order, same determinism) and
+/// fills `profile` with the aggregate timings.
+std::vector<RunResult> run_sweep_profiled(const std::vector<ExperimentConfig>& configs,
+                                          SweepProfile& profile);
+
+}  // namespace bgpsim::harness

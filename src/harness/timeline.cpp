@@ -8,13 +8,15 @@ namespace bgpsim::harness {
 
 TimelineRecorder::TimelineRecorder(bgp::Network& net, sim::SimTime interval,
                                    sim::SimTime overload_threshold)
-    : net_{net}, interval_{interval}, threshold_{overload_threshold} {}
+    : net_{net},
+      threshold_{overload_threshold},
+      task_{net.scheduler(), interval, [this] { sample(); }} {}
 
 void TimelineRecorder::start() {
   last_sent_ = net_.metrics().updates_sent;
   last_processed_ = net_.metrics().messages_processed;
   last_rib_ = net_.metrics().rib_changes;
-  net_.scheduler().schedule_after(interval_, [this] { sample(); });
+  task_.start();
 }
 
 void TimelineRecorder::sample() {
@@ -33,11 +35,7 @@ void TimelineRecorder::sample() {
     if (r.unfinished_work() > threshold_) ++s.overloaded;
   }
   samples_.push_back(s);
-  // Keep sampling only while the network itself still has events; our own
-  // next sample is not yet scheduled, so an empty queue means quiescence.
-  if (net_.scheduler().pending_events() > 0) {
-    net_.scheduler().schedule_after(interval_, [this] { sample(); });
-  }
+  // Rescheduling (and self-termination at quiescence) is PeriodicTask's job.
 }
 
 std::size_t TimelineRecorder::peak_overloaded() const {

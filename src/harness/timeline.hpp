@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bgp/network.hpp"
+#include "sim/periodic.hpp"
 
 namespace bgpsim::harness {
 
@@ -51,8 +52,8 @@ class TimelineRecorder {
   void sample();
 
   bgp::Network& net_;
-  sim::SimTime interval_;
   sim::SimTime threshold_;
+  sim::PeriodicTask task_;
   std::vector<TimelineSample> samples_;
   std::uint64_t last_sent_ = 0;
   std::uint64_t last_processed_ = 0;

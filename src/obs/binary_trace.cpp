@@ -1,0 +1,144 @@
+#include "obs/binary_trace.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgpsim::obs {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 24;
+constexpr std::uint8_t kPayloadV1 = 30;
+
+void put_u16(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFF);
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+BinaryTraceSink::BinaryTraceSink(const std::string& path) : path_{path} {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error{"BinaryTraceSink: cannot open " + path};
+  }
+  unsigned char header[kHeaderSize] = {};
+  std::memcpy(header, kTraceMagic, 4);
+  put_u16(header + 4, kTraceVersion);
+  put_u16(header + 6, 0);
+  put_u64(header + 8, 0);  // event count, patched on close
+  put_u64(header + 16, kHeaderSize);
+  std::fwrite(header, 1, kHeaderSize, file_);
+}
+
+BinaryTraceSink::~BinaryTraceSink() { close(); }
+
+void BinaryTraceSink::on_event(const bgp::TraceEvent& event) {
+  if (file_ == nullptr) return;
+  unsigned char rec[1 + kPayloadV1];
+  rec[0] = kPayloadV1;
+  rec[1] = static_cast<unsigned char>(event.kind);
+  rec[2] = event.withdraw ? 1 : 0;
+  put_u64(rec + 3, static_cast<std::uint64_t>(event.at.ns()));
+  put_u32(rec + 11, event.router);
+  put_u32(rec + 15, event.peer);
+  put_u32(rec + 19, event.prefix);
+  put_u32(rec + 23, static_cast<std::uint32_t>(event.batch_size));
+  put_u32(rec + 27, event.path_len);
+  std::fwrite(rec, 1, sizeof(rec), file_);
+  ++written_;
+}
+
+void BinaryTraceSink::close() {
+  if (file_ == nullptr) return;
+  unsigned char count[8];
+  put_u64(count, written_);
+  std::fseek(file_, 8, SEEK_SET);
+  std::fwrite(count, 1, 8, file_);
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"read_trace_file: cannot open " + path};
+
+  TraceFile out;
+  unsigned char header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize ||
+      std::memcmp(header, kTraceMagic, 4) != 0) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_file: " + path + " is not a bgpsim trace"};
+  }
+  out.version = get_u16(header + 4);
+  if (out.version == 0 || out.version > kTraceVersion) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_file: unsupported trace version " +
+                             std::to_string(out.version)};
+  }
+  const std::uint64_t declared = get_u64(header + 8);
+  const std::uint64_t first = get_u64(header + 16);
+  if (first < kHeaderSize || std::fseek(f, static_cast<long>(first), SEEK_SET) != 0) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_file: malformed header in " + path};
+  }
+  if (declared > 0) out.events.reserve(declared);
+
+  for (;;) {
+    unsigned char len;
+    if (std::fread(&len, 1, 1, f) != 1) break;  // clean EOF
+    unsigned char payload[255];
+    if (std::fread(payload, 1, len, f) != len) {
+      out.truncated = true;  // writer died mid-record
+      break;
+    }
+    if (len < kPayloadV1) {
+      out.truncated = true;  // shorter than any known layout
+      break;
+    }
+    bgp::TraceEvent ev;
+    const auto kind = payload[0];
+    if (kind >= bgp::TraceEvent::kNumKinds) {
+      out.truncated = true;
+      break;
+    }
+    ev.kind = static_cast<bgp::TraceEvent::Kind>(kind);
+    ev.withdraw = (payload[1] & 1) != 0;
+    ev.at = sim::SimTime::from_ns(static_cast<std::int64_t>(get_u64(payload + 2)));
+    ev.router = get_u32(payload + 10);
+    ev.peer = get_u32(payload + 14);
+    ev.prefix = get_u32(payload + 18);
+    ev.batch_size = get_u32(payload + 22);
+    ev.path_len = get_u32(payload + 26);
+    out.events.push_back(ev);
+  }
+  std::fclose(f);
+  if (declared != out.events.size()) out.truncated = true;
+  return out;
+}
+
+}  // namespace bgpsim::obs

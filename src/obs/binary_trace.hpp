@@ -1,0 +1,68 @@
+// Binary on-disk trace capture.
+//
+// BinaryTraceSink streams TraceEvents into a compact length-prefixed file:
+//
+//   header (24 bytes):  magic "BGTR" | u16 version | u16 reserved
+//                       | u64 event_count (patched on close; 0 = truncated,
+//                         read until EOF) | u64 first_event_offset
+//   record:             u8 payload_length | payload
+//   payload v1 (30 B):  u8 kind | u8 flags (bit0 withdraw) | i64 at_ns
+//                       | u32 router | u32 peer | u32 prefix
+//                       | u32 batch_size | u32 path_len
+//
+// All integers little-endian. The length prefix lets a v1 reader skip
+// fields a later version appends, and lets the reader detect truncation
+// (a partial record at EOF) instead of decoding garbage. ~31 MB per 10^6
+// events; a CountingSink-grade cost when writing (one buffered fwrite).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bgp/trace.hpp"
+
+namespace bgpsim::obs {
+
+inline constexpr char kTraceMagic[4] = {'B', 'G', 'T', 'R'};
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// TraceSink that appends every event to `path`. Throws std::runtime_error
+/// if the file cannot be opened. close() (or destruction) flushes and
+/// patches the header's event count.
+class BinaryTraceSink final : public bgp::TraceSink {
+ public:
+  explicit BinaryTraceSink(const std::string& path);
+  ~BinaryTraceSink() override;
+
+  BinaryTraceSink(const BinaryTraceSink&) = delete;
+  BinaryTraceSink& operator=(const BinaryTraceSink&) = delete;
+
+  void on_event(const bgp::TraceEvent& event) override;
+
+  /// Flushes, patches the header, closes the file. Idempotent.
+  void close();
+
+  std::uint64_t events_written() const { return written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t written_ = 0;
+};
+
+struct TraceFile {
+  std::uint16_t version = 0;
+  /// True when the header count was never patched (writer died) or the last
+  /// record was cut short; `events` then holds every complete record.
+  bool truncated = false;
+  std::vector<bgp::TraceEvent> events;
+};
+
+/// Reads a trace written by BinaryTraceSink. Throws std::runtime_error on a
+/// missing file, bad magic, or unsupported (newer-major) layout.
+TraceFile read_trace_file(const std::string& path);
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,176 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace bgpsim::obs {
+
+namespace {
+
+double to_us(sim::SimTime t) { return static_cast<double>(t.ns()) / 1000.0; }
+
+// Emits a double without trailing-zero noise but with enough precision to
+// keep nanosecond timestamps distinct.
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return std::move(os).str();
+}
+
+}  // namespace
+
+void write_jsonl(const std::vector<bgp::TraceEvent>& events, std::ostream& os) {
+  for (const auto& e : events) {
+    os << "{\"t_ns\":" << e.at.ns() << ",\"kind\":\"" << bgp::to_string(e.kind)
+       << "\",\"router\":" << e.router << ",\"peer\":" << e.peer
+       << ",\"prefix\":" << e.prefix << ",\"withdraw\":" << (e.withdraw ? "true" : "false")
+       << ",\"batch_size\":" << e.batch_size << ",\"path_len\":" << e.path_len << "}\n";
+  }
+}
+
+void write_perfetto(const std::vector<bgp::TraceEvent>& events, std::ostream& os,
+                    const PerfettoOptions& opts) {
+  using Kind = bgp::TraceEvent::Kind;
+
+  const double end_us = events.empty() ? 0.0 : to_us(events.back().at);
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& json) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << json;
+  };
+
+  // Track metadata: one process per router (collected as events stream by),
+  // a "cpu" thread per router, and one MRAI thread per (router, peer) pair.
+  std::map<bgp::NodeId, bool> seen_router;
+  std::map<std::pair<bgp::NodeId, bgp::NodeId>, bool> seen_mrai_track;
+  const auto ensure_router = [&](bgp::NodeId r) {
+    if (seen_router[r]) return;
+    seen_router[r] = true;
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(r) +
+         ",\"args\":{\"name\":\"router " + std::to_string(r) + "\"}}");
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(r) +
+         ",\"tid\":0,\"args\":{\"name\":\"cpu\"}}");
+  };
+  const auto ensure_mrai_track = [&](bgp::NodeId r, bgp::NodeId peer) {
+    const auto key = std::make_pair(r, peer);
+    if (seen_mrai_track[key]) return;
+    seen_mrai_track[key] = true;
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(r) +
+         ",\"tid\":" + std::to_string(peer + 1) + ",\"args\":{\"name\":\"mrai->" +
+         std::to_string(peer) + "\"}}");
+  };
+
+  // Open spans awaiting their closing event.
+  std::map<std::pair<bgp::NodeId, bgp::NodeId>, double> mrai_open;  // -> start us
+  std::map<bgp::NodeId, std::pair<double, std::size_t>> batch_open;  // -> start us, size
+
+  const auto emit_mrai_span = [&](bgp::NodeId r, bgp::NodeId peer, double start,
+                                  double end) {
+    ensure_mrai_track(r, peer);
+    emit("{\"ph\":\"X\",\"cat\":\"mrai\",\"name\":\"mrai\",\"pid\":" + std::to_string(r) +
+         ",\"tid\":" + std::to_string(peer + 1) + ",\"ts\":" + num(start) +
+         ",\"dur\":" + num(std::max(end - start, 0.0)) + "}");
+  };
+  const auto emit_batch_span = [&](bgp::NodeId r, double start, double end,
+                                   std::size_t size) {
+    emit("{\"ph\":\"X\",\"cat\":\"batch\",\"name\":\"batch\",\"pid\":" + std::to_string(r) +
+         ",\"tid\":0,\"ts\":" + num(start) + ",\"dur\":" + num(std::max(end - start, 0.0)) +
+         ",\"args\":{\"size\":" + std::to_string(size) + "}}");
+  };
+
+  for (const auto& e : events) {
+    ensure_router(e.router);
+    switch (e.kind) {
+      case Kind::kMraiStarted: {
+        const auto key = std::make_pair(e.router, e.peer);
+        const auto it = mrai_open.find(key);
+        if (it != mrai_open.end()) {  // restart: close the old span here
+          emit_mrai_span(e.router, e.peer, it->second, to_us(e.at));
+        }
+        mrai_open[key] = to_us(e.at);
+        break;
+      }
+      case Kind::kMraiExpired: {
+        const auto key = std::make_pair(e.router, e.peer);
+        const auto it = mrai_open.find(key);
+        if (it != mrai_open.end()) {
+          emit_mrai_span(e.router, e.peer, it->second, to_us(e.at));
+          mrai_open.erase(it);
+        }
+        break;
+      }
+      case Kind::kBatchStarted:
+        batch_open[e.router] = {to_us(e.at), e.batch_size};
+        break;
+      case Kind::kBatchProcessed: {
+        const auto it = batch_open.find(e.router);
+        if (it != batch_open.end()) {
+          emit_batch_span(e.router, it->second.first, to_us(e.at), e.batch_size);
+          batch_open.erase(it);
+        }
+        break;
+      }
+      default: {
+        std::string args = "{";
+        if (e.kind == Kind::kUpdateSent || e.kind == Kind::kUpdateReceived) {
+          args += "\"peer\":" + std::to_string(e.peer) +
+                  ",\"prefix\":" + std::to_string(e.prefix) +
+                  ",\"withdraw\":" + (e.withdraw ? std::string{"true"} : std::string{"false"}) +
+                  ",\"path_len\":" + std::to_string(e.path_len);
+        } else if (e.kind == Kind::kRibChanged || e.kind == Kind::kOriginated ||
+                   e.kind == Kind::kRouteSuppressed || e.kind == Kind::kRouteReused) {
+          args += "\"prefix\":" + std::to_string(e.prefix);
+        } else if (e.kind == Kind::kPeerDown || e.kind == Kind::kSessionEstablished) {
+          args += "\"peer\":" + std::to_string(e.peer);
+        }
+        args += "}";
+        emit("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"bgp\",\"name\":\"" +
+             std::string{bgp::to_string(e.kind)} + "\",\"pid\":" + std::to_string(e.router) +
+             ",\"tid\":0,\"ts\":" + num(to_us(e.at)) + ",\"args\":" + args + "}");
+        break;
+      }
+    }
+  }
+
+  // Close spans left open (truncated trace or MRAI running at quiescence).
+  for (const auto& [key, start] : mrai_open) {
+    emit_mrai_span(key.first, key.second, start, std::max(end_us, start));
+  }
+  for (const auto& [r, open] : batch_open) {
+    emit_batch_span(r, open.first, std::max(end_us, open.first), open.second);
+  }
+
+  if (opts.telemetry != nullptr) {
+    const auto& t = *opts.telemetry;
+    const std::string net_pid = std::to_string(t.n_routers);
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + net_pid +
+         ",\"args\":{\"name\":\"network\"}}");
+    for (std::size_t s = 0; s < t.samples(); ++s) {
+      const double ts = t.times_s[s] * 1e6;
+      emit("{\"ph\":\"C\",\"pid\":" + net_pid + ",\"name\":\"overloaded\",\"ts\":" + num(ts) +
+           ",\"args\":{\"routers\":" + std::to_string(t.overloaded[s]) + "}}");
+      emit("{\"ph\":\"C\",\"pid\":" + net_pid + ",\"name\":\"max_queue\",\"ts\":" + num(ts) +
+           ",\"args\":{\"depth\":" + std::to_string(t.max_queue[s]) + "}}");
+      if (!t.per_router) continue;
+      for (bgp::NodeId r = 0; r < t.n_routers; ++r) {
+        const std::size_t i = s * t.n_routers + r;
+        emit("{\"ph\":\"C\",\"pid\":" + std::to_string(r) +
+             ",\"name\":\"unfinished_work_s\",\"ts\":" + num(ts) + ",\"args\":{\"s\":" +
+             num(t.unfinished_work_s[i]) + "}}");
+        emit("{\"ph\":\"C\",\"pid\":" + std::to_string(r) + ",\"name\":\"queue\",\"ts\":" +
+             num(ts) + ",\"args\":{\"depth\":" + std::to_string(t.queue_depth[i]) + "}}");
+      }
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace bgpsim::obs

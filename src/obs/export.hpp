@@ -1,0 +1,44 @@
+// Trace exporters: JSONL and Chrome/Perfetto trace_event JSON.
+//
+// write_jsonl() emits one self-describing JSON object per event, one per
+// line -- the format for jq/pandas pipelines.
+//
+// write_perfetto() emits the Chrome trace_event format (JSON object with a
+// "traceEvents" array, timestamps in microseconds) loadable directly in
+// ui.perfetto.dev or chrome://tracing. Mapping:
+//
+//   pid            router id (one "process" track group per router, named
+//                  via process_name metadata)
+//   tid 0 ("cpu")  batch slices: complete "X" events pairing kBatchStarted
+//                  with kBatchProcessed, plus instants for every point
+//                  event on that router (RIB change, send/receive, ...)
+//   tid peer+1     MRAI spans towards that peer: "X" events pairing
+//                  kMraiStarted with kMraiExpired
+//   pid n_routers  synthetic "network" track holding rollup counters when a
+//                  telemetry file is supplied
+//
+// Spans still open at the end of the trace are closed at the final event's
+// timestamp so a truncated capture stays loadable.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/trace.hpp"
+#include "obs/telemetry.hpp"
+
+namespace bgpsim::obs {
+
+/// One JSON object per line: all TraceEvent fields in fixed order.
+void write_jsonl(const std::vector<bgp::TraceEvent>& events, std::ostream& os);
+
+struct PerfettoOptions {
+  /// Merge telemetry columns in as "C" counter events (per-router
+  /// unfinished-work / queue-depth counters plus network rollups).
+  const TelemetryFile* telemetry = nullptr;
+};
+
+void write_perfetto(const std::vector<bgp::TraceEvent>& events, std::ostream& os,
+                    const PerfettoOptions& opts = {});
+
+}  // namespace bgpsim::obs

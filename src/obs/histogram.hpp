@@ -1,0 +1,103 @@
+// Log-bucketed histogram.
+//
+// Fixed-size (no allocation after construction), power-of-two bucket edges
+// anchored at a configurable minimum: bucket 0 holds values <= min, bucket i
+// holds (min * 2^(i-1), min * 2^i]. This shape covers batch sizes (min = 1,
+// buckets 1, 2, 4, ...) and processing/residency delays (min = 1 ms, buckets
+// up to tens of minutes) with ~30 counters each, which is what the telemetry
+// subsystem stores per metric.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace bgpsim::obs {
+
+class LogHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// `min` is the upper edge of bucket 0 (must be > 0).
+  explicit LogHistogram(double min = 1.0) : min_{min > 0 ? min : 1.0} {}
+
+  void add(double value, std::uint64_t weight = 1) {
+    counts_[bucket_of(value)] += weight;
+    total_ += weight;
+    sum_ += value * static_cast<double>(weight);
+    if (total_ == weight || value < min_seen_) min_seen_ = value;
+    if (total_ == weight || value > max_seen_) max_seen_ = value;
+  }
+
+  std::size_t bucket_of(double value) const {
+    if (value <= min_) return 0;
+    const double b = std::ceil(std::log2(value / min_));
+    return std::min<std::size_t>(static_cast<std::size_t>(b), kBuckets - 1);
+  }
+
+  /// Bucket edges: values in bucket i satisfy lower(i) < v <= upper(i)
+  /// (lower(0) is 0 by convention).
+  double lower(std::size_t i) const { return i == 0 ? 0.0 : min_ * std::exp2(static_cast<double>(i - 1)); }
+  double upper(std::size_t i) const { return min_ * std::exp2(static_cast<double>(i)); }
+
+  std::uint64_t count(std::size_t i) const { return counts_[i]; }
+  std::uint64_t total() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double mean() const { return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_); }
+  double min_seen() const { return total_ == 0 ? 0.0 : min_seen_; }
+  double max_seen() const { return total_ == 0 ? 0.0 : max_seen_; }
+
+  /// Upper edge of the bucket containing the q-th quantile (q in [0, 1]);
+  /// a bucket-resolution approximation, exact enough for p50/p99 summaries.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (static_cast<double>(seen) >= target) return upper(i);
+    }
+    return upper(kBuckets - 1);
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (other.total_ > 0) {
+      if (total_ == 0 || other.min_seen_ < min_seen_) min_seen_ = other.min_seen_;
+      if (total_ == 0 || other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0.0;
+    min_seen_ = 0.0;
+    max_seen_ = 0.0;
+  }
+
+  /// One "( lo, hi ] count" row per non-empty bucket.
+  std::string to_string() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      os << "(" << lower(i) << ", " << upper(i) << "]: " << counts_[i] << "\n";
+    }
+    return std::move(os).str();
+  }
+
+ private:
+  double min_;
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace bgpsim::obs

@@ -1,0 +1,67 @@
+#include "obs/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace bgpsim::obs {
+
+void StatsSink::on_event(const bgp::TraceEvent& event) {
+  using Kind = bgp::TraceEvent::Kind;
+  ++counts_[static_cast<std::size_t>(event.kind)];
+  if (total_ == 0) first_at_ = event.at;
+  last_at_ = event.at;
+  ++total_;
+
+  switch (event.kind) {
+    case Kind::kBatchStarted:
+      batch_open_[event.router] = event.at;
+      break;
+    case Kind::kBatchProcessed: {
+      batch_sizes_.add(static_cast<double>(event.batch_size));
+      const auto it = batch_open_.find(event.router);
+      if (it != batch_open_.end()) {
+        processing_delay_s_.add((event.at - it->second).to_seconds());
+        batch_open_.erase(it);
+      }
+      break;
+    }
+    case Kind::kMraiStarted:
+      mrai_open_[{event.router, event.peer}] = event.at;
+      break;
+    case Kind::kMraiExpired: {
+      const auto it = mrai_open_.find({event.router, event.peer});
+      if (it != mrai_open_.end()) {
+        mrai_round_s_.add((event.at - it->second).to_seconds());
+        mrai_open_.erase(it);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::string StatsSink::report() const {
+  std::ostringstream os;
+  os << "events: " << total_;
+  if (total_ > 0) {
+    os << "  span: [" << first_at_.to_seconds() << "s, " << last_at_.to_seconds() << "s]";
+  }
+  os << "\n";
+  for (std::size_t k = 0; k < bgp::TraceEvent::kNumKinds; ++k) {
+    if (counts_[k] == 0) continue;
+    os << "  " << std::setw(12) << counts_[k] << "  "
+       << bgp::to_string(static_cast<bgp::TraceEvent::Kind>(k)) << "\n";
+  }
+  const auto hist = [&os](const char* title, const LogHistogram& h) {
+    if (h.empty()) return;
+    os << title << ": n=" << h.total() << " mean=" << h.mean() << " p50<=" << h.quantile(0.5)
+       << " p99<=" << h.quantile(0.99) << " max=" << h.max_seen() << "\n";
+  };
+  hist("batch size", batch_sizes_);
+  hist("processing delay (s)", processing_delay_s_);
+  hist("mrai round (s)", mrai_round_s_);
+  return std::move(os).str();
+}
+
+}  // namespace bgpsim::obs

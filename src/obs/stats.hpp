@@ -1,0 +1,57 @@
+// Streaming trace statistics.
+//
+// StatsSink folds every event into O(1) state as it arrives: per-kind
+// counts, a log-bucketed batch-size histogram, a processing-delay histogram
+// (kBatchStarted -> kBatchProcessed per router) and an MRAI-round-trip
+// histogram (kMraiStarted -> kMraiExpired per router/peer). It is the
+// aggregation backend for `trace_inspect summary` and cheap enough to
+// attach to full-scale runs where recording every event would not fit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "bgp/trace.hpp"
+#include "obs/histogram.hpp"
+
+namespace bgpsim::obs {
+
+class StatsSink final : public bgp::TraceSink {
+ public:
+  void on_event(const bgp::TraceEvent& event) override;
+
+  std::uint64_t count(bgp::TraceEvent::Kind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total() const { return total_; }
+
+  sim::SimTime first_at() const { return first_at_; }
+  sim::SimTime last_at() const { return last_at_; }
+
+  /// Updates per processing batch (from kBatchProcessed).
+  const LogHistogram& batch_sizes() const { return batch_sizes_; }
+  /// Batch pickup-to-completion wall time in seconds.
+  const LogHistogram& processing_delay_s() const { return processing_delay_s_; }
+  /// MRAI start-to-expiry time in seconds.
+  const LogHistogram& mrai_round_s() const { return mrai_round_s_; }
+
+  /// Human-readable multi-line report (the `trace_inspect summary` body).
+  std::string report() const;
+
+ private:
+  std::array<std::uint64_t, bgp::TraceEvent::kNumKinds> counts_{};
+  std::uint64_t total_ = 0;
+  sim::SimTime first_at_;
+  sim::SimTime last_at_;
+
+  LogHistogram batch_sizes_{1.0};
+  LogHistogram processing_delay_s_{1e-4};
+  LogHistogram mrai_round_s_{1e-2};
+  std::map<bgp::NodeId, sim::SimTime> batch_open_;
+  std::map<std::pair<bgp::NodeId, bgp::NodeId>, sim::SimTime> mrai_open_;
+};
+
+}  // namespace bgpsim::obs

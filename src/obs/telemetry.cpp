@@ -1,0 +1,281 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace bgpsim::obs {
+
+namespace {
+
+// Little-endian scalar I/O through std::FILE (shared shape with
+// binary_trace.cpp; kept local -- both are trivial and the formats evolve
+// independently).
+template <typename T>
+void write_scalar(std::FILE* f, T v) {
+  unsigned char buf[sizeof(T)];
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(T));
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xFF);
+  }
+  std::fwrite(buf, 1, sizeof(T), f);
+}
+
+template <typename T>
+bool read_scalar(std::FILE* f, T& v) {
+  unsigned char buf[sizeof(T)];
+  if (std::fread(buf, 1, sizeof(T), f) != sizeof(T)) return false;
+  std::uint64_t bits = 0;
+  for (std::size_t i = sizeof(T); i > 0; --i) bits = (bits << 8) | buf[i - 1];
+  std::memcpy(&v, &bits, sizeof(T));
+  return true;
+}
+
+template <typename T>
+void write_column(std::FILE* f, const std::vector<T>& col) {
+  for (const T v : col) write_scalar(f, v);
+}
+
+template <typename T>
+bool read_column(std::FILE* f, std::vector<T>& col, std::size_t n) {
+  col.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!read_scalar(f, col[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(RouterMetric m) {
+  switch (m) {
+    case RouterMetric::kUnfinishedWork:
+      return "unfinished_work";
+    case RouterMetric::kQueueDepth:
+      return "queue";
+    case RouterMetric::kMraiLevel:
+      return "level";
+    case RouterMetric::kBusyFraction:
+      return "busy";
+    case RouterMetric::kUpdatesSent:
+      return "sent";
+    case RouterMetric::kUpdatesReceived:
+      return "received";
+  }
+  return "?";
+}
+
+TelemetrySampler::TelemetrySampler(bgp::Network& net, TelemetryConfig cfg)
+    : net_{net},
+      cfg_{std::move(cfg)},
+      task_{net.scheduler(), cfg_.interval, [this] { sample(); }},
+      n_routers_{net.size()} {
+  prev_level_.assign(n_routers_, 0);
+  level_since_s_.assign(n_routers_, 0.0);
+}
+
+void TelemetrySampler::start() {
+  if (!started_) {
+    // Baselines only on the first call: a restart (next run phase) keeps the
+    // delta columns continuous across the quiescent gap.
+    started_ = true;
+    last_sent_ = net_.metrics().updates_sent;
+    last_processed_ = net_.metrics().messages_processed;
+    last_rib_ = net_.metrics().rib_changes;
+    const double now_s = net_.scheduler().now().to_seconds();
+    std::fill(level_since_s_.begin(), level_since_s_.end(), now_s);
+  }
+  task_.start();
+}
+
+void TelemetrySampler::sample() {
+  const double now_s = net_.scheduler().now().to_seconds();
+  times_s_.push_back(now_s);
+
+  const auto& m = net_.metrics();
+  sent_delta_.push_back(m.updates_sent - last_sent_);
+  processed_delta_.push_back(m.messages_processed - last_processed_);
+  rib_delta_.push_back(m.rib_changes - last_rib_);
+  last_sent_ = m.updates_sent;
+  last_processed_ = m.messages_processed;
+  last_rib_ = m.rib_changes;
+
+  std::uint32_t overloaded = 0;
+  std::uint32_t deepest = 0;
+  const double interval_s = cfg_.interval.to_seconds();
+  for (bgp::NodeId v = 0; v < n_routers_; ++v) {
+    const auto& r = net_.router(v);
+    const auto work = r.alive() ? r.unfinished_work() : sim::SimTime::zero();
+    const auto queue = r.alive() ? r.input_queue_length() : 0;
+    if (work > cfg_.overload_threshold) ++overloaded;
+    deepest = std::max(deepest, static_cast<std::uint32_t>(queue));
+
+    const std::size_t lvl = cfg_.mrai_level ? cfg_.mrai_level(v) : 0;
+    if (lvl >= level_residency_s_.size()) level_residency_s_.resize(lvl + 1, 0.0);
+    level_residency_s_[lvl] += interval_s;
+    if (static_cast<std::uint8_t>(lvl) != prev_level_[v]) {
+      level_stay_hist_.add(std::max(now_s - level_since_s_[v], 0.0));
+      prev_level_[v] = static_cast<std::uint8_t>(lvl);
+      level_since_s_[v] = now_s;
+    }
+
+    if (cfg_.per_router) {
+      unfinished_work_s_.push_back(static_cast<float>(work.to_seconds()));
+      queue_depth_.push_back(static_cast<std::uint32_t>(queue));
+      mrai_level_.push_back(static_cast<std::uint8_t>(lvl));
+      busy_frac_.push_back(
+          r.alive() ? static_cast<float>(r.utilization_estimate()) : 0.0f);
+      cum_sent_.push_back(static_cast<std::uint32_t>(r.updates_sent()));
+      cum_recv_.push_back(static_cast<std::uint32_t>(r.updates_received()));
+    }
+  }
+  overloaded_.push_back(overloaded);
+  max_queue_.push_back(deepest);
+}
+
+std::vector<double> TelemetrySampler::series(bgp::NodeId router, RouterMetric m) const {
+  std::vector<double> out;
+  if (!cfg_.per_router || router >= n_routers_) return out;
+  const std::size_t rows = times_s_.size();
+  out.reserve(rows);
+  for (std::size_t s = 0; s < rows; ++s) {
+    const std::size_t i = s * n_routers_ + router;
+    switch (m) {
+      case RouterMetric::kUnfinishedWork:
+        out.push_back(unfinished_work_s_[i]);
+        break;
+      case RouterMetric::kQueueDepth:
+        out.push_back(queue_depth_[i]);
+        break;
+      case RouterMetric::kMraiLevel:
+        out.push_back(mrai_level_[i]);
+        break;
+      case RouterMetric::kBusyFraction:
+        out.push_back(busy_frac_[i]);
+        break;
+      case RouterMetric::kUpdatesSent:
+        out.push_back(cum_sent_[i]);
+        break;
+      case RouterMetric::kUpdatesReceived:
+        out.push_back(cum_recv_[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+void TelemetrySampler::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error{"TelemetrySampler: cannot write " + path};
+  }
+  std::fwrite(kTelemetryMagic, 1, 4, f);
+  write_scalar<std::uint16_t>(f, kTelemetryVersion);
+  write_scalar<std::uint16_t>(f, cfg_.per_router ? 1 : 0);
+  write_scalar<std::uint32_t>(f, static_cast<std::uint32_t>(n_routers_));
+  write_scalar<std::int64_t>(f, cfg_.interval.ns());
+  write_scalar<std::int64_t>(f, cfg_.overload_threshold.ns());
+  write_scalar<std::uint64_t>(f, times_s_.size());
+
+  write_column(f, times_s_);
+  write_column(f, overloaded_);
+  write_column(f, sent_delta_);
+  write_column(f, processed_delta_);
+  write_column(f, rib_delta_);
+  write_column(f, max_queue_);
+  if (cfg_.per_router) {
+    write_column(f, unfinished_work_s_);
+    write_column(f, queue_depth_);
+    write_column(f, mrai_level_);
+    write_column(f, busy_frac_);
+    write_column(f, cum_sent_);
+    write_column(f, cum_recv_);
+  }
+  write_scalar<std::uint32_t>(f, static_cast<std::uint32_t>(level_residency_s_.size()));
+  write_column(f, level_residency_s_);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw std::runtime_error{"TelemetrySampler: write failed for " + path};
+}
+
+std::vector<double> TelemetryFile::series(bgp::NodeId router, RouterMetric m) const {
+  std::vector<double> out;
+  if (!per_router || router >= n_routers) return out;
+  const std::size_t rows = times_s.size();
+  out.reserve(rows);
+  for (std::size_t s = 0; s < rows; ++s) {
+    const std::size_t i = s * n_routers + router;
+    switch (m) {
+      case RouterMetric::kUnfinishedWork:
+        out.push_back(unfinished_work_s[i]);
+        break;
+      case RouterMetric::kQueueDepth:
+        out.push_back(queue_depth[i]);
+        break;
+      case RouterMetric::kMraiLevel:
+        out.push_back(mrai_level[i]);
+        break;
+      case RouterMetric::kBusyFraction:
+        out.push_back(busy_frac[i]);
+        break;
+      case RouterMetric::kUpdatesSent:
+        out.push_back(cum_sent[i]);
+        break;
+      case RouterMetric::kUpdatesReceived:
+        out.push_back(cum_recv[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+TelemetryFile read_telemetry_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"read_telemetry_file: cannot open " + path};
+
+  const auto fail = [&](const std::string& why) -> TelemetryFile {
+    std::fclose(f);
+    throw std::runtime_error{"read_telemetry_file: " + path + ": " + why};
+  };
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kTelemetryMagic, 4) != 0) {
+    return fail("not a bgpsim telemetry file");
+  }
+  TelemetryFile t;
+  std::uint16_t flags = 0;
+  std::int64_t interval_ns = 0;
+  std::int64_t threshold_ns = 0;
+  std::uint64_t n_samples = 0;
+  if (!read_scalar(f, t.version) || !read_scalar(f, flags) || !read_scalar(f, t.n_routers) ||
+      !read_scalar(f, interval_ns) || !read_scalar(f, threshold_ns) ||
+      !read_scalar(f, n_samples)) {
+    return fail("truncated header");
+  }
+  if (t.version == 0 || t.version > kTelemetryVersion) {
+    return fail("unsupported version " + std::to_string(t.version));
+  }
+  t.per_router = (flags & 1) != 0;
+  t.interval = sim::SimTime::from_ns(interval_ns);
+  t.overload_threshold = sim::SimTime::from_ns(threshold_ns);
+
+  const auto n = static_cast<std::size_t>(n_samples);
+  const std::size_t cells = n * t.n_routers;
+  bool ok = read_column(f, t.times_s, n) && read_column(f, t.overloaded, n) &&
+            read_column(f, t.sent_delta, n) && read_column(f, t.processed_delta, n) &&
+            read_column(f, t.rib_delta, n) && read_column(f, t.max_queue, n);
+  if (ok && t.per_router) {
+    ok = read_column(f, t.unfinished_work_s, cells) && read_column(f, t.queue_depth, cells) &&
+         read_column(f, t.mrai_level, cells) && read_column(f, t.busy_frac, cells) &&
+         read_column(f, t.cum_sent, cells) && read_column(f, t.cum_recv, cells);
+  }
+  std::uint32_t n_levels = 0;
+  ok = ok && read_scalar(f, n_levels) && read_column(f, t.level_residency_s, n_levels);
+  if (!ok) return fail("truncated columns");
+  std::fclose(f);
+  return t;
+}
+
+}  // namespace bgpsim::obs

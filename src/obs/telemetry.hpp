@@ -1,0 +1,168 @@
+// Time-series telemetry sampler and its on-disk format.
+//
+// A TelemetrySampler rides the scheduler (sim::PeriodicTask) and, at every
+// tick, appends one row to a set of column-oriented buffers:
+//
+//   network rollups   overloaded-router count (unfinished work > threshold,
+//                     the paper's upTh by default), interval deltas of
+//                     updates sent / work items processed / RIB changes,
+//                     deepest input queue
+//   per-router        unfinished work (s), input-queue depth, dynamic-MRAI
+//                     level, CPU busy fraction, cumulative updates sent and
+//                     received
+//
+// plus dynamic-MRAI level *residency*: total router-seconds per level and a
+// log-bucketed histogram of contiguous-stay durations.
+//
+// Sampling is strictly read-only with respect to the simulation: it uses
+// the Router's const peek accessors, so a run with the sampler attached
+// produces bit-identical protocol results (messages, convergence delays,
+// RIB contents) to the same run without it. Only two scheduler artifacts
+// differ: the executed-event count (the ticks are events) and the
+// quiescence timestamp, which rounds up to the final tick -- so phase
+// boundaries shift by at most one interval while every relative measurement
+// stays exact (bench/obs_overhead.cpp enforces this).
+//
+// write_file() serializes everything into a versioned little-endian binary
+// ("BGTL"); read_telemetry_file() loads it back, and trace_inspect exports
+// it as CSV/JSON or extracts single series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "obs/histogram.hpp"
+#include "sim/periodic.hpp"
+
+namespace bgpsim::obs {
+
+inline constexpr char kTelemetryMagic[4] = {'B', 'G', 'T', 'L'};
+inline constexpr std::uint16_t kTelemetryVersion = 1;
+
+struct TelemetryConfig {
+  sim::SimTime interval = sim::SimTime::seconds(0.1);
+  /// Unfinished-work overload threshold for the rollup (paper's upTh).
+  sim::SimTime overload_threshold = sim::SimTime::seconds(0.65);
+  /// Record per-router columns (off = rollups only, O(1) memory per tick).
+  bool per_router = true;
+  /// Optional dynamic-MRAI level lookup (e.g. [&m](NodeId v) { return
+  /// m.level(v); }); absent => the level column stays 0.
+  std::function<std::size_t(bgp::NodeId)> mrai_level;
+};
+
+/// The column names trace_inspect understands, in storage order.
+enum class RouterMetric : std::uint8_t {
+  kUnfinishedWork,  ///< seconds
+  kQueueDepth,
+  kMraiLevel,
+  kBusyFraction,
+  kUpdatesSent,  ///< cumulative
+  kUpdatesReceived,  ///< cumulative
+};
+const char* to_string(RouterMetric m);
+
+class TelemetrySampler {
+ public:
+  TelemetrySampler(bgp::Network& net, TelemetryConfig cfg);
+
+  /// First sample one interval from now; self-terminates at quiescence.
+  /// Call again before the next run_to_quiescence() phase to keep sampling
+  /// (idempotent while ticking; harness users wire this to
+  /// ExperimentConfig::on_phase).
+  void start();
+
+  std::size_t samples() const { return times_s_.size(); }
+  std::size_t routers() const { return n_routers_; }
+  const TelemetryConfig& config() const { return cfg_; }
+
+  // Rollup columns (one entry per sample).
+  const std::vector<double>& times_s() const { return times_s_; }
+  const std::vector<std::uint32_t>& overloaded() const { return overloaded_; }
+  const std::vector<std::uint64_t>& sent_delta() const { return sent_delta_; }
+  const std::vector<std::uint64_t>& processed_delta() const { return processed_delta_; }
+  const std::vector<std::uint64_t>& rib_delta() const { return rib_delta_; }
+  const std::vector<std::uint32_t>& max_queue() const { return max_queue_; }
+
+  /// Per-router series for one metric (length = samples()); only valid when
+  /// cfg.per_router.
+  std::vector<double> series(bgp::NodeId router, RouterMetric m) const;
+
+  /// Router-seconds spent at each dynamic-MRAI level (index = level).
+  const std::vector<double>& level_residency_s() const { return level_residency_s_; }
+  /// Contiguous per-router level-stay durations, log-bucketed (min 1 ms).
+  const LogHistogram& level_stay_hist() const { return level_stay_hist_; }
+
+  /// Serializes to the BGTL binary format. Throws on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  friend struct TelemetryFile;
+  void sample();
+
+  bgp::Network& net_;
+  TelemetryConfig cfg_;
+  sim::PeriodicTask task_;
+  std::size_t n_routers_;
+  bool started_ = false;
+
+  std::vector<double> times_s_;
+  std::vector<std::uint32_t> overloaded_;
+  std::vector<std::uint64_t> sent_delta_;
+  std::vector<std::uint64_t> processed_delta_;
+  std::vector<std::uint64_t> rib_delta_;
+  std::vector<std::uint32_t> max_queue_;
+  std::uint64_t last_sent_ = 0;
+  std::uint64_t last_processed_ = 0;
+  std::uint64_t last_rib_ = 0;
+
+  // Row-major [sample * n_routers + router].
+  std::vector<float> unfinished_work_s_;
+  std::vector<std::uint32_t> queue_depth_;
+  std::vector<std::uint8_t> mrai_level_;
+  std::vector<float> busy_frac_;
+  std::vector<std::uint32_t> cum_sent_;
+  std::vector<std::uint32_t> cum_recv_;
+
+  std::vector<double> level_residency_s_;
+  LogHistogram level_stay_hist_{1e-3};
+  std::vector<std::uint8_t> prev_level_;
+  std::vector<double> level_since_s_;
+};
+
+/// In-memory image of a BGTL file (same columns as the sampler).
+struct TelemetryFile {
+  std::uint16_t version = 0;
+  bool per_router = false;
+  std::uint32_t n_routers = 0;
+  sim::SimTime interval;
+  sim::SimTime overload_threshold;
+
+  std::vector<double> times_s;
+  std::vector<std::uint32_t> overloaded;
+  std::vector<std::uint64_t> sent_delta;
+  std::vector<std::uint64_t> processed_delta;
+  std::vector<std::uint64_t> rib_delta;
+  std::vector<std::uint32_t> max_queue;
+
+  std::vector<float> unfinished_work_s;
+  std::vector<std::uint32_t> queue_depth;
+  std::vector<std::uint8_t> mrai_level;
+  std::vector<float> busy_frac;
+  std::vector<std::uint32_t> cum_sent;
+  std::vector<std::uint32_t> cum_recv;
+
+  std::vector<double> level_residency_s;
+
+  std::size_t samples() const { return times_s.size(); }
+  /// Per-router series for one metric, as doubles.
+  std::vector<double> series(bgp::NodeId router, RouterMetric m) const;
+};
+
+/// Loads a BGTL file; throws std::runtime_error on a missing/malformed file.
+TelemetryFile read_telemetry_file(const std::string& path);
+
+}  // namespace bgpsim::obs

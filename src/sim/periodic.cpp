@@ -1,0 +1,34 @@
+#include "sim/periodic.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bgpsim::sim {
+
+PeriodicTask::PeriodicTask(Scheduler& sched, SimTime interval, std::function<void()> fn)
+    : sched_{sched}, interval_{interval}, fn_{std::move(fn)} {
+  if (interval_ <= SimTime::zero()) {
+    throw std::invalid_argument{"PeriodicTask: interval must be positive"};
+  }
+}
+
+void PeriodicTask::start() {
+  if (next_.pending()) return;
+  next_ = sched_.schedule_after(interval_, [this] { tick(); });
+}
+
+void PeriodicTask::stop() { next_.cancel(); }
+
+void PeriodicTask::tick() {
+  ++ticks_;
+  fn_();
+  // The tick that is currently firing has already left the pending count,
+  // so a non-empty scheduler here means the simulation itself still has
+  // work; only then is another tick worth scheduling (and termination of
+  // run() stays guaranteed).
+  if (sched_.pending_events() > 0) {
+    next_ = sched_.schedule_after(interval_, [this] { tick(); });
+  }
+}
+
+}  // namespace bgpsim::sim

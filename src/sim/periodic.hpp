@@ -1,0 +1,55 @@
+// Self-terminating periodic events.
+//
+// A PeriodicTask fires a callback every `interval` of simulated time for as
+// long as the scheduler still has *other* pending events -- once the
+// simulation proper has drained, the task simply stops rescheduling itself,
+// so Scheduler::run() (and Network::run_to_quiescence()) terminate exactly
+// as they would without the task. This is the scheduling pattern every
+// sampler (harness::TimelineRecorder, obs::TelemetrySampler) needs; having
+// it in the kernel keeps the "does my own next event count as activity?"
+// subtlety in one place.
+//
+// The callback must not outlive the task object: stop() (or destruction)
+// cancels the in-flight event, and the task must not outlive its Scheduler.
+#pragma once
+
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+class PeriodicTask {
+ public:
+  /// Does not start; call start(). `fn` is invoked at each tick.
+  PeriodicTask(Scheduler& sched, SimTime interval, std::function<void()> fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Schedules the first tick one interval from now. Restartable after the
+  /// task self-terminated (e.g. to span several run_to_quiescence() phases).
+  void start();
+
+  /// Cancels the pending tick, if any.
+  void stop();
+
+  /// True while a tick is scheduled.
+  bool active() const { return next_.pending(); }
+
+  SimTime interval() const { return interval_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+
+  Scheduler& sched_;
+  SimTime interval_;
+  std::function<void()> fn_;
+  EventHandle next_;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace bgpsim::sim

@@ -77,6 +77,53 @@ TEST(Trace, RecordingSinkOverflowIsBounded) {
   EXPECT_GT(sink.overflow(), 0u);
 }
 
+TEST(Trace, RecordingSinkDropOldestKeepsTheTail) {
+  RecordingSink full{100000};
+  RecordingSink ring{5, RecordingSink::Overflow::kDropOldest};
+  TeeSink tee{{&full, &ring}};
+  auto net = traced_net(line(4), &tee);
+  net->start();
+  net->run_to_quiescence();
+
+  ASSERT_GT(full.events().size(), 5u);
+  EXPECT_EQ(ring.events().size(), 5u);
+  EXPECT_EQ(ring.overflow(), full.events().size() - 5);
+  // The ring holds exactly the last 5 events, in order.
+  const auto tail = ring.snapshot();
+  ASSERT_EQ(tail.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& want = full.events()[full.events().size() - 5 + i];
+    EXPECT_EQ(tail[i].kind, want.kind);
+    EXPECT_EQ(tail[i].at, want.at);
+    EXPECT_EQ(tail[i].router, want.router);
+  }
+}
+
+TEST(Trace, RecordingSinkRingWrapAndClear) {
+  RecordingSink ring{3, RecordingSink::Overflow::kDropOldest};
+  for (int i = 0; i < 7; ++i) {
+    TraceEvent e;
+    e.prefix = static_cast<Prefix>(i);
+    e.at = sim::SimTime::from_ms(i);
+    ring.on_event(e);
+  }
+  EXPECT_EQ(ring.overflow(), 4u);
+  const auto kept = ring.snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].prefix, 4u);
+  EXPECT_EQ(kept[1].prefix, 5u);
+  EXPECT_EQ(kept[2].prefix, 6u);
+
+  ring.clear();
+  EXPECT_TRUE(ring.events().empty());
+  EXPECT_EQ(ring.overflow(), 0u);
+  TraceEvent e;
+  e.prefix = 42;
+  ring.on_event(e);  // reusable after clear
+  ASSERT_EQ(ring.snapshot().size(), 1u);
+  EXPECT_EQ(ring.snapshot()[0].prefix, 42u);
+}
+
 TEST(Trace, StreamSinkFormatsAndFilters) {
   std::ostringstream all;
   std::ostringstream only_rib;

@@ -1,0 +1,80 @@
+# End-to-end CLI test: capture a dynamic-MRAI run with bgpsim_run, then
+# drive every trace_inspect subcommand over the artifacts. Run by ctest as
+#   cmake -DBGPSIM_RUN=... -DTRACE_INSPECT=... -DWORK_DIR=... -P this_file
+#
+# Fails (FATAL_ERROR) on any nonzero exit or missing output marker.
+
+foreach(var BGPSIM_RUN TRACE_INSPECT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(trace "${WORK_DIR}/run.bgtr")
+set(telemetry "${WORK_DIR}/run.bgtl")
+set(profile "${WORK_DIR}/run_profile.json")
+set(perfetto "${WORK_DIR}/run_perfetto.json")
+
+function(run_checked label expect_substring)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label}: exit ${rc}\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT expect_substring STREQUAL "")
+    string(FIND "${out}" "${expect_substring}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "${label}: expected '${expect_substring}' in output:\n${out}")
+    endif()
+  endif()
+endfunction()
+
+# A small but fig07-shaped capture: dynamic MRAI, 20% failure, one seed.
+run_checked("bgpsim_run capture" "" "${BGPSIM_RUN}"
+  --n 60 --scheme dynamic --failure 0.2 --seeds 1 --no-jitter
+  --trace "${trace}" --telemetry "${telemetry}" --profile "${profile}")
+foreach(artifact "${trace}" "${telemetry}" "${profile}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "bgpsim_run did not produce ${artifact}")
+  endif()
+endforeach()
+
+# summary understands both formats by magic.
+run_checked("summary trace" "update-sent" "${TRACE_INSPECT}" summary "${trace}")
+run_checked("summary telemetry" "peak overloaded routers" "${TRACE_INSPECT}" summary "${telemetry}")
+
+# filter narrows by kind/router/time window.
+run_checked("filter" "mrai-started" "${TRACE_INSPECT}" filter "${trace}"
+  --kind mrai-started --limit 3)
+
+# jsonl export (to a file -- stdout would be megabytes), perfetto export
+# merges the telemetry counters.
+set(jsonl "${WORK_DIR}/run.jsonl")
+run_checked("export jsonl" "" "${TRACE_INSPECT}" export "${trace}" --out "${jsonl}")
+file(READ "${jsonl}" jsonl_head LIMIT 200)
+string(FIND "${jsonl_head}" "\"kind\":" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "jsonl export missing \"kind\": in first bytes: ${jsonl_head}")
+endif()
+run_checked("export perfetto" "" "${TRACE_INSPECT}" export "${trace}"
+  --format perfetto --telemetry "${telemetry}" --out "${perfetto}")
+file(READ "${perfetto}" perfetto_json)
+foreach(marker "\"traceEvents\"" "\"cat\":\"mrai\"" "\"cat\":\"batch\"" "\"name\":\"network\"")
+  string(FIND "${perfetto_json}" "${marker}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "perfetto export missing ${marker}")
+  endif()
+endforeach()
+
+# A trace always matches itself; diff exits 0 and says so.
+run_checked("diff self" "traces match" "${TRACE_INSPECT}" diff "${trace}" "${trace}")
+
+# Series extraction: the fig. 7 question from the command line.
+run_checked("telemetry series" "t_s,unfinished_work" "${TRACE_INSPECT}" telemetry "${telemetry}"
+  --router 0 --metric unfinished_work --format csv)
+
+message(STATUS "trace CLI end-to-end: all checks passed")

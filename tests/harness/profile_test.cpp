@@ -1,0 +1,142 @@
+#include "harness/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed = 1) {
+  ExperimentConfig cfg;
+  cfg.topology.n = 30;
+  cfg.scheme = SchemeSpec::constant(0.5);
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Hooks, FireInOrderWithTheNetworkAlive) {
+  std::vector<std::string> log;
+  auto cfg = small_config();
+  cfg.measure_recovery = true;
+  cfg.instrument = [&](bgp::Network& net, std::uint64_t seed) {
+    EXPECT_EQ(seed, 1u);
+    EXPECT_EQ(net.size(), 30u);
+    log.push_back("instrument");
+  };
+  cfg.on_phase = [&](RunPhase phase) {
+    switch (phase) {
+      case RunPhase::kColdStart:
+        log.push_back("phase:cold");
+        break;
+      case RunPhase::kFailure:
+        log.push_back("phase:fail");
+        break;
+      case RunPhase::kRecovery:
+        log.push_back("phase:recover");
+        break;
+    }
+  };
+  cfg.on_complete = [&](bgp::Network& net, std::uint64_t seed) {
+    EXPECT_EQ(seed, 1u);
+    EXPECT_EQ(net.size(), 30u);
+    log.push_back("complete");
+  };
+
+  const auto result = run_experiment(cfg);
+  EXPECT_TRUE(result.routes_valid) << result.audit_error;
+  const std::vector<std::string> want = {"instrument", "phase:cold", "phase:fail",
+                                         "phase:recover", "complete"};
+  EXPECT_EQ(log, want);
+}
+
+TEST(Hooks, DoNotChangeTheResult) {
+  auto plain = small_config();
+  auto hooked = small_config();
+  hooked.instrument = [](bgp::Network&, std::uint64_t) {};
+  hooked.on_phase = [](RunPhase) {};
+  hooked.on_complete = [](bgp::Network&, std::uint64_t) {};
+  const auto a = run_experiment(plain);
+  const auto b = run_experiment(hooked);
+  EXPECT_EQ(a.convergence_delay_s, b.convergence_delay_s);
+  EXPECT_EQ(a.messages_total, b.messages_total);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(PhaseTimings, AreFilledAndConsistent) {
+  auto cfg = small_config();
+  cfg.measure_recovery = true;
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.timing.total_s, 0.0);
+  EXPECT_GT(r.timing.converge_s, 0.0);
+  EXPECT_GT(r.timing.failure_s, 0.0);
+  EXPECT_GE(r.timing.build_s, 0.0);
+  // The phases partition the run (audit + build included), so their sum
+  // cannot exceed the total.
+  const double parts = r.timing.build_s + r.timing.converge_s + r.timing.failure_s +
+                       r.timing.recovery_s + r.timing.audit_s;
+  EXPECT_LE(parts, r.timing.total_s + 1e-6);
+}
+
+TEST(SweepProfile, MatchesRunSweepAndAggregates) {
+  std::vector<ExperimentConfig> cfgs;
+  for (std::uint64_t s = 1; s <= 4; ++s) cfgs.push_back(small_config(s));
+
+  const auto plain = run_sweep(cfgs);
+  SweepProfile profile;
+  const auto profiled = run_sweep_profiled(cfgs, profile);
+
+  ASSERT_EQ(profiled.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(profiled[i].convergence_delay_s, plain[i].convergence_delay_s);
+    EXPECT_EQ(profiled[i].messages_total, plain[i].messages_total);
+    EXPECT_EQ(profiled[i].events, plain[i].events);
+  }
+
+  EXPECT_EQ(profile.runs, cfgs.size());
+  EXPECT_GT(profile.threads, 0u);
+  EXPECT_GT(profile.wall_s, 0.0);
+  EXPECT_GT(profile.busy_s, 0.0);
+  std::uint64_t events = 0;
+  for (const auto& r : plain) events += r.events;
+  EXPECT_EQ(profile.events, events);
+  EXPECT_GT(profile.events_per_s(), 0.0);
+  EXPECT_GT(profile.utilization(), 0.0);
+  EXPECT_GT(profile.phase_totals.total_s, 0.0);
+
+  std::ostringstream os;
+  profile.write_json(os);
+  const auto json = os.str();
+  for (const char* key : {"\"wall_s\"", "\"threads\"", "\"runs\"", "\"events\"",
+                          "\"utilization\"", "\"events_per_s\"", "\"phase_totals_s\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(AggregateRuns, EquivalentToRunAveraged) {
+  auto cfg = small_config();
+  const auto averaged = run_averaged(cfg, 3);
+
+  std::vector<ExperimentConfig> cfgs;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    auto c = cfg;
+    c.seed = cfg.seed + i;
+    cfgs.push_back(c);
+  }
+  const auto manual = aggregate_runs(run_sweep(cfgs));
+
+  EXPECT_EQ(manual.delay.mean, averaged.delay.mean);
+  EXPECT_EQ(manual.messages.mean, averaged.messages.mean);
+  EXPECT_EQ(manual.valid_fraction, averaged.valid_fraction);
+  ASSERT_EQ(manual.runs.size(), averaged.runs.size());
+  for (std::size_t i = 0; i < manual.runs.size(); ++i) {
+    EXPECT_EQ(manual.runs[i].convergence_delay_s, averaged.runs[i].convergence_delay_s);
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

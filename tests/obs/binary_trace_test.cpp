@@ -1,0 +1,175 @@
+#include "obs/binary_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "../bgp/test_util.hpp"
+#include "bgp/network.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+namespace fs = std::filesystem;
+using bgp::TraceEvent;
+
+std::string tmp_path(const char* name) { return ::testing::TempDir() + name; }
+
+/// One synthetic event per kind, exercising every payload field.
+std::vector<TraceEvent> synthetic_events() {
+  std::vector<TraceEvent> events;
+  for (std::size_t k = 0; k < TraceEvent::kNumKinds; ++k) {
+    TraceEvent e;
+    e.kind = static_cast<TraceEvent::Kind>(k);
+    e.at = sim::SimTime::from_ns(static_cast<std::int64_t>(1'000'000 * (k + 1) + k));
+    e.router = static_cast<bgp::NodeId>(k);
+    e.peer = static_cast<bgp::NodeId>(k + 100);
+    e.prefix = static_cast<bgp::Prefix>(k + 1000);
+    e.withdraw = (k % 2) == 1;
+    e.batch_size = k * 7;
+    e.path_len = static_cast<std::uint32_t>(k + 2);
+    events.push_back(e);
+  }
+  return events;
+}
+
+void expect_same(const TraceEvent& a, const TraceEvent& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.at, b.at);
+  EXPECT_EQ(a.router, b.router);
+  EXPECT_EQ(a.peer, b.peer);
+  EXPECT_EQ(a.prefix, b.prefix);
+  EXPECT_EQ(a.withdraw, b.withdraw);
+  EXPECT_EQ(a.batch_size, b.batch_size);
+  EXPECT_EQ(a.path_len, b.path_len);
+}
+
+TEST(BinaryTrace, RoundTripPreservesEveryField) {
+  const auto path = tmp_path("bgtr_roundtrip.bgtr");
+  const auto events = synthetic_events();
+  {
+    BinaryTraceSink sink{path};
+    for (const auto& e : events) sink.on_event(e);
+    EXPECT_EQ(sink.events_written(), events.size());
+  }  // destructor closes + patches the header
+
+  const auto file = read_trace_file(path);
+  EXPECT_EQ(file.version, kTraceVersion);
+  EXPECT_FALSE(file.truncated);
+  ASSERT_EQ(file.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) expect_same(events[i], file.events[i]);
+}
+
+TEST(BinaryTrace, HeaderCountIsPatchedOnClose) {
+  const auto path = tmp_path("bgtr_count.bgtr");
+  const auto events = synthetic_events();
+  BinaryTraceSink sink{path};
+  for (const auto& e : events) sink.on_event(e);
+  sink.close();
+  sink.close();  // idempotent
+
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in.good());
+  char header[24];
+  in.read(header, sizeof(header));
+  std::uint64_t declared = 0;
+  for (int i = 7; i >= 0; --i) {
+    declared = (declared << 8) | static_cast<unsigned char>(header[8 + i]);
+  }
+  EXPECT_EQ(declared, events.size());
+  // Events written after close are silently dropped, not corrupting output.
+  sink.on_event(events.front());
+  EXPECT_EQ(sink.events_written(), events.size());
+}
+
+TEST(BinaryTrace, TruncatedMidRecordKeepsCompletePrefix) {
+  const auto path = tmp_path("bgtr_trunc.bgtr");
+  const auto events = synthetic_events();
+  {
+    BinaryTraceSink sink{path};
+    for (const auto& e : events) sink.on_event(e);
+  }
+  // Chop the last record in half: the reader must keep every complete record
+  // and flag truncation rather than decode garbage.
+  fs::resize_file(path, fs::file_size(path) - 10);
+  const auto file = read_trace_file(path);
+  EXPECT_TRUE(file.truncated);
+  ASSERT_EQ(file.events.size(), events.size() - 1);
+  expect_same(events[events.size() - 2], file.events.back());
+}
+
+TEST(BinaryTrace, UnpatchedCountReadsToEofAndFlagsTruncation) {
+  const auto path = tmp_path("bgtr_nopatch.bgtr");
+  const auto events = synthetic_events();
+  {
+    BinaryTraceSink sink{path};
+    for (const auto& e : events) sink.on_event(e);
+  }
+  // Simulate a writer that died before close(): zero the count field.
+  {
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(8);
+    const char zeros[8] = {};
+    f.write(zeros, sizeof(zeros));
+  }
+  const auto file = read_trace_file(path);
+  EXPECT_TRUE(file.truncated);  // count disagrees with what was read
+  ASSERT_EQ(file.events.size(), events.size());  // ...but every record survives
+  for (std::size_t i = 0; i < events.size(); ++i) expect_same(events[i], file.events[i]);
+}
+
+TEST(BinaryTrace, RejectsBadMagicAndUnsupportedVersion) {
+  EXPECT_THROW(read_trace_file(tmp_path("bgtr_missing.bgtr")), std::runtime_error);
+
+  const auto bad_magic = tmp_path("bgtr_badmagic.bgtr");
+  {
+    std::ofstream out{bad_magic, std::ios::binary};
+    out << "NOPE this is not a trace file, padded past the header size.....";
+  }
+  EXPECT_THROW(read_trace_file(bad_magic), std::runtime_error);
+
+  const auto bad_version = tmp_path("bgtr_badversion.bgtr");
+  {
+    BinaryTraceSink sink{bad_version};
+  }
+  {
+    std::fstream f{bad_version, std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(4);
+    const char v99[2] = {99, 0};
+    f.write(v99, sizeof(v99));
+  }
+  EXPECT_THROW(read_trace_file(bad_version), std::runtime_error);
+}
+
+TEST(BinaryTrace, CapturesARealRunIdenticallyToRecordingSink) {
+  const auto path = tmp_path("bgtr_realrun.bgtr");
+  bgp::RecordingSink recorded{1'000'000};
+  auto binary = std::make_unique<BinaryTraceSink>(path);
+  bgp::TeeSink tee{{&recorded, binary.get()}};
+
+  auto net = std::make_unique<bgp::Network>(
+      bgp::testing::ring(6), bgp::testing::deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  net->set_trace_sink(&tee);
+  net->start();
+  net->run_to_quiescence();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  net->set_trace_sink(nullptr);
+  binary->close();
+
+  const auto file = read_trace_file(path);
+  EXPECT_FALSE(file.truncated);
+  ASSERT_EQ(file.events.size(), recorded.events().size());
+  ASSERT_GT(file.events.size(), 0u);
+  for (std::size_t i = 0; i < file.events.size(); ++i) {
+    expect_same(recorded.events()[i], file.events[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

@@ -1,0 +1,162 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+using bgp::TraceEvent;
+using Kind = TraceEvent::Kind;
+
+TraceEvent make_event(Kind kind, double at_s, bgp::NodeId router) {
+  TraceEvent e;
+  e.kind = kind;
+  e.at = sim::SimTime::seconds(at_s);
+  e.router = router;
+  return e;
+}
+
+TEST(ExportJsonl, GoldenLinePerEvent) {
+  auto sent = make_event(Kind::kUpdateSent, 1.5, 3);
+  sent.peer = 7;
+  sent.prefix = 11;
+  sent.withdraw = true;
+  sent.path_len = 4;
+  auto batch = make_event(Kind::kBatchProcessed, 2.0, 5);
+  batch.batch_size = 9;
+
+  std::ostringstream os;
+  write_jsonl({sent, batch}, os);
+  EXPECT_EQ(os.str(),
+            "{\"t_ns\":1500000000,\"kind\":\"update-sent\",\"router\":3,\"peer\":7,"
+            "\"prefix\":11,\"withdraw\":true,\"batch_size\":0,\"path_len\":4}\n"
+            "{\"t_ns\":2000000000,\"kind\":\"batch-processed\",\"router\":5,\"peer\":0,"
+            "\"prefix\":0,\"withdraw\":false,\"batch_size\":9,\"path_len\":0}\n");
+}
+
+TEST(ExportPerfetto, EmitsTrackMetadataSpansAndInstants) {
+  std::vector<TraceEvent> events;
+  auto mrai_start = make_event(Kind::kMraiStarted, 1.0, 2);
+  mrai_start.peer = 4;
+  events.push_back(mrai_start);
+  events.push_back(make_event(Kind::kBatchStarted, 1.1, 2));
+  auto batch_done = make_event(Kind::kBatchProcessed, 1.2, 2);
+  batch_done.batch_size = 3;
+  events.push_back(batch_done);
+  auto mrai_end = make_event(Kind::kMraiExpired, 1.5, 2);
+  mrai_end.peer = 4;
+  events.push_back(mrai_end);
+  auto rib = make_event(Kind::kRibChanged, 1.6, 2);
+  rib.prefix = 8;
+  events.push_back(rib);
+
+  std::ostringstream os;
+  write_perfetto(events, os, {});
+  const auto out = os.str();
+
+  // Track metadata: a process per router, a "cpu" thread, and a named MRAI
+  // thread per peer (tid = peer + 1).
+  EXPECT_NE(out.find("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
+                     "\"args\":{\"name\":\"router 2\"}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"tid\":0,\"args\":{\"name\":\"cpu\"}"), std::string::npos);
+  EXPECT_NE(out.find("\"tid\":5,\"args\":{\"name\":\"mrai->4\"}"), std::string::npos);
+  // The MRAI span: 1.0s -> 1.5s on tid 5.
+  EXPECT_NE(out.find("{\"ph\":\"X\",\"cat\":\"mrai\",\"name\":\"mrai\",\"pid\":2,"
+                     "\"tid\":5,\"ts\":1000000,\"dur\":500000}"),
+            std::string::npos);
+  // The batch slice: 1.1s -> 1.2s with its size.
+  EXPECT_NE(out.find("{\"ph\":\"X\",\"cat\":\"batch\",\"name\":\"batch\",\"pid\":2,"
+                     "\"tid\":0,\"ts\":1100000,\"dur\":100000,\"args\":{\"size\":3}}"),
+            std::string::npos);
+  // The RIB change as an instant with its prefix.
+  EXPECT_NE(out.find("{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"bgp\",\"name\":\"rib-changed\","
+                     "\"pid\":2,\"tid\":0,\"ts\":1600000,\"args\":{\"prefix\":8}}"),
+            std::string::npos);
+  // Valid JSON shape.
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+}
+
+TEST(ExportPerfetto, ClosesUnmatchedSpansAtTraceEnd) {
+  std::vector<TraceEvent> events;
+  auto mrai_start = make_event(Kind::kMraiStarted, 1.0, 0);
+  mrai_start.peer = 1;
+  events.push_back(mrai_start);
+  events.push_back(make_event(Kind::kBatchStarted, 1.5, 0));
+  events.push_back(make_event(Kind::kRibChanged, 2.0, 0));  // dates the trace end
+
+  std::ostringstream os;
+  write_perfetto(events, os, {});
+  const auto out = os.str();
+  // Both open spans are closed at the last event (2.0s = 2000000 us).
+  EXPECT_NE(out.find("\"cat\":\"mrai\",\"name\":\"mrai\",\"pid\":0,\"tid\":2,"
+                     "\"ts\":1000000,\"dur\":1000000}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"cat\":\"batch\",\"name\":\"batch\",\"pid\":0,\"tid\":0,"
+                     "\"ts\":1500000,\"dur\":500000"),
+            std::string::npos);
+}
+
+TEST(ExportPerfetto, RestartedMraiClosesThePreviousSpan) {
+  std::vector<TraceEvent> events;
+  for (const double t : {1.0, 1.3}) {
+    auto e = make_event(Kind::kMraiStarted, t, 0);
+    e.peer = 1;
+    events.push_back(e);
+  }
+  auto expired = make_event(Kind::kMraiExpired, 1.8, 0);
+  expired.peer = 1;
+  events.push_back(expired);
+
+  std::ostringstream os;
+  write_perfetto(events, os, {});
+  const auto out = os.str();
+  EXPECT_NE(out.find("\"ts\":1000000,\"dur\":300000}"), std::string::npos);
+  EXPECT_NE(out.find("\"ts\":1300000,\"dur\":500000}"), std::string::npos);
+}
+
+TEST(ExportPerfetto, MergesTelemetryCounters) {
+  TelemetryFile t;
+  t.per_router = true;
+  t.n_routers = 2;
+  t.times_s = {0.1};
+  t.overloaded = {1};
+  t.sent_delta = {0};
+  t.processed_delta = {0};
+  t.rib_delta = {0};
+  t.max_queue = {4};
+  t.unfinished_work_s = {0.25f, 0.0f};
+  t.queue_depth = {4, 0};
+  t.mrai_level = {0, 0};
+  t.busy_frac = {0.5f, 0.0f};
+  t.cum_sent = {0, 0};
+  t.cum_recv = {0, 0};
+
+  std::ostringstream os;
+  write_perfetto({make_event(Kind::kRibChanged, 0.05, 0)}, os, {.telemetry = &t});
+  const auto out = os.str();
+  // The synthetic "network" process carries the rollup counters...
+  EXPECT_NE(out.find("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
+                     "\"args\":{\"name\":\"network\"}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"overloaded\",\"ts\":100000,\"args\":{\"routers\":1}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"max_queue\",\"ts\":100000,\"args\":{\"depth\":4}"),
+            std::string::npos);
+  // ...and each router gets per-router counter tracks.
+  EXPECT_NE(out.find("{\"ph\":\"C\",\"pid\":0,\"name\":\"unfinished_work_s\","
+                     "\"ts\":100000,\"args\":{\"s\":0.25}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"ph\":\"C\",\"pid\":1,\"name\":\"queue\",\"ts\":100000,"
+                     "\"args\":{\"depth\":0}}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

@@ -1,0 +1,90 @@
+// Event-by-event golden trace of a 3-node line converging from cold start
+// under the fully deterministic test configuration (no jitter, 1 ms
+// processing, synchronized originations, MRAI 0.5 s, seed 1).
+//
+// This pins the exact semantics of the trace stream -- ordering, timing and
+// per-kind payloads -- so any change to when or what the protocol emits
+// shows up as a readable diff of BGP behavior, not just a count change.
+// If the protocol legitimately changes, regenerate by printing
+// event.to_string() for the same scenario.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../bgp/test_util.hpp"
+#include "bgp/network.hpp"
+#include "bgp/trace.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+TEST(GoldenTrace, ThreeNodeLineColdStart) {
+  bgp::RecordingSink sink{100000};
+  auto net = std::make_unique<bgp::Network>(
+      bgp::testing::line(3), bgp::testing::deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  net->set_trace_sink(&sink);
+  net->start();
+  net->run_to_quiescence();
+
+  const std::vector<std::string> golden = {
+      "0s r0 originated prefix 0",
+      "0s r0 rib-changed prefix 0",
+      "0s r0 update-sent advert prefix 0 peer 1 len 1",
+      "0s r0 mrai-started peer 1",
+      "0s r1 originated prefix 1",
+      "0s r1 rib-changed prefix 1",
+      "0s r1 update-sent advert prefix 1 peer 0 len 1",
+      "0s r1 mrai-started peer 0",
+      "0s r1 update-sent advert prefix 1 peer 2 len 1",
+      "0s r1 mrai-started peer 2",
+      "0s r2 originated prefix 2",
+      "0s r2 rib-changed prefix 2",
+      "0s r2 update-sent advert prefix 2 peer 1 len 1",
+      "0s r2 mrai-started peer 1",
+      "0.025s r1 update-received advert prefix 0 peer 0 len 1",
+      "0.025s r1 batch-started batch 1",
+      "0.025s r0 update-received advert prefix 1 peer 1 len 1",
+      "0.025s r0 batch-started batch 1",
+      "0.025s r2 update-received advert prefix 1 peer 1 len 1",
+      "0.025s r2 batch-started batch 1",
+      "0.025s r1 update-received advert prefix 2 peer 2 len 1",
+      "0.026s r1 batch-processed batch 1",
+      "0.026s r1 rib-changed prefix 0",
+      "0.026s r1 batch-started batch 1",
+      "0.026s r0 batch-processed batch 1",
+      "0.026s r0 rib-changed prefix 1",
+      "0.026s r2 batch-processed batch 1",
+      "0.026s r2 rib-changed prefix 1",
+      "0.027s r1 batch-processed batch 1",
+      "0.027s r1 rib-changed prefix 2",
+      "0.5s r0 mrai-expired peer 1",
+      "0.5s r1 mrai-expired peer 0",
+      "0.5s r1 update-sent advert prefix 2 peer 0 len 2",
+      "0.5s r1 mrai-started peer 0",
+      "0.5s r1 mrai-expired peer 2",
+      "0.5s r1 update-sent advert prefix 0 peer 2 len 2",
+      "0.5s r1 mrai-started peer 2",
+      "0.5s r2 mrai-expired peer 1",
+      "0.525s r0 update-received advert prefix 2 peer 1 len 2",
+      "0.525s r0 batch-started batch 1",
+      "0.525s r2 update-received advert prefix 0 peer 1 len 2",
+      "0.525s r2 batch-started batch 1",
+      "0.526s r0 batch-processed batch 1",
+      "0.526s r0 rib-changed prefix 2",
+      "0.526s r2 batch-processed batch 1",
+      "0.526s r2 rib-changed prefix 0",
+      "1s r1 mrai-expired peer 0",
+      "1s r1 mrai-expired peer 2",
+  };
+
+  ASSERT_EQ(sink.events().size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(sink.events()[i].to_string(), golden[i]) << "event index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

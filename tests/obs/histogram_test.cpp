@@ -1,0 +1,129 @@
+#include "obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bgp/trace.hpp"
+#include "obs/stats.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+TEST(LogHistogram, BucketEdgesArePowersOfTwoFromMin) {
+  LogHistogram h{1.0};
+  EXPECT_EQ(h.bucket_of(0.5), 0u);   // <= min
+  EXPECT_EQ(h.bucket_of(1.0), 0u);   // == min is bucket 0 (edges are (lo, hi])
+  EXPECT_EQ(h.bucket_of(1.5), 1u);   // (1, 2]
+  EXPECT_EQ(h.bucket_of(2.0), 1u);
+  EXPECT_EQ(h.bucket_of(2.1), 2u);   // (2, 4]
+  EXPECT_EQ(h.bucket_of(4.0), 2u);
+  EXPECT_EQ(h.bucket_of(1024.0), 10u);
+  EXPECT_EQ(h.lower(0), 0.0);
+  EXPECT_EQ(h.upper(0), 1.0);
+  EXPECT_EQ(h.lower(3), 4.0);
+  EXPECT_EQ(h.upper(3), 8.0);
+}
+
+TEST(LogHistogram, HugeValuesClampToLastBucket) {
+  LogHistogram h{1.0};
+  h.add(1e30);
+  EXPECT_EQ(h.count(LogHistogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(LogHistogram, MinAnchorScalesEdges) {
+  LogHistogram h{1e-3};  // delays: bucket 0 = up to 1 ms
+  EXPECT_EQ(h.bucket_of(0.0005), 0u);
+  EXPECT_EQ(h.bucket_of(0.0015), 1u);  // (1 ms, 2 ms]
+  EXPECT_DOUBLE_EQ(h.upper(1), 0.002);
+}
+
+TEST(LogHistogram, StatsAndQuantiles) {
+  LogHistogram h{1.0};
+  for (int i = 0; i < 99; ++i) h.add(1.0);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), (99.0 + 100.0) / 100.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 100.0);
+  // p50 lands in bucket 0 (upper edge 1); p999 in the bucket holding 100.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 128.0);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h{1.0};
+  h.add(3.0, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.count(h.bucket_of(3.0)), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(LogHistogram, MergeAndReset) {
+  LogHistogram a{1.0};
+  LogHistogram b{1.0};
+  a.add(1.0);
+  b.add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 8.0);
+  a.reset();
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.total(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(LogHistogram, MergeIntoEmptyAdoptsExtremes) {
+  LogHistogram a{1.0};
+  LogHistogram b{1.0};
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min_seen(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_seen(), 5.0);
+}
+
+TEST(StatsSink, PairsBatchAndMraiSpans) {
+  using Kind = bgp::TraceEvent::Kind;
+  StatsSink stats;
+  const auto at = [](double s) { return sim::SimTime::seconds(s); };
+
+  bgp::TraceEvent e;
+  e.router = 1;
+  e.kind = Kind::kBatchStarted;
+  e.at = at(1.0);
+  stats.on_event(e);
+  e.kind = Kind::kBatchProcessed;
+  e.at = at(1.5);
+  e.batch_size = 4;
+  stats.on_event(e);
+
+  e.kind = Kind::kMraiStarted;
+  e.peer = 2;
+  e.at = at(2.0);
+  stats.on_event(e);
+  e.kind = Kind::kMraiExpired;
+  e.at = at(2.25);
+  stats.on_event(e);
+
+  EXPECT_EQ(stats.total(), 4u);
+  EXPECT_EQ(stats.first_at(), at(1.0));
+  EXPECT_EQ(stats.last_at(), at(2.25));
+  ASSERT_EQ(stats.processing_delay_s().total(), 1u);
+  EXPECT_DOUBLE_EQ(stats.processing_delay_s().max_seen(), 0.5);
+  ASSERT_EQ(stats.mrai_round_s().total(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mrai_round_s().max_seen(), 0.25);
+  ASSERT_EQ(stats.batch_sizes().total(), 1u);
+  EXPECT_DOUBLE_EQ(stats.batch_sizes().max_seen(), 4.0);
+  // A completion without a pickup (trace sliced mid-batch) still counts the
+  // size but records no delay.
+  e.kind = Kind::kBatchProcessed;
+  e.router = 7;
+  e.at = at(3.0);
+  stats.on_event(e);
+  EXPECT_EQ(stats.batch_sizes().total(), 2u);
+  EXPECT_EQ(stats.processing_delay_s().total(), 1u);
+  EXPECT_NE(stats.report().find("mrai round"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

@@ -1,0 +1,206 @@
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "../bgp/test_util.hpp"
+#include "bgp/network.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+using bgp::testing::deterministic_config;
+
+std::string tmp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::unique_ptr<bgp::Network> make_net(std::uint64_t seed = 7) {
+  return std::make_unique<bgp::Network>(
+      bgp::testing::ring(8), deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), seed);
+}
+
+TelemetryConfig fast_config() {
+  TelemetryConfig tc;
+  tc.interval = sim::SimTime::seconds(0.1);
+  return tc;
+}
+
+/// Network + sampler with the right destruction order (sampler first: its
+/// PeriodicTask must not outlive the Network's scheduler).
+struct SampledRun {
+  std::unique_ptr<bgp::Network> net = make_net();
+  std::unique_ptr<TelemetrySampler> sampler =
+      std::make_unique<TelemetrySampler>(*net, fast_config());
+  ~SampledRun() { sampler.reset(); }
+
+  void run() {
+    net->start();
+    sampler->start();
+    net->run_to_quiescence();
+  }
+};
+
+TEST(Telemetry, TwoIdenticalRunsProduceIdenticalColumns) {
+  SampledRun a;
+  SampledRun b;
+  a.run();
+  b.run();
+
+  ASSERT_GT(a.sampler->samples(), 0u);
+  EXPECT_EQ(a.sampler->times_s(), b.sampler->times_s());
+  EXPECT_EQ(a.sampler->overloaded(), b.sampler->overloaded());
+  EXPECT_EQ(a.sampler->sent_delta(), b.sampler->sent_delta());
+  EXPECT_EQ(a.sampler->processed_delta(), b.sampler->processed_delta());
+  EXPECT_EQ(a.sampler->rib_delta(), b.sampler->rib_delta());
+  EXPECT_EQ(a.sampler->max_queue(), b.sampler->max_queue());
+  for (bgp::NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(a.sampler->series(v, RouterMetric::kUnfinishedWork),
+              b.sampler->series(v, RouterMetric::kUnfinishedWork));
+    EXPECT_EQ(a.sampler->series(v, RouterMetric::kUpdatesSent),
+              b.sampler->series(v, RouterMetric::kUpdatesSent));
+  }
+}
+
+TEST(Telemetry, SamplingDoesNotPerturbTheProtocol) {
+  auto plain = make_net();
+  plain->start();
+  plain->run_to_quiescence();
+  const auto unsampled_end = plain->scheduler().now();
+
+  auto sampled = make_net();
+  auto sampler = std::make_unique<TelemetrySampler>(*sampled, fast_config());
+  sampled->start();
+  sampler->start();
+  sampled->run_to_quiescence();
+  const auto sampled_end = sampled->scheduler().now();
+
+  // Protocol results are bit-identical; only the quiescence timestamp moves,
+  // rounding up to the sampler's final tick.
+  EXPECT_EQ(plain->metrics().updates_sent, sampled->metrics().updates_sent);
+  EXPECT_EQ(plain->metrics().messages_processed, sampled->metrics().messages_processed);
+  EXPECT_EQ(plain->metrics().rib_changes, sampled->metrics().rib_changes);
+  EXPECT_GE(sampled_end, unsampled_end);
+  EXPECT_EQ(sampled_end.ns() % fast_config().interval.ns(), 0);
+  sampler.reset();
+}
+
+TEST(Telemetry, BgtlFileRoundTrips) {
+  const auto path = tmp_path("telemetry_roundtrip.bgtl");
+  auto net = make_net();
+  auto sampler = std::make_unique<TelemetrySampler>(*net, fast_config());
+  net->start();
+  sampler->start();
+  net->run_to_quiescence();
+  sampler->write_file(path);
+
+  const auto t = read_telemetry_file(path);
+  EXPECT_EQ(t.version, kTelemetryVersion);
+  EXPECT_TRUE(t.per_router);
+  EXPECT_EQ(t.n_routers, 8u);
+  EXPECT_EQ(t.interval, fast_config().interval);
+  EXPECT_EQ(t.overload_threshold, fast_config().overload_threshold);
+  ASSERT_EQ(t.samples(), sampler->samples());
+  EXPECT_EQ(t.times_s, sampler->times_s());
+  EXPECT_EQ(t.overloaded, sampler->overloaded());
+  EXPECT_EQ(t.sent_delta, sampler->sent_delta());
+  EXPECT_EQ(t.processed_delta, sampler->processed_delta());
+  EXPECT_EQ(t.rib_delta, sampler->rib_delta());
+  EXPECT_EQ(t.max_queue, sampler->max_queue());
+  EXPECT_EQ(t.level_residency_s, sampler->level_residency_s());
+  for (bgp::NodeId v = 0; v < t.n_routers; ++v) {
+    for (const auto m :
+         {RouterMetric::kUnfinishedWork, RouterMetric::kQueueDepth, RouterMetric::kMraiLevel,
+          RouterMetric::kBusyFraction, RouterMetric::kUpdatesSent,
+          RouterMetric::kUpdatesReceived}) {
+      EXPECT_EQ(t.series(v, m), sampler->series(v, m));
+    }
+  }
+  sampler.reset();
+}
+
+TEST(Telemetry, RollupOnlyModeStoresNoPerRouterColumns) {
+  const auto path = tmp_path("telemetry_rollup.bgtl");
+  auto net = make_net();
+  auto tc = fast_config();
+  tc.per_router = false;
+  auto sampler = std::make_unique<TelemetrySampler>(*net, tc);
+  net->start();
+  sampler->start();
+  net->run_to_quiescence();
+  ASSERT_GT(sampler->samples(), 0u);
+  EXPECT_TRUE(sampler->series(0, RouterMetric::kQueueDepth).empty());
+  sampler->write_file(path);
+  sampler.reset();
+
+  const auto t = read_telemetry_file(path);
+  EXPECT_FALSE(t.per_router);
+  EXPECT_EQ(t.samples(), t.times_s.size());
+  EXPECT_TRUE(t.unfinished_work_s.empty());
+  EXPECT_TRUE(t.series(0, RouterMetric::kQueueDepth).empty());
+  EXPECT_EQ(t.overloaded.size(), t.samples());
+}
+
+TEST(Telemetry, LevelResidencyTracksTheLevelCallback) {
+  auto net = make_net();
+  auto tc = fast_config();
+  // Synthetic level schedule: every router sits at level 0 for the first
+  // second of sim time, then at level 2.
+  tc.mrai_level = [&net](bgp::NodeId) -> std::size_t {
+    return net->scheduler().now() < sim::SimTime::seconds(1.0) ? 0u : 2u;
+  };
+  auto sampler = std::make_unique<TelemetrySampler>(*net, tc);
+  net->start();
+  sampler->start();
+  net->run_to_quiescence();
+  // Keep the run going past the switch point so both levels accumulate.
+  net->scheduler().schedule_after(sim::SimTime::seconds(2.0), [] {});
+  sampler->start();
+  net->run_to_quiescence();
+
+  ASSERT_EQ(sampler->level_residency_s().size(), 3u);
+  EXPECT_GT(sampler->level_residency_s()[0], 0.0);
+  EXPECT_DOUBLE_EQ(sampler->level_residency_s()[1], 0.0);
+  EXPECT_GT(sampler->level_residency_s()[2], 0.0);
+  // Residency is router-seconds: the columns account for every sample tick.
+  const double total = std::accumulate(sampler->level_residency_s().begin(),
+                                       sampler->level_residency_s().end(), 0.0);
+  EXPECT_NEAR(total, static_cast<double>(sampler->samples() * 8) * tc.interval.to_seconds(),
+              1e-9);
+  // Each of the 8 routers left level 0 exactly once.
+  EXPECT_EQ(sampler->level_stay_hist().total(), 8u);
+  // The level column reflects the switch.
+  const auto levels = sampler->series(7, RouterMetric::kMraiLevel);
+  EXPECT_DOUBLE_EQ(levels.front(), 0.0);
+  EXPECT_DOUBLE_EQ(levels.back(), 2.0);
+  sampler.reset();
+}
+
+TEST(Telemetry, RestartAcrossPhasesKeepsDeltasContinuous) {
+  auto net = make_net();
+  auto sampler = std::make_unique<TelemetrySampler>(*net, fast_config());
+  net->start();
+  sampler->start();
+  net->run_to_quiescence();
+  const auto samples_phase1 = sampler->samples();
+
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  sampler->start();  // restart after self-termination at quiescence
+  net->run_to_quiescence();
+  EXPECT_GT(sampler->samples(), samples_phase1);
+
+  // The delta columns partition the cumulative counters with no gap or
+  // double-count across the phase boundary.
+  const auto& deltas = sampler->sent_delta();
+  const auto sum = std::accumulate(deltas.begin(), deltas.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, net->metrics().updates_sent);
+  sampler.reset();
+}
+
+TEST(Telemetry, ReadRejectsGarbage) {
+  EXPECT_THROW(read_telemetry_file(tmp_path("telemetry_missing.bgtl")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

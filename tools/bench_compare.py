@@ -29,10 +29,34 @@ import sys
 def load(path):
     try:
         with open(path) as f:
-            return json.load(f)
+            data = json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"bench_compare: {path}: expected a JSON object, got {type(data).__name__}",
+              file=sys.stderr)
+        sys.exit(2)
+    data["__path__"] = path
+    return data
+
+
+def require_key(data, key):
+    """Fetch a required key, exiting with a clear message instead of a
+    KeyError traceback when a bench JSON is missing a field (e.g. produced
+    by an older binary)."""
+    if key not in data:
+        path = data.get("__path__", "<bench json>")
+        print(f"bench_compare: {path}: missing required key {key!r}", file=sys.stderr)
+        sys.exit(2)
+    return data[key]
+
+
+def require_point_key(point, key, label):
+    if key not in point:
+        print(f"bench_compare: {label}: missing required key {key!r}", file=sys.stderr)
+        sys.exit(2)
+    return point[key]
 
 
 class Gate:
@@ -90,26 +114,52 @@ def regress_fig01(base, cand, tolerance, gate):
 
 def regress_scale(base, cand, tolerance, gate):
     gate.exact("mode", base.get("mode"), cand.get("mode"))
-    base_by_n = {p["n"]: p for p in base.get("points", [])}
+    base_by_n = {require_point_key(p, "n", "baseline point"): p
+                 for p in require_key(base, "points")}
     common = 0
-    for p in cand.get("points", []):
-        bp = base_by_n.get(p["n"])
+    for p in require_key(cand, "points"):
+        n = require_point_key(p, "n", "candidate point")
+        bp = base_by_n.get(n)
         if bp is None:
-            print(f"  --  n={p['n']}: not in baseline, skipped")
+            print(f"  --  n={n}: not in baseline, skipped")
             continue
         common += 1
         for field in ("events", "messages", "routes"):
-            gate.exact(f"n={p['n']}.{field}", bp.get(field), p.get(field))
+            gate.exact(f"n={n}.{field}", bp.get(field), p.get(field))
         # Memory is a tracked resource: treat bytes/route like inverse
         # throughput (candidate may grow by at most `tolerance`).
-        gate.throughput(f"n={p['n']}.routes_per_byte",
-                        1.0 / bp["bytes_per_route"], 1.0 / p["bytes_per_route"], tolerance)
+        gate.throughput(f"n={n}.routes_per_byte",
+                        1.0 / require_point_key(bp, "bytes_per_route", f"baseline n={n}"),
+                        1.0 / require_point_key(p, "bytes_per_route", f"candidate n={n}"),
+                        tolerance)
         wall_b = bp.get("converge_wall_s", 0) + bp.get("failure_wall_s", 0)
         wall_c = p.get("converge_wall_s", 0) + p.get("failure_wall_s", 0)
         if wall_b > 0 and wall_c > 0:
-            gate.throughput(f"n={p['n']}.events_per_wall_s",
-                            bp["events"] / wall_b, p["events"] / wall_c, tolerance)
+            gate.throughput(f"n={n}.events_per_wall_s",
+                            require_point_key(bp, "events", f"baseline n={n}") / wall_b,
+                            require_point_key(p, "events", f"candidate n={n}") / wall_c,
+                            tolerance)
     gate.require("common points", common > 0, f"{common} n-values compared")
+
+
+def regress_obs(base, cand, tolerance, gate):
+    # The simulation itself must be untouched by observability: exact event
+    # totals, and the instrumented pass must reproduce the disabled pass
+    # bit-for-bit (protocol fields).
+    for field in ("nodes", "seeds_per_point", "runs", "events_total"):
+        gate.exact(field, base.get(field), cand.get(field))
+    gate.require(
+        "results_identical",
+        cand.get("results_identical") is True,
+        f"candidate flag = {cand.get('results_identical')}")
+    # The zero-cost-when-off guarantee: disabled-mode throughput must stay
+    # within tolerance of the recorded baseline.
+    gate.throughput("disabled_events_per_s",
+                    require_key(base, "disabled_events_per_s"),
+                    require_key(cand, "disabled_events_per_s"), tolerance)
+    overhead = require_key(cand, "overhead_ratio")
+    gate.require("overhead_ratio", overhead < 3.0,
+                 f"instrumented/disabled wall = {overhead:.2f}x (sanity bound 3x)")
 
 
 def cmd_regress(args):
@@ -123,6 +173,8 @@ def cmd_regress(args):
         regress_fig01(base, cand, args.tolerance, gate)
     elif suite == "scale":
         regress_scale(base, cand, args.tolerance, gate)
+    elif suite == "obs_overhead":
+        regress_obs(base, cand, args.tolerance, gate)
     else:
         print(f"bench_compare: unknown suite {suite!r}", file=sys.stderr)
         return 2
@@ -137,21 +189,25 @@ def cmd_memratio(args):
                  f"mode = {interned.get('mode')}")
     gate.require("deepcopy mode", deep.get("mode") == "deepcopy",
                  f"mode = {deep.get('mode')}")
-    deep_by_n = {p["n"]: p for p in deep.get("points", [])}
+    deep_by_n = {require_point_key(p, "n", "deepcopy point"): p
+                 for p in require_key(deep, "points")}
     common = 0
-    for p in interned.get("points", []):
-        dp = deep_by_n.get(p["n"])
+    for p in require_key(interned, "points"):
+        n = require_point_key(p, "n", "interned point")
+        dp = deep_by_n.get(n)
         if dp is None:
             continue
         common += 1
         # The storage refactor must not change what is stored, only how.
         for field in ("events", "messages", "routes"):
-            gate.exact(f"n={p['n']}.{field}", dp.get(field), p.get(field))
-        ratio = dp["bytes_per_route"] / p["bytes_per_route"]
+            gate.exact(f"n={n}.{field}", dp.get(field), p.get(field))
+        deep_bpr = require_point_key(dp, "bytes_per_route", f"deepcopy n={n}")
+        int_bpr = require_point_key(p, "bytes_per_route", f"interned n={n}")
+        ratio = deep_bpr / int_bpr
         gate.require(
-            f"n={p['n']}.bytes_per_route ratio",
+            f"n={n}.bytes_per_route ratio",
             ratio >= args.min_ratio,
-            f"deepcopy {dp['bytes_per_route']:.1f} / interned {p['bytes_per_route']:.1f} "
+            f"deepcopy {deep_bpr:.1f} / interned {int_bpr:.1f} "
             f"= {ratio:.2f}x (need >= {args.min_ratio:g}x)")
     gate.require("common points", common > 0, f"{common} n-values compared")
     return gate.finish()

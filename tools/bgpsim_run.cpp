@@ -6,13 +6,20 @@
 //
 // Prints one row per seed plus a mean row (or CSV with --csv). Exit status
 // is non-zero if any run fails the route audit.
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/parallel.hpp"
+#include "harness/profile.hpp"
 #include "harness/table.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/telemetry.hpp"
+#include "schemes/dynamic_mrai.hpp"
 
 using namespace bgpsim;
 
@@ -42,6 +49,11 @@ Protocol knobs:
   --prefixes K      prefixes per origin (default 1)
   --recovery        also measure re-convergence after the region recovers
   --policy          Gao-Rexford policy routing (degree-inferred relations)
+Observability (captures the base-seed run; see tools/trace_inspect):
+  --trace FILE      stream every trace event to a binary .bgtr file
+  --telemetry FILE  periodic per-router/network samples to a .bgtl file
+  --sample-interval S   telemetry sampling period seconds (default 0.1)
+  --profile FILE    sweep wall-clock/utilization profile as JSON
 Run control:
   --seeds K         replicas (default 3)    --seed S  base seed (default 1)
   --csv             CSV output              --help    this text
@@ -89,7 +101,8 @@ int main(int argc, char** argv) {
     const auto unknown = opts.unknown_keys(
         {"topo", "n", "failure", "scheme", "mrai", "low", "high", "threshold", "batching",
          "queue", "per-dest-mrai", "withdrawal-mrai", "no-jitter", "ssld", "detection",
-         "damping", "prefixes", "recovery", "policy", "seeds", "seed", "csv", "help"});
+         "damping", "prefixes", "recovery", "policy", "seeds", "seed", "csv", "help",
+         "trace", "telemetry", "sample-interval", "profile"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n", unknown.front().c_str());
       return 2;
@@ -140,7 +153,59 @@ int main(int argc, char** argv) {
     cfg.topology.policy_routing = opts.flag("policy");
 
     const auto seeds = static_cast<std::size_t>(opts.get_int("seeds", 3));
-    const auto result = harness::run_averaged(cfg, seeds);
+    const auto trace_path = opts.get_or("trace", "");
+    const auto telemetry_path = opts.get_or("telemetry", "");
+    const auto profile_path = opts.get_or("profile", "");
+    const double sample_interval = opts.get_double("sample-interval", 0.1);
+
+    std::vector<harness::ExperimentConfig> cfgs(std::max<std::size_t>(seeds, 1), cfg);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) cfgs[i].seed = cfg.seed + i;
+
+    // Capture hooks go on the base-seed config only, so no other run (or
+    // pool thread) ever touches the sink/sampler.
+    std::unique_ptr<obs::BinaryTraceSink> trace_sink;
+    std::unique_ptr<obs::TelemetrySampler> sampler;
+    if (!trace_path.empty() || !telemetry_path.empty()) {
+      cfgs[0].instrument = [&](bgp::Network& net, std::uint64_t) {
+        if (!trace_path.empty()) {
+          trace_sink = std::make_unique<obs::BinaryTraceSink>(trace_path);
+          net.set_trace_sink(trace_sink.get());
+        }
+        if (!telemetry_path.empty()) {
+          obs::TelemetryConfig tc;
+          tc.interval = sim::SimTime::seconds(sample_interval);
+          if (auto* dyn = dynamic_cast<schemes::DynamicMrai*>(&net.mrai())) {
+            tc.mrai_level = [dyn](bgp::NodeId v) { return dyn->level(v); };
+          }
+          sampler = std::make_unique<obs::TelemetrySampler>(net, tc);
+        }
+      };
+      cfgs[0].on_phase = [&](harness::RunPhase) {
+        if (sampler) sampler->start();
+      };
+      cfgs[0].on_complete = [&](bgp::Network& net, std::uint64_t) {
+        if (sampler) {
+          sampler->write_file(telemetry_path);
+          std::fprintf(stderr, "telemetry: %zu samples x %zu routers -> %s\n",
+                       sampler->samples(), sampler->routers(), telemetry_path.c_str());
+          sampler.reset();
+        }
+        if (trace_sink) {
+          net.set_trace_sink(nullptr);
+          trace_sink->close();
+          std::fprintf(stderr, "trace: %llu events -> %s\n",
+                       static_cast<unsigned long long>(trace_sink->events_written()),
+                       trace_path.c_str());
+          trace_sink.reset();
+        }
+      };
+    }
+
+    harness::SweepProfile profile;
+    auto runs = profile_path.empty() ? harness::run_sweep(cfgs)
+                                     : harness::run_sweep_profiled(cfgs, profile);
+    if (!profile_path.empty()) profile.write_json_file(profile_path);
+    const auto result = harness::aggregate_runs(std::move(runs));
 
     const bool csv = opts.flag("csv");
     if (csv) {

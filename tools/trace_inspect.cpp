@@ -1,0 +1,282 @@
+// trace_inspect: inspect, export and diff bgpsim capture files.
+//
+//   trace_inspect summary RUN.bgtr            per-kind counts + histograms
+//   trace_inspect summary RUN.bgtl            telemetry overview
+//   trace_inspect filter RUN.bgtr --kind update-sent --router 3 --from 1.0
+//   trace_inspect export RUN.bgtr --format perfetto --telemetry RUN.bgtl --out out.json
+//   trace_inspect diff A.bgtr B.bgtr          exit 1 when event counts differ
+//   trace_inspect telemetry RUN.bgtl --router 3 --metric unfinished_work
+//
+// Both capture formats are autodetected by magic ("BGTR" binary trace,
+// "BGTL" telemetry), so `summary` takes either.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/options.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/stats.hpp"
+#include "obs/telemetry.hpp"
+
+using namespace bgpsim;
+
+namespace {
+
+constexpr const char* kUsage = R"(trace_inspect -- bgpsim trace / telemetry inspection
+
+  trace_inspect summary FILE              counts, span, histograms (trace)
+                                          or sample overview (telemetry)
+  trace_inspect filter FILE [OPTS]        print matching events as text
+      --kind NAME    --router ID    --from S    --to S    --limit N
+  trace_inspect export FILE [OPTS]        convert a binary trace
+      --format jsonl|perfetto (default jsonl)
+      --telemetry FILE   merge telemetry counters (perfetto only)
+      --out FILE         write there instead of stdout
+  trace_inspect diff A B                  compare per-kind event counts;
+                                          exit 1 when they differ
+  trace_inspect telemetry FILE [OPTS]     extract one per-router series
+      --router ID (default 0)
+      --metric unfinished_work|queue|level|busy|sent|received
+      --format csv|json (default csv)
+)";
+
+std::string detect_magic(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  char magic[4] = {};
+  is.read(magic, 4);
+  if (!is) return {};
+  return std::string{magic, 4};
+}
+
+std::optional<bgp::TraceEvent::Kind> kind_from(const std::string& name) {
+  for (std::size_t k = 0; k < bgp::TraceEvent::kNumKinds; ++k) {
+    const auto kind = static_cast<bgp::TraceEvent::Kind>(k);
+    if (name == bgp::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+int cmd_summary(const std::string& path) {
+  const auto magic = detect_magic(path);
+  if (magic == std::string{obs::kTraceMagic, 4}) {
+    const auto trace = obs::read_trace_file(path);
+    obs::StatsSink stats;
+    for (const auto& e : trace.events) stats.on_event(e);
+    std::cout << path << ": trace v" << trace.version
+              << (trace.truncated ? " (TRUNCATED)" : "") << "\n"
+              << stats.report();
+    return 0;
+  }
+  if (magic == std::string{obs::kTelemetryMagic, 4}) {
+    const auto t = obs::read_telemetry_file(path);
+    std::cout << path << ": telemetry v" << t.version << "\n"
+              << "samples: " << t.samples() << "  routers: " << t.n_routers
+              << "  interval: " << t.interval.to_seconds() << "s"
+              << "  per-router columns: " << (t.per_router ? "yes" : "no") << "\n";
+    if (!t.times_s.empty()) {
+      std::cout << "span: [" << t.times_s.front() << "s, " << t.times_s.back() << "s]\n";
+      std::uint32_t peak = 0;
+      std::size_t peak_at = 0;
+      for (std::size_t i = 0; i < t.overloaded.size(); ++i) {
+        if (t.overloaded[i] > peak) {
+          peak = t.overloaded[i];
+          peak_at = i;
+        }
+      }
+      std::cout << "peak overloaded routers (unfinished work > "
+                << t.overload_threshold.to_seconds() << "s): " << peak << " at t="
+                << t.times_s[peak_at] << "s\n";
+    }
+    if (!t.level_residency_s.empty()) {
+      std::cout << "MRAI level residency (router-seconds):";
+      for (std::size_t l = 0; l < t.level_residency_s.size(); ++l) {
+        std::cout << "  L" << l << "=" << t.level_residency_s[l];
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "error: %s is neither a bgpsim trace nor telemetry file\n",
+               path.c_str());
+  return 2;
+}
+
+int cmd_filter(const std::string& path, const harness::Options& opts) {
+  const auto trace = obs::read_trace_file(path);
+  std::optional<bgp::TraceEvent::Kind> kind;
+  if (const auto k = opts.get("kind")) {
+    kind = kind_from(*k);
+    if (!kind) {
+      std::fprintf(stderr, "error: unknown --kind '%s'\n", k->c_str());
+      return 2;
+    }
+  }
+  std::optional<bgp::NodeId> router_id;
+  if (const auto r = opts.get("router")) {
+    router_id = static_cast<bgp::NodeId>(std::stoul(*r));
+  }
+  const double from_s = opts.get_double("from", -1.0);
+  const double to_s = opts.get_double("to", 1e18);
+  const auto limit = static_cast<std::uint64_t>(opts.get_int("limit", -1));
+
+  std::uint64_t printed = 0;
+  for (const auto& e : trace.events) {
+    if (kind && e.kind != *kind) continue;
+    if (router_id && e.router != *router_id) continue;
+    const double at = e.at.to_seconds();
+    if (at < from_s || at > to_s) continue;
+    std::cout << e.to_string() << "\n";
+    if (++printed == limit) break;
+  }
+  return 0;
+}
+
+int cmd_export(const std::string& path, const harness::Options& opts) {
+  const auto trace = obs::read_trace_file(path);
+  const auto format = opts.get_or("format", "jsonl");
+
+  obs::TelemetryFile telemetry;
+  obs::PerfettoOptions popts;
+  if (const auto t = opts.get("telemetry")) {
+    telemetry = obs::read_telemetry_file(*t);
+    popts.telemetry = &telemetry;
+  }
+
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  const auto out = opts.get_or("out", "");
+  if (!out.empty()) {
+    file.open(out);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    os = &file;
+  }
+
+  if (format == "jsonl") {
+    obs::write_jsonl(trace.events, *os);
+  } else if (format == "perfetto") {
+    obs::write_perfetto(trace.events, *os, popts);
+  } else {
+    std::fprintf(stderr, "error: unknown --format '%s' (jsonl|perfetto)\n", format.c_str());
+    return 2;
+  }
+  os->flush();
+  return os->good() ? 0 : 2;
+}
+
+int cmd_diff(const std::string& a_path, const std::string& b_path) {
+  const auto a = obs::read_trace_file(a_path);
+  const auto b = obs::read_trace_file(b_path);
+  bgp::CountingSink ca;
+  bgp::CountingSink cb;
+  for (const auto& e : a.events) ca.on_event(e);
+  for (const auto& e : b.events) cb.on_event(e);
+
+  bool differ = false;
+  for (std::size_t k = 0; k < bgp::TraceEvent::kNumKinds; ++k) {
+    const auto kind = static_cast<bgp::TraceEvent::Kind>(k);
+    if (ca.count(kind) == cb.count(kind)) continue;
+    differ = true;
+    std::printf("%-20s %12llu %12llu\n", bgp::to_string(kind),
+                static_cast<unsigned long long>(ca.count(kind)),
+                static_cast<unsigned long long>(cb.count(kind)));
+  }
+  if (differ) {
+    std::printf("traces differ: %llu vs %llu events\n",
+                static_cast<unsigned long long>(ca.total()),
+                static_cast<unsigned long long>(cb.total()));
+    return 1;
+  }
+  std::printf("traces match: %llu events\n", static_cast<unsigned long long>(ca.total()));
+  return 0;
+}
+
+int cmd_telemetry(const std::string& path, const harness::Options& opts) {
+  const auto t = obs::read_telemetry_file(path);
+  const auto router = static_cast<bgp::NodeId>(opts.get_int("router", 0));
+  const auto metric_name = opts.get_or("metric", "unfinished_work");
+
+  std::optional<obs::RouterMetric> metric;
+  for (int m = 0; m <= static_cast<int>(obs::RouterMetric::kUpdatesReceived); ++m) {
+    const auto rm = static_cast<obs::RouterMetric>(m);
+    if (metric_name == obs::to_string(rm)) metric = rm;
+  }
+  if (!metric) {
+    std::fprintf(stderr, "error: unknown --metric '%s'\n", metric_name.c_str());
+    return 2;
+  }
+  const auto series = t.series(router, *metric);
+  if (series.empty() && (!t.per_router || router >= t.n_routers)) {
+    std::fprintf(stderr, "error: no per-router series for router %u in %s\n",
+                 router, path.c_str());
+    return 2;
+  }
+
+  const auto format = opts.get_or("format", "csv");
+  if (format == "csv") {
+    std::printf("t_s,%s\n", metric_name.c_str());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      std::printf("%.6f,%.6g\n", t.times_s[i], series[i]);
+    }
+  } else if (format == "json") {
+    std::printf("{\"router\":%u,\"metric\":\"%s\",\"t_s\":[", router, metric_name.c_str());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      std::printf("%s%.6f", i ? "," : "", t.times_s[i]);
+    }
+    std::printf("],\"values\":[");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      std::printf("%s%.6g", i ? "," : "", series[i]);
+    }
+    std::printf("]}\n");
+  } else {
+    std::fprintf(stderr, "error: unknown --format '%s' (csv|json)\n", format.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const auto opts = harness::Options::parse(argc - 1, argv + 1);
+    if (opts.flag("help") || opts.positional().empty()) {
+      std::fputs(kUsage, opts.flag("help") ? stdout : stderr);
+      return opts.flag("help") ? 0 : 2;
+    }
+    const auto unknown = opts.unknown_keys({"kind", "router", "from", "to", "limit", "format",
+                                            "telemetry", "metric", "out", "help"});
+    if (!unknown.empty()) {
+      std::fprintf(stderr, "unknown option --%s (try --help)\n", unknown.front().c_str());
+      return 2;
+    }
+
+    const auto& pos = opts.positional();
+    const std::string& cmd = pos[0];
+    const auto need_file = [&]() -> const std::string& {
+      if (pos.size() < 2) throw std::invalid_argument{"missing FILE argument"};
+      return pos[1];
+    };
+
+    if (cmd == "summary") return cmd_summary(need_file());
+    if (cmd == "filter") return cmd_filter(need_file(), opts);
+    if (cmd == "export") return cmd_export(need_file(), opts);
+    if (cmd == "telemetry") return cmd_telemetry(need_file(), opts);
+    if (cmd == "diff") {
+      if (pos.size() < 3) throw std::invalid_argument{"diff needs two trace files"};
+      return cmd_diff(pos[1], pos[2]);
+    }
+    std::fprintf(stderr, "unknown command '%s' (try --help)\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s (try --help)\n", e.what());
+    return 2;
+  }
+}
