@@ -8,6 +8,9 @@
 // footprint (bytes per stored route, counting flat-slot capacity plus the
 // intern table / deep-copied hop heap), fails the grid-centre node and
 // re-converges, then writes one JSON record per n into BENCH_scale.json.
+// VmHWM is reset before each point, so every point's peak_rss_bytes covers
+// that run alone (tools/bench_compare.py memratio gates interned peak RSS
+// against the deep-copy build's).
 //
 // The same source builds in both path-storage modes; the "mode" field in
 // the JSON says which one produced the numbers, so
@@ -25,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,10 +45,35 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+// Peak RSS since the last reset_peak_rss(). ru_maxrss is a process-wide
+// high-water mark that only ever grows, so without a reset every point
+// after the largest run would inherit the earlier peak; /proc's VmHWM is
+// the same counter but the kernel lets us reset it (clear_refs code 5),
+// making each point's reading independently meaningful.
 std::size_t peak_rss_bytes() {
-  struct rusage ru{};
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        std::fclose(f);
+        return static_cast<std::size_t>(std::strtoull(line + 6, nullptr, 10)) * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+  struct rusage ru{};  // non-Linux fallback: process-wide high-water mark
   getrusage(RUSAGE_SELF, &ru);
-  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // Linux: KiB
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // KiB
+}
+
+// Resets VmHWM to the current RSS; returns false where the kernel refuses
+// (non-Linux / locked-down /proc), in which case readings degrade to the
+// old cumulative behavior and the JSON flags it.
+bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5\n", f) >= 0;
+  return std::fclose(f) == 0 && ok;
 }
 
 std::vector<std::size_t> scale_ns() {
@@ -153,10 +182,19 @@ int main(int argc, char** argv) {
   const char* mode = "interned";
 #endif
 
+  bool rss_independent = true;
   std::vector<ScalePoint> points;
   for (const std::size_t n : scale_ns()) {
     std::printf("scale_suite [%s]: n=%zu ...\n", mode, n);
     std::fflush(stdout);
+    if (!reset_peak_rss()) {
+      if (rss_independent) {
+        std::fprintf(stderr,
+                     "scale_suite: cannot reset VmHWM (/proc/self/clear_refs); "
+                     "peak_rss points will be cumulative\n");
+      }
+      rss_independent = false;
+    }
     const auto pt = run_point(n, mrai_s);
     std::printf(
         "  converged %.1fs sim (%.1fs wall), failure re-converged %.2fs sim (%.1fs wall)\n"
@@ -174,8 +212,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scale_suite: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"suite\": \"scale\",\n  \"mode\": \"%s\",\n  \"mrai_s\": %.2f,\n  \"points\": [\n",
-               mode, mrai_s);
+  std::fprintf(f,
+               "{\n  \"suite\": \"scale\",\n  \"mode\": \"%s\",\n  \"mrai_s\": %.2f,\n"
+               "  \"peak_rss_independent\": %s,\n  \"points\": [\n",
+               mode, mrai_s, rss_independent ? "true" : "false");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
     std::fprintf(f,

@@ -137,8 +137,11 @@ void Network::recover_nodes(const std::vector<NodeId>& nodes) {
 void Network::compact_paths() {
 #ifndef BGPSIM_DEEP_COPY_PATHS
   PathTable fresh;
-  for (auto& r : routers_) r->remap_paths(paths_, fresh);
+  std::vector<PathId> memo(paths_.size(), kInvalidPathId);
+  for (auto& r : routers_) r->remap_paths(paths_, fresh, memo);
   fresh.shrink_to_fit();
+  // Retires the old epoch's hop blocks wholesale: the chunked arena frees
+  // block-by-block here instead of one monolithic allocation.
   paths_ = std::move(fresh);
 #endif
 }

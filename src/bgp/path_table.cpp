@@ -1,6 +1,8 @@
 #include "bgp/path_table.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace bgpsim::bgp {
 
@@ -8,9 +10,26 @@ namespace {
 constexpr std::size_t kInitialBuckets = 256;  // power of two
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::size_t buckets_for(std::size_t slots) {
+  // Smallest power-of-two bucket count keeping the open-addressed index
+  // under its ~70% growth trigger (see find_or_intern).
+  std::size_t b = kInitialBuckets;
+  while (slots * 10 >= b * 7) b *= 2;
+  return b;
+}
 }  // namespace
 
-PathTable::PathTable() {
+PathTable::PathTable(std::uint32_t chunk_hop_bits, std::uint32_t max_chunks) {
+  // Packed (chunk, offset) addressing needs both halves to fit one 32-bit
+  // word; clamp rather than trust the caller.
+  chunk_bits_ = std::clamp<std::uint32_t>(chunk_hop_bits, 1, 31);
+  chunk_hops_ = 1u << chunk_bits_;
+  chunk_mask_ = chunk_hops_ - 1;
+  const auto addressable =
+      static_cast<std::uint32_t>(std::uint64_t{1} << (32 - chunk_bits_));
+  max_chunks_ = max_chunks == 0 ? addressable : std::min(max_chunks, addressable);
+
   slots_.push_back(Slot{0, 0, hash_hops({})});
   index_.assign(kInitialBuckets, kEmptyBucket);
   index_mask_ = kInitialBuckets - 1;
@@ -28,23 +47,53 @@ std::uint64_t PathTable::hash_hops(std::span<const AsId> hops) {
   return h;
 }
 
+AsId* PathTable::alloc_hops(std::size_t len, std::uint32_t& packed) {
+  if (len > chunk_hops_) {
+    throw std::length_error{"PathTable: path of " + std::to_string(len) +
+                            " hops exceeds the " + std::to_string(chunk_hops_) +
+                            "-hop block size"};
+  }
+  if (chunks_.empty() || chunk_used_ + len > chunk_hops_) {
+    // A path never straddles blocks (hops() hands out one contiguous
+    // span), so the current block's tail is retired unused.
+    if (chunks_.size() >= max_chunks_) {
+      throw std::length_error{
+          "PathTable: arena full (" + std::to_string(chunks_.size()) +
+          " blocks of " + std::to_string(chunk_hops_) +
+          " hops); the packed 32-bit (chunk, offset) addressing admits no more"};
+    }
+    chunks_.emplace_back(new AsId[chunk_hops_]);  // uninitialized storage
+    chunk_used_ = 0;
+  }
+  packed = (static_cast<std::uint32_t>(chunks_.size() - 1) << chunk_bits_) | chunk_used_;
+  AsId* dst = chunks_.back().get() + chunk_used_;
+  chunk_used_ += static_cast<std::uint32_t>(len);
+  total_hops_ += len;
+  return dst;
+}
+
 PathId PathTable::find_or_intern(std::span<const AsId> hops, std::uint64_t h) {
   std::size_t b = h & index_mask_;
   while (index_[b] != kEmptyBucket) {
     const PathId cand = index_[b];
     const Slot& s = slots_[cand];
     if (s.hash == h && s.len == hops.size() &&
-        std::equal(hops.begin(), hops.end(), arena_.begin() + s.offset)) {
+        std::equal(hops.begin(), hops.end(), hop_ptr(s))) {
       return cand;
     }
     b = (b + 1) & index_mask_;
   }
+  if (slots_.size() >= kInvalidPathId) {
+    throw std::length_error{"PathTable: id space exhausted (2^32 - 1 paths)"};
+  }
   const auto id = static_cast<PathId>(slots_.size());
   Slot s;
-  s.offset = static_cast<std::uint32_t>(arena_.size());
   s.len = static_cast<std::uint32_t>(hops.size());
   s.hash = h;
-  arena_.insert(arena_.end(), hops.begin(), hops.end());
+  // Safe even when `hops` aliases this table's own arena: blocks never
+  // move, so the source span stays valid across the allocation.
+  AsId* dst = alloc_hops(hops.size(), s.offset);
+  std::copy(hops.begin(), hops.end(), dst);
   slots_.push_back(s);
   index_[b] = id;
   // Keep the open-addressed index under ~70% load.
@@ -69,41 +118,40 @@ PathId PathTable::intern(std::span<const AsId> hops) {
 PathId PathTable::prepend(PathId base, AsId head) {
   // Fast path: hash incrementally and look up without building the hop
   // sequence; only a miss materializes the new path (into the arena).
-  const Slot& bs = slots_[base];
+  // Copy the base slot -- slots_ may push_back below -- but the base hops
+  // themselves are stable: blocks never move.
+  const Slot bs = slots_[base];
+  const AsId* base_hops = hop_ptr(bs);
   std::uint64_t h = kFnvOffset;
   h ^= head;
   h *= kFnvPrime;
   for (std::uint32_t i = 0; i < bs.len; ++i) {
-    h ^= arena_[bs.offset + i];
+    h ^= base_hops[i];
     h *= kFnvPrime;
   }
   std::size_t b = h & index_mask_;
   while (index_[b] != kEmptyBucket) {
     const PathId cand = index_[b];
     const Slot& s = slots_[cand];
-    if (s.hash == h && s.len == bs.len + 1 && arena_[s.offset] == head &&
-        std::equal(arena_.begin() + s.offset + 1, arena_.begin() + s.offset + s.len,
-                   arena_.begin() + slots_[base].offset)) {
-      return cand;
+    if (s.hash == h && s.len == bs.len + 1) {
+      const AsId* cand_hops = hop_ptr(s);
+      if (cand_hops[0] == head &&
+          std::equal(cand_hops + 1, cand_hops + s.len, base_hops)) {
+        return cand;
+      }
     }
     b = (b + 1) & index_mask_;
   }
-  // Miss: append head + base hops to the arena. Copy via indices, not the
-  // span from hops(base) -- insert() may reallocate the arena.
+  if (slots_.size() >= kInvalidPathId) {
+    throw std::length_error{"PathTable: id space exhausted (2^32 - 1 paths)"};
+  }
   const auto id = static_cast<PathId>(slots_.size());
   Slot s;
-  s.offset = static_cast<std::uint32_t>(arena_.size());
   s.len = bs.len + 1;
   s.hash = h;
-  const std::uint32_t base_off = bs.offset;
-  const std::uint32_t base_len = bs.len;
-  // Grow geometrically: an exact-size reserve here would reallocate (and
-  // copy) the whole arena on every miss.
-  if (arena_.capacity() < arena_.size() + base_len + 1) {
-    arena_.reserve(std::max(arena_.size() + base_len + 1, arena_.capacity() * 2));
-  }
-  arena_.push_back(head);
-  for (std::uint32_t i = 0; i < base_len; ++i) arena_.push_back(arena_[base_off + i]);
+  AsId* dst = alloc_hops(s.len, s.offset);
+  dst[0] = head;
+  std::copy(base_hops, base_hops + bs.len, dst + 1);
   slots_.push_back(s);
   index_[b] = id;
   if (slots_.size() * 10 >= index_.size() * 7) rehash(index_.size() * 2);
@@ -124,17 +172,33 @@ AsPath PathTable::as_path(PathId id) const {
 }
 
 std::size_t PathTable::memory_bytes() const {
-  return arena_.capacity() * sizeof(AsId) + slots_.capacity() * sizeof(Slot) +
+  // Blocks are charged whole: a partially filled block still costs its
+  // full footprint, which is what RSS sees.
+  return chunks_.size() * (static_cast<std::size_t>(chunk_hops_) * sizeof(AsId)) +
+         chunks_.capacity() * sizeof(chunks_[0]) + slots_.capacity() * sizeof(Slot) +
          index_.capacity() * sizeof(std::uint32_t);
 }
 
 void PathTable::clear() {
-  arena_.clear();
+  chunks_.clear();  // releases every hop block
+  chunk_used_ = 0;
+  total_hops_ = 0;
   slots_.clear();
   slots_.push_back(Slot{0, 0, hash_hops({})});
   index_.assign(kInitialBuckets, kEmptyBucket);
   index_mask_ = kInitialBuckets - 1;
   index_[slots_[0].hash & index_mask_] = kEmptyPathId;
+}
+
+void PathTable::shrink_to_fit() {
+  chunks_.shrink_to_fit();
+  slots_.shrink_to_fit();
+  // clear()'s index_.assign() keeps the grown bucket array (capacity is
+  // reused across epochs); a shrink must both rehash the bucket count down
+  // to what the surviving slots need and release the overshoot.
+  const std::size_t want = buckets_for(slots_.size());
+  if (want < index_.size()) rehash(want);
+  index_.shrink_to_fit();
 }
 
 }  // namespace bgpsim::bgp

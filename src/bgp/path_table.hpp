@@ -8,10 +8,22 @@
 // identified by the distributed-BGP-simulation feasibility studies
 // (arXiv:1209.0943) long before CPU becomes the constraint.
 //
+// Hop storage is a *chunked* arena: paths live contiguously inside
+// fixed-size blocks (1 MiB of AsIds by default) and a new block is started
+// when the current one cannot hold the next path whole. The arena therefore
+// never reallocates: every span returned by hops() is stable for the
+// table's lifetime, interning a span that aliases the table's own storage
+// is well-defined, and growth costs one block -- not a GB-scale copy --
+// at production scale. Slots address hops as (chunk, offset) packed into
+// one 32-bit word, which caps the arena at 2^32 stored hops; growth past
+// the cap throws instead of silently wrapping the packed offset.
+//
 // Lifetime: a PathTable lives inside one Network and is reclaimed wholesale
 // with it (epoch reclamation -- paths are never freed individually; a
 // simulation run's working set of distinct paths is small and stable).
-// clear() resets the table to its initial state for explicit reuse.
+// clear() resets the table to its initial state for explicit reuse and
+// releases every hop block; epoch compaction (Network::compact_paths)
+// rebuilds into a fresh table and retires the old table's blocks wholesale.
 //
 // Building with -DBGPSIM_DEEP_COPY_PATHS=ON switches the protocol back to
 // the original deep-copied AsPath storage. The flag exists so tests can
@@ -20,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -27,13 +40,26 @@
 
 namespace bgpsim::bgp {
 
+/// Sentinel that is never handed out as a live PathId (the open-addressed
+/// index reserves it as its empty-bucket marker, and intern() fails loudly
+/// before ids reach it). Remap/memo tables use it as "not seen yet".
+inline constexpr PathId kInvalidPathId = 0xFFFFFFFFu;
+
 // PathId / kEmptyPathId / PathRef live in types.hpp (UpdateMessage carries
 // a PathRef). Ids are dense, starting at 0 for the empty path; equality of
 // ids is equality of paths (hash-consing invariant: every PathId in
 // circulation came from intern()/prepend()).
 class PathTable {
  public:
-  PathTable();
+  /// Default chunk geometry: 2^18 hops = 1 MiB of AsIds per block.
+  static constexpr std::uint32_t kDefaultChunkHopBits = 18;
+
+  /// `chunk_hop_bits` sets the block size (2^bits hops per block) and
+  /// `max_chunks` the block-count cap; 0 derives the largest cap the packed
+  /// 32-bit (chunk, offset) addressing allows, i.e. 2^32 total hops. Tests
+  /// shrink both to exercise the boundary and cap guards cheaply.
+  explicit PathTable(std::uint32_t chunk_hop_bits = kDefaultChunkHopBits,
+                     std::uint32_t max_chunks = 0);
 
   PathTable(const PathTable&) = delete;
   PathTable& operator=(const PathTable&) = delete;
@@ -41,7 +67,11 @@ class PathTable {
   PathTable& operator=(PathTable&&) noexcept = default;
 
   /// Returns the id of the canonical copy of `hops`, interning it first if
-  /// this is the first time the table sees that hop sequence.
+  /// this is the first time the table sees that hop sequence. `hops` may
+  /// alias this table's own storage (e.g. a span obtained from hops()):
+  /// blocks never move, so the copy into the arena is well-defined.
+  /// Throws std::length_error when the path exceeds one block or the table
+  /// is at its structural hop/id cap (never silently wraps).
   PathId intern(std::span<const AsId> hops);
   PathId intern(const AsPath& path) {
     return intern(std::span<const AsId>{path.hops()});
@@ -51,9 +81,12 @@ class PathTable {
   /// export operation). O(length) only on first sight, O(1) equality after.
   PathId prepend(PathId base, AsId head);
 
+  /// Stable for the table's lifetime (until clear() or destruction): the
+  /// chunked arena never reallocates, so later intern()/prepend() calls
+  /// cannot invalidate a returned span.
   std::span<const AsId> hops(PathId id) const {
     const Slot& s = slots_[id];
-    return {arena_.data() + s.offset, s.len};
+    return {hop_ptr(s), s.len};
   }
   std::uint32_t length(PathId id) const { return slots_[id].len; }
   bool empty(PathId id) const { return slots_[id].len == 0; }
@@ -64,38 +97,63 @@ class PathTable {
   /// Number of distinct paths interned (>= 1: the empty path).
   std::size_t size() const { return slots_.size(); }
   /// Total hops stored across all distinct paths.
-  std::size_t arena_hops() const { return arena_.size(); }
-  /// Heap bytes owned by the table (arena + slots + hash index).
+  std::size_t arena_hops() const { return total_hops_; }
+  /// Hop blocks currently allocated (lazy: a fresh table holds none).
+  std::size_t chunk_count() const { return chunks_.size(); }
+  /// Hops per block (fixed at construction).
+  std::uint32_t chunk_hops() const { return chunk_hops_; }
+  /// Heap bytes owned by the table: full blocks (chunk-granular -- a
+  /// partially filled block costs its whole footprint), the block pointer
+  /// vector, slots and the hash index.
   std::size_t memory_bytes() const;
 
   /// Epoch reclamation: drops every interned path except the canonical
-  /// empty one. All outstanding PathIds other than kEmptyPathId become
-  /// invalid -- callers reset their RIBs alongside (run teardown).
+  /// empty one and releases all hop blocks. All outstanding PathIds other
+  /// than kEmptyPathId become invalid -- callers reset their RIBs alongside
+  /// (run teardown).
   void clear();
 
-  /// Trims capacity overshoot from geometric growth (post-compaction).
-  void shrink_to_fit() {
-    arena_.shrink_to_fit();
-    slots_.shrink_to_fit();
-  }
+  /// Trims capacity overshoot everywhere: slot/block-pointer vectors and
+  /// the hash index, which is also rehashed down to the smallest bucket
+  /// count the current size needs (clear() leaves the grown index in place
+  /// for cheap reuse; this releases it).
+  void shrink_to_fit();
 
  private:
   struct Slot {
-    std::uint32_t offset = 0;
+    std::uint32_t offset = 0;  ///< (chunk index << chunk_hop_bits) | in-chunk offset
     std::uint32_t len = 0;
     std::uint64_t hash = 0;
   };
+
+  /// First hop of `s`; nullptr for the empty path (which owns no storage,
+  /// so no block need exist to resolve it).
+  const AsId* hop_ptr(const Slot& s) const {
+    if (s.len == 0) return nullptr;
+    return chunks_[s.offset >> chunk_bits_].get() + (s.offset & chunk_mask_);
+  }
 
   static std::uint64_t hash_hops(std::span<const AsId> hops);
   /// Looks `hops` (with hash `h`) up in the open-addressed index; interns
   /// and returns a fresh id on miss.
   PathId find_or_intern(std::span<const AsId> hops, std::uint64_t h);
   void rehash(std::size_t new_buckets);
+  /// Reserves `len` contiguous hops (starting a new block when the current
+  /// one cannot hold them whole), writes the packed (chunk, offset) address
+  /// into `packed` and returns the destination. Throws std::length_error
+  /// when len exceeds one block or the block cap is reached.
+  AsId* alloc_hops(std::size_t len, std::uint32_t& packed);
 
-  static constexpr std::uint32_t kEmptyBucket = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kEmptyBucket = kInvalidPathId;
 
-  std::vector<AsId> arena_;   ///< concatenated hop storage
-  std::vector<Slot> slots_;   ///< PathId -> {offset, len, hash}
+  std::uint32_t chunk_bits_ = kDefaultChunkHopBits;
+  std::uint32_t chunk_hops_ = 1u << kDefaultChunkHopBits;
+  std::uint32_t chunk_mask_ = (1u << kDefaultChunkHopBits) - 1;
+  std::uint32_t max_chunks_ = 1u << (32 - kDefaultChunkHopBits);
+  std::vector<std::unique_ptr<AsId[]>> chunks_;  ///< fixed-size hop blocks
+  std::uint32_t chunk_used_ = 0;  ///< hops used in chunks_.back()
+  std::size_t total_hops_ = 0;    ///< sum of slot lens (excludes block tails)
+  std::vector<Slot> slots_;       ///< PathId -> {packed offset, len, hash}
   std::vector<std::uint32_t> index_;  ///< open addressing: bucket -> PathId
   std::size_t index_mask_ = 0;
 };

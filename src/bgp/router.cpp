@@ -572,17 +572,24 @@ Router::StorageStats Router::storage_stats() const {
   return st;
 }
 
-void Router::remap_paths(const PathTable& old, PathTable& fresh) {
+void Router::remap_paths(const PathTable& old, PathTable& fresh, std::vector<PathId>& memo) {
 #ifndef BGPSIM_DEEP_COPY_PATHS
-  loc_rib_.for_each(
-      [&](Prefix, RibRoute& e) { e.path = fresh.intern(old.hops(e.path)); });
+  // RIBs across routers overwhelmingly share paths, so the first reference
+  // pays the hash + copy into `fresh` and every later one is a memo load.
+  const auto remap = [&](PathRef& p) {
+    PathId& m = memo[p];
+    if (m == kInvalidPathId) m = fresh.intern(old.hops(p));
+    p = m;
+  };
+  loc_rib_.for_each([&](Prefix, RibRoute& e) { remap(e.path); });
   for (auto& s : sessions_) {
-    s.adj_in.for_each([&](Prefix, PathRef& p) { p = fresh.intern(old.hops(p)); });
-    s.adj_out.for_each([&](Prefix, PathRef& p) { p = fresh.intern(old.hops(p)); });
+    s.adj_in.for_each([&](Prefix, PathRef& p) { remap(p); });
+    s.adj_out.for_each([&](Prefix, PathRef& p) { remap(p); });
   }
 #else
   (void)old;
   (void)fresh;
+  (void)memo;
 #endif
 }
 

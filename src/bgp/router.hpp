@@ -119,9 +119,12 @@ class Router {
   StorageStats storage_stats() const;
 
   /// Re-interns every RIB-held path into `fresh` (path-table compaction,
-  /// driven by Network::compact_paths at quiescence). No-op in deep-copy
-  /// builds, where paths own their storage.
-  void remap_paths(const PathTable& old, PathTable& fresh);
+  /// driven by Network::compact_paths at quiescence -- the old table's hop
+  /// blocks are then retired wholesale). `memo` maps old id -> new id
+  /// (kInvalidPathId = not remapped yet, sized to the old table) so shared
+  /// paths hash once across all routers instead of once per reference.
+  /// No-op in deep-copy builds, where paths own their storage.
+  void remap_paths(const PathTable& old, PathTable& fresh, std::vector<PathId>& memo);
 
  private:
   /// RFC 2439 flap-damping bookkeeping for one (peer, prefix).

@@ -1,12 +1,14 @@
-// PathTable: hash-consing identity, prepend round-trips, epoch
-// reclamation, and a golden-value cross-check that the path-storage mode
-// (interned vs -DBGPSIM_DEEP_COPY_PATHS=ON deep copies) is invisible to
-// the protocol. See also tools/identity_check.cpp, which CI diffs across
-// both builds over a full parameter grid.
+// PathTable: hash-consing identity, prepend round-trips, chunked-arena
+// span stability and capacity guards, epoch reclamation, and a
+// golden-value cross-check that the path-storage mode (interned vs
+// -DBGPSIM_DEEP_COPY_PATHS=ON deep copies) is invisible to the protocol.
+// See also tools/identity_check.cpp, which CI diffs across both builds
+// over a full parameter grid.
 #include "bgp/path_table.hpp"
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -89,6 +91,159 @@ TEST(PathTable, SurvivesRehashAndArenaGrowth) {
   for (AsId as = 0; as < 5000; ++as) {
     EXPECT_EQ(t.as_path(ids[as]), AsPath({static_cast<AsId>(as + 1), as, as, as}));
     EXPECT_EQ(t.intern(AsPath{{static_cast<AsId>(as + 1), as, as, as}}), ids[as]);
+  }
+}
+
+// Regression for the pre-chunking UB: interning a span that aliases the
+// table's own arena while the insert reallocates. Blocks never move now,
+// so re-interning subspans read straight out of the arena -- each a NEW
+// path, forcing an insert from aliased memory -- must be clean under ASan.
+TEST(PathTable, InternAliasedSpanFromOwnArena) {
+  PathTable t;
+  std::vector<PathId> ids;
+  for (AsId as = 0; as < 2000; ++as) {
+    ids.push_back(t.intern(AsPath{{as, as + 1, as + 2, as + 3, as + 4}}));
+  }
+  for (AsId as = 0; as < 2000; ++as) {
+    // Full-span self-intern hits the index and returns the same id...
+    EXPECT_EQ(t.intern(t.hops(ids[as])), ids[as]);
+    // ...while the suffix is a distinct path whose source bytes live in
+    // the arena being appended to.
+    const PathId suffix = t.intern(t.hops(ids[as]).subspan(1));
+    EXPECT_EQ(t.as_path(suffix),
+              AsPath({as + 1, as + 2, as + 3, as + 4}));
+  }
+}
+
+TEST(PathTable, SpansStableAcrossGrowth) {
+  PathTable t;
+  const PathId early = t.intern(AsPath{{9, 8, 7}});
+  const auto span_before = t.hops(early);
+  const AsId* data_before = span_before.data();
+  // Grow through many blocks and index rehashes.
+  for (AsId as = 0; as < 300000; ++as) t.prepend(t.intern(AsPath{{as}}), as + 1);
+  ASSERT_GT(t.chunk_count(), 1u) << "growth should have spilled into new blocks";
+  const auto span_after = t.hops(early);
+  EXPECT_EQ(span_after.data(), data_before) << "hops() spans must never move";
+  EXPECT_EQ(t.as_path(early), AsPath({9, 8, 7}));
+}
+
+TEST(PathTable, ChunkBoundaryPathsStayContiguous) {
+  // Tiny geometry: 8-hop blocks. A path that would straddle a block edge
+  // starts a fresh block instead, and earlier spans stay valid.
+  PathTable t(/*chunk_hop_bits=*/3, /*max_chunks=*/0);
+  const PathId a = t.intern(AsPath{{1, 2, 3, 4, 5}});  // block 0, 3 hops left
+  const AsId* a_data = t.hops(a).data();
+  const PathId b = t.intern(AsPath{{6, 7, 8, 9}});     // does not fit: block 1
+  EXPECT_EQ(t.chunk_count(), 2u);
+  const auto bh = t.hops(b);
+  EXPECT_TRUE(std::equal(bh.begin(), bh.end(), std::vector<AsId>{6, 7, 8, 9}.begin()))
+      << "a would-be straddling path must still be one contiguous span";
+  EXPECT_EQ(t.hops(a).data(), a_data);
+  EXPECT_EQ(t.as_path(a), AsPath({1, 2, 3, 4, 5}));
+  // The retired 3-hop tail of block 0 is unused but still addressable
+  // accounting-wise: arena_hops counts stored hops only.
+  EXPECT_EQ(t.arena_hops(), 9u);
+}
+
+TEST(PathTable, OverlongPathFailsLoudly) {
+  PathTable t(/*chunk_hop_bits=*/3, /*max_chunks=*/0);  // 8 hops per block
+  EXPECT_THROW(t.intern(AsPath{{1, 2, 3, 4, 5, 6, 7, 8, 9}}), std::length_error);
+  // The failed intern must not have corrupted the table.
+  const PathId ok = t.intern(AsPath{{1, 2}});
+  EXPECT_EQ(t.as_path(ok), AsPath({1, 2}));
+}
+
+TEST(PathTable, ArenaCapFailsLoudlyInsteadOfWrapping) {
+  // 2 blocks x 8 hops: the 32-bit packed (chunk, offset) cap scaled down
+  // to test size. Before the chunked arena this overflow wrapped
+  // Slot::offset silently and hops() returned the wrong path.
+  PathTable t(/*chunk_hop_bits=*/3, /*max_chunks=*/2);
+  std::vector<PathId> ids;
+  for (AsId as = 0; as < 4; ++as) {
+    ids.push_back(t.intern(AsPath{{as, as + 100, as + 200, as + 300}}));
+  }
+  EXPECT_EQ(t.chunk_count(), 2u);
+  EXPECT_THROW(t.intern(AsPath{{99, 98, 97, 96}}), std::length_error);
+  EXPECT_THROW(t.prepend(ids[0], 77), std::length_error);
+  // Everything interned before the cap is still intact.
+  for (AsId as = 0; as < 4; ++as) {
+    EXPECT_EQ(t.as_path(ids[as]), AsPath({as, as + 100, as + 200, as + 300}));
+  }
+}
+
+TEST(PathTable, MemoryBytesIsChunkGranular) {
+  PathTable t(/*chunk_hop_bits=*/4, /*max_chunks=*/0);  // 16-hop blocks
+  const std::size_t chunk_bytes = t.chunk_hops() * sizeof(AsId);
+  EXPECT_EQ(t.chunk_count(), 0u) << "blocks are allocated lazily";
+  const std::size_t empty_bytes = t.memory_bytes();
+
+  t.intern(AsPath{{1}});
+  EXPECT_EQ(t.chunk_count(), 1u);
+  EXPECT_GE(t.memory_bytes(), empty_bytes + chunk_bytes)
+      << "a partially filled block is charged whole";
+
+  // Filling within the block allocates nothing new...
+  for (AsId as = 2; as <= 8; ++as) t.intern(AsPath{{as, as}});
+  EXPECT_EQ(t.chunk_count(), 1u);
+  // ...and spilling past it costs exactly one more block.
+  const std::size_t before = t.memory_bytes();
+  t.intern(AsPath{{50, 51, 52}});
+  EXPECT_EQ(t.chunk_count(), 2u);
+  EXPECT_GE(t.memory_bytes(), before + chunk_bytes);
+}
+
+TEST(PathTable, ClearReleasesBlocksAndShrinkTrimsIndex) {
+  PathTable t;
+  for (AsId as = 0; as < 100000; ++as) t.intern(AsPath{{as, as + 1, as + 2}});
+  ASSERT_GT(t.chunk_count(), 0u);
+  const std::size_t grown = t.memory_bytes();
+
+  t.clear();
+  EXPECT_EQ(t.chunk_count(), 0u) << "clear() releases every hop block";
+  EXPECT_EQ(t.arena_hops(), 0u);
+  // The hash index keeps its grown capacity for cheap reuse...
+  EXPECT_LT(t.memory_bytes(), grown);
+  const std::size_t after_clear = t.memory_bytes();
+
+  // ...until shrink_to_fit rehashes it down and releases the overshoot
+  // (the pre-fix shrink_to_fit forgot index_ entirely).
+  t.shrink_to_fit();
+  EXPECT_LT(t.memory_bytes(), after_clear);
+  EXPECT_LT(t.memory_bytes(), 64 * 1024u)
+      << "an empty shrunk table should be back to its initial footprint";
+
+  // Clear-then-reuse round-trip: the table is fully functional afterwards.
+  const PathId id = t.prepend(t.intern(AsPath{{5, 6}}), 4);
+  EXPECT_EQ(t.as_path(id), AsPath({4, 5, 6}));
+  EXPECT_EQ(t.intern(AsPath{{4, 5, 6}}), id);
+}
+
+TEST(PathTable, EpochCompactionReclaimsBlocks) {
+  // Mimics Network::compact_paths: a churned epoch holds millions of dead
+  // hops; re-interning the small live set into a fresh table and retiring
+  // the old one must actually drop memory_bytes() block-by-block.
+  PathTable old;
+  std::vector<PathId> live;
+  for (AsId as = 0; as < 400000; ++as) {
+    const PathId id = old.intern(AsPath{{as, as + 1, as + 2, as + 3}});
+    if (as % 1000 == 0) live.push_back(id);
+  }
+  const std::size_t churned = old.memory_bytes();
+
+  PathTable fresh;
+  std::vector<PathId> remapped;
+  for (const PathId id : live) remapped.push_back(fresh.intern(old.hops(id)));
+  fresh.shrink_to_fit();
+  const std::size_t compacted = fresh.memory_bytes();
+  EXPECT_LT(compacted * 10, churned)
+      << "compaction should reclaim the dead epoch's blocks";
+
+  old = std::move(fresh);  // retire the churned epoch wholesale
+  EXPECT_EQ(old.memory_bytes(), compacted);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const AsId as = static_cast<AsId>(i * 1000);
+    EXPECT_EQ(old.as_path(remapped[i]), AsPath({as, as + 1, as + 2, as + 3}));
   }
 }
 

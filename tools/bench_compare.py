@@ -15,7 +15,10 @@ Two subcommands:
       Compares two scale-suite runs (the default interned build vs the
       -DBGPSIM_DEEP_COPY_PATHS=ON baseline) and requires the interned
       build to use at least --min-ratio times fewer bytes per stored
-      route at every common n.
+      route at every common n, and -- now that the chunked path arena
+      removed the realloc spikes -- a per-point peak RSS no higher than
+      the deep-copy build's (points are independent: scale_suite resets
+      VmHWM before each run).
 
 Exit status: 0 = all gates pass, 1 = regression / mismatch, 2 = usage or
 malformed input.
@@ -132,6 +135,11 @@ def regress_scale(base, cand, tolerance, gate):
                         1.0 / require_point_key(bp, "bytes_per_route", f"baseline n={n}"),
                         1.0 / require_point_key(p, "bytes_per_route", f"candidate n={n}"),
                         tolerance)
+        # peak_rss_bytes must be present (older binaries silently carried
+        # the process-wide high-water mark forward between points); the
+        # interned-vs-deepcopy bound itself is gated by `memratio`, which
+        # compares runs from the same machine.
+        require_point_key(p, "peak_rss_bytes", f"candidate n={n}")
         wall_b = bp.get("converge_wall_s", 0) + bp.get("failure_wall_s", 0)
         wall_c = p.get("converge_wall_s", 0) + p.get("failure_wall_s", 0)
         if wall_b > 0 and wall_c > 0:
@@ -209,6 +217,15 @@ def cmd_memratio(args):
             ratio >= args.min_ratio,
             f"deepcopy {deep_bpr:.1f} / interned {int_bpr:.1f} "
             f"= {ratio:.2f}x (need >= {args.min_ratio:g}x)")
+        # The chunked arena's whole point: interning must not cost more
+        # peak RSS than deep copies at any scale (the old monolithic
+        # arena's realloc doubling lost this at n=4000).
+        deep_rss = require_point_key(dp, "peak_rss_bytes", f"deepcopy n={n}")
+        int_rss = require_point_key(p, "peak_rss_bytes", f"interned n={n}")
+        gate.require(
+            f"n={n}.peak_rss interned <= deepcopy",
+            int_rss <= deep_rss,
+            f"interned {int_rss / 2**20:.1f} MiB vs deepcopy {deep_rss / 2**20:.1f} MiB")
     gate.require("common points", common > 0, f"{common} n-values compared")
     return gate.finish()
 

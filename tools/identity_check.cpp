@@ -8,12 +8,54 @@
 // fields are printed as hexfloats, so equality of the text is equality of
 // the bits.
 //
+// Beyond the per-run counters, each run prints a digest over the full
+// post-run Loc-RIB *content* (router, prefix, materialized hop sequence):
+// counters alone would miss a storage bug that corrupts which hops a path
+// resolves to while leaving the decision process's counts intact --
+// exactly the failure mode a chunked-arena (or any path-storage) bug
+// would produce.
+//
 // Usage: identity_check [> out.txt]   Knobs: BGPSIM_N, BGPSIM_SEEDS.
 #include <cinttypes>
 #include <cstdio>
 
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
+
+namespace {
+
+// FNV-1a, same constants as PathTable's hop hash; folded over every
+// (router, prefix, path) triple in iteration order (deterministic: flat
+// RIBs iterate ascending).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+std::uint64_t rib_digest(bgpsim::bgp::Network& net) {
+  using namespace bgpsim;
+  std::uint64_t h = kFnvOffset;
+  for (bgp::NodeId v = 0; v < net.size(); ++v) {
+    const bgp::Router& r = net.router(v);
+    if (!r.alive()) continue;
+    for (const bgp::Prefix p : r.known_prefixes()) {
+      const auto e = r.best(p);
+      if (!e.has_value()) continue;
+      mix(h, v);
+      mix(h, p);
+      mix(h, e->local ? 1 : 0);
+      mix(h, e->learned_from);
+      mix(h, e->path.length());
+      for (const bgp::AsId as : e->path.hops()) mix(h, as);
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 int main() {
   using namespace bgpsim;
@@ -35,17 +77,28 @@ int main() {
     }
   }
 
+  // Harvest the RIB digest while each run's Network is still alive. The
+  // hook is read-only, so the measured results are untouched; run_sweep is
+  // bit-identical to a serial loop, so digests land at fixed indices.
+  std::vector<std::uint64_t> digests(grid.size(), 0);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i].on_complete = [&digests, i](bgp::Network& net, std::uint64_t) {
+      digests[i] = rib_digest(net);
+    };
+  }
+
   const auto results = harness::run_sweep(grid);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf(
         "run %zu seed %" PRIu64 ": init %a conv %a rec %a msgs %" PRIu64 " adv %" PRIu64
         " wdr %" PRIu64 " total %" PRIu64 " proc %" PRIu64 " dropped %" PRIu64
-        " events %" PRIu64 " routers %zu failed %zu valid %d audit '%s'\n",
+        " events %" PRIu64 " routers %zu failed %zu valid %d audit '%s' rib %016" PRIx64
+        "\n",
         i, grid[i].seed, r.initial_convergence_s, r.convergence_delay_s, r.recovery_delay_s,
         r.messages_after_failure, r.adverts_after_failure, r.withdrawals_after_failure,
         r.messages_total, r.messages_processed, r.batch_dropped, r.events, r.routers,
-        r.failed_routers, r.routes_valid ? 1 : 0, r.audit_error.c_str());
+        r.failed_routers, r.routes_valid ? 1 : 0, r.audit_error.c_str(), digests[i]);
   }
   return 0;
 }
