@@ -1,0 +1,149 @@
+// Checkpoint warm-start suite: cold sweep vs warm-start sweep at scale.
+//
+// A failure-fraction sweep re-pays the cold-start convergence -- by far the
+// dominant cost at n >= 1000 (see BENCH_scale.json: ~11 s converge vs ~1.4 s
+// failure wall at n=1000) -- once per run even though every run of a
+// (topology, scheme, seed) group converges to the same state. This suite
+// runs the paper's failure grid both ways: cold through harness::run_sweep
+// and warm through harness::run_sweep_warm (converge once per group,
+// checkpoint the quiescent state, fan the failure scenarios out from the
+// snapshot). It verifies the two produce bit-identical results and writes
+// BENCH_checkpoint.json; tools/bench_compare.py gates the identity flag and
+// the warm speedup.
+//
+// Usage: checkpoint_suite [output.json]   (default: BENCH_checkpoint.json in
+// the current directory; run from the repo root to update the tracked file)
+//
+// Knobs: BGPSIM_N (default 1000), BGPSIM_SEEDS (default 2), BGPSIM_THREADS.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgp/checkpoint.hpp"
+#include "harness/warmstart.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool same_run(const bgpsim::harness::RunResult& a, const bgpsim::harness::RunResult& b) {
+  return a.initial_convergence_s == b.initial_convergence_s &&
+         a.convergence_delay_s == b.convergence_delay_s &&
+         a.recovery_delay_s == b.recovery_delay_s &&
+         a.messages_after_recovery == b.messages_after_recovery &&
+         a.messages_after_failure == b.messages_after_failure &&
+         a.adverts_after_failure == b.adverts_after_failure &&
+         a.withdrawals_after_failure == b.withdrawals_after_failure &&
+         a.messages_total == b.messages_total &&
+         a.messages_processed == b.messages_processed &&
+         a.batch_dropped == b.batch_dropped && a.events == b.events &&
+         a.routers == b.routers && a.failed_routers == b.failed_routers &&
+         a.routes_valid == b.routes_valid && a.audit_error == b.audit_error;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_checkpoint.json";
+  const std::size_t n = bench::env_or("BGPSIM_N", 1000);
+  const std::size_t seeds = harness::bench_seeds(2);
+
+  // A failure-size sweep at scale: every fraction shares the seed's
+  // converged state, so the warm sweep converges `seeds` times instead of
+  // `seeds * |grid|` times. The fractions are smaller than the paper's
+  // n=120 grid (1..5 routers of 1000): at n=1000 the failure phase's wall
+  // cost grows superlinearly (10 routers already cost more than the
+  // cold-start convergence) and fractions >= 5% intern enough transient
+  // exploration paths to exhaust the 32-bit path arena -- a pre-existing
+  // scale limit of the uncompacted failure phase, independent of
+  // checkpointing (compaction only runs at quiescence).
+  const std::vector<double> failure_fractions{0.001, 0.002, 0.003, 0.004, 0.005};
+  std::vector<harness::ExperimentConfig> sweep;
+  for (const double failure : failure_fractions) {
+    for (std::size_t i = 0; i < seeds; ++i) {
+      auto cfg = bench::paper_default();
+      cfg.topology.n = n;
+      cfg.failure_fraction = failure;
+      cfg.scheme = harness::SchemeSpec::constant(2.25);
+      cfg.seed = cfg.seed + i;
+      sweep.push_back(cfg);
+    }
+  }
+  std::size_t groups = 0;
+  {
+    std::vector<std::uint64_t> digests;
+    for (const auto& cfg : sweep) {
+      const auto d = harness::converged_state_digest(cfg);
+      bool seen = false;
+      for (const auto known : digests) seen = seen || known == d;
+      if (!seen) digests.push_back(d);
+    }
+    groups = digests.size();
+  }
+
+  std::printf("checkpoint_suite: %zu runs (%zu nodes, %zu group(s)), %zu thread(s)\n",
+              sweep.size(), n, groups, harness::harness_threads());
+  std::fflush(stdout);
+
+  const auto t_cold = Clock::now();
+  const auto cold = harness::run_sweep(sweep);
+  const double cold_s = seconds_since(t_cold);
+  std::printf("  cold: %.3f s\n", cold_s);
+  std::fflush(stdout);
+
+  const auto t_warm = Clock::now();
+  const auto warm = harness::run_sweep_warm(sweep);
+  const double warm_s = seconds_since(t_warm);
+  std::printf("  warm: %.3f s\n", warm_s);
+
+  bool identical = cold.size() == warm.size();
+  for (std::size_t i = 0; identical && i < cold.size(); ++i) {
+    identical = same_run(cold[i], warm[i]);
+  }
+  std::uint64_t events = 0;
+  for (const auto& r : cold) events += r.events;
+
+  // Snapshot size at this scale (one extra converge; also exercises the
+  // capture -> encode path outside the sweep machinery).
+  const auto snap = harness::converge_snapshot(sweep[0]);
+  const std::size_t checkpoint_bytes = bgp::encode_checkpoint(snap.checkpoint).size();
+
+  const double speedup = warm_s > 0 ? cold_s / warm_s : 0.0;
+  std::printf("  speedup: %.2fx, checkpoint %.1f MiB, results identical: %s\n", speedup,
+              static_cast<double>(checkpoint_bytes) / (1024.0 * 1024.0),
+              identical ? "yes" : "NO (BUG)");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "checkpoint_suite: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"checkpoint\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"seeds_per_point\": %zu,\n"
+               "  \"runs\": %zu,\n"
+               "  \"groups\": %zu,\n"
+               "  \"threads\": %zu,\n"
+               "  \"events_total\": %llu,\n"
+               "  \"cold_wall_s\": %.6f,\n"
+               "  \"warm_wall_s\": %.6f,\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"checkpoint_bytes\": %zu,\n"
+               "  \"warm_identical_to_cold\": %s\n"
+               "}\n",
+               n, seeds, sweep.size(), groups, harness::harness_threads(),
+               static_cast<unsigned long long>(events), cold_s, warm_s, speedup,
+               checkpoint_bytes, identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return identical ? 0 : 2;
+}

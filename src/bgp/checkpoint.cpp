@@ -1,0 +1,519 @@
+#include "bgp/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "sim/wire.hpp"
+
+namespace bgpsim::bgp {
+
+namespace {
+
+using sim::wire::Reader;
+using sim::wire::Writer;
+
+#ifdef BGPSIM_DEEP_COPY_PATHS
+constexpr bool kDeepCopyBuild = true;
+#else
+constexpr bool kDeepCopyBuild = false;
+#endif
+
+// Same FNV-1a constants as PathTable's hop hash and tools/identity_check.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+void write_pathref(Writer& w, const PathTable& t, const PathRef& ref) {
+#ifdef BGPSIM_DEEP_COPY_PATHS
+  (void)t;
+  w.u32(static_cast<std::uint32_t>(ref.length()));
+  for (const AsId as : ref.hops()) w.u32(as);
+#else
+  (void)t;
+  w.u32(ref);
+#endif
+}
+
+PathRef read_pathref(Reader& rd, const PathTable& t) {
+#ifdef BGPSIM_DEEP_COPY_PATHS
+  (void)t;
+  const std::uint32_t len = rd.u32();
+  std::vector<AsId> hops(len);
+  for (auto& h : hops) h = rd.u32();
+  return AsPath{std::move(hops)};
+#else
+  const PathId id = rd.u32();
+  if (id >= t.size()) throw std::runtime_error{"checkpoint: path id out of range"};
+  return id;
+#endif
+}
+
+}  // namespace
+
+// Friend of Network and Router: walks their private state in a fixed,
+// deterministic order (flat maps iterate ascending) so save -> restore ->
+// save reproduces the blob byte for byte.
+struct CheckpointCodec {
+  static void verify_quiescent(const Network& net) {
+    if (!net.sched_.empty()) {
+      throw std::logic_error{"checkpoint: network is not quiescent (events pending)"};
+    }
+    // Belt and braces: with an empty heap none of these can hold, but a
+    // cheap scan turns a scheduler-accounting bug into a loud failure
+    // instead of a silently wrong checkpoint.
+    for (const auto& rp : net.routers_) {
+      const Router& r = *rp;
+      if (!r.queue_.empty() || r.cpu_busy_) {
+        throw std::logic_error{"checkpoint: router mid-processing at capture"};
+      }
+      for (const auto& s : r.sessions_) {
+        if (s.timer_running || !s.pending.empty() || !s.dest_pending.empty()) {
+          throw std::logic_error{"checkpoint: MRAI state pending at capture"};
+        }
+      }
+    }
+  }
+
+  static void save(const Network& net, std::string& out) {
+    verify_quiescent(net);
+    Writer w{out};
+    w.u8(kDeepCopyBuild ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(net.routers_.size()));
+    const auto qs = net.sched_.quiescent_state();
+    w.time(qs.now);
+    w.u64(qs.next_seq);
+    w.u64(qs.executed);
+    w.str(net.rng_.save_state());
+    const NetMetrics& m = net.metrics_;
+    w.u64(m.updates_sent);
+    w.u64(m.adverts_sent);
+    w.u64(m.withdrawals_sent);
+    w.u64(m.messages_processed);
+    w.u64(m.batch_dropped);
+    w.u64(m.rib_changes);
+    w.time(m.last_rib_change);
+    w.time(m.last_activity);
+    std::string scheme;
+    net.mrai_->save_state(scheme);
+    w.str(scheme);
+    // Path dictionary (interned builds): every distinct path in id order.
+    // Restore re-interns in the same order, which reproduces the identical
+    // dense numbering -- so the u32 ids stored in the RIB sections below
+    // resolve to the same hop sequences after restore.
+#ifdef BGPSIM_DEEP_COPY_PATHS
+    w.u32(0);
+#else
+    const PathTable& t = net.paths_;
+    w.u32(static_cast<std::uint32_t>(t.size()));
+    for (PathId id = 1; id < static_cast<PathId>(t.size()); ++id) {
+      const auto hops = t.hops(id);
+      w.u32(static_cast<std::uint32_t>(hops.size()));
+      for (const AsId as : hops) w.u32(as);
+    }
+#endif
+    for (const auto& r : net.routers_) save_router(*r, net.paths_, w);
+  }
+
+  static void load(Network& net, std::string_view state) {
+    if (!net.sched_.empty()) {
+      throw std::logic_error{"checkpoint: restore requires an idle network"};
+    }
+    Reader rd{state};
+    const bool deep = rd.u8() != 0;
+    if (deep != kDeepCopyBuild) {
+      throw std::runtime_error{
+          "checkpoint: path-storage mode mismatch (captured by a different build)"};
+    }
+    const std::uint32_t nrouters = rd.u32();
+    if (nrouters != net.routers_.size()) {
+      throw std::runtime_error{"checkpoint: router count mismatch (different topology?)"};
+    }
+    sim::Scheduler::QuiescentState qs;
+    qs.now = rd.time();
+    qs.next_seq = rd.u64();
+    qs.executed = rd.u64();
+    net.sched_.restore_quiescent(qs);
+    net.rng_.load_state(std::string{rd.str()});
+    NetMetrics& m = net.metrics_;
+    m.updates_sent = rd.u64();
+    m.adverts_sent = rd.u64();
+    m.withdrawals_sent = rd.u64();
+    m.messages_processed = rd.u64();
+    m.batch_dropped = rd.u64();
+    m.rib_changes = rd.u64();
+    m.last_rib_change = rd.time();
+    m.last_activity = rd.time();
+    net.mrai_->load_state(rd.str());
+    const std::uint32_t path_count = rd.u32();
+#ifdef BGPSIM_DEEP_COPY_PATHS
+    if (path_count != 0) {
+      throw std::runtime_error{"checkpoint: unexpected path dictionary in deep-copy mode"};
+    }
+#else
+    net.paths_.clear();
+    std::vector<AsId> hops;
+    for (PathId id = 1; id < path_count; ++id) {
+      const std::uint32_t len = rd.u32();
+      hops.resize(len);
+      for (auto& h : hops) h = rd.u32();
+      const PathId got = net.paths_.intern(std::span<const AsId>{hops});
+      if (got != id) {
+        throw std::runtime_error{"checkpoint: path dictionary is not canonically ordered"};
+      }
+    }
+#endif
+    for (auto& r : net.routers_) load_router(*r, net.paths_, rd);
+    if (!rd.done()) throw std::runtime_error{"checkpoint: trailing bytes in state"};
+  }
+
+  static void save_router(const Router& r, const PathTable& paths, Writer& w) {
+    w.u8(r.alive_ ? 1 : 0);
+    w.u64(r.updates_sent_);
+    w.u64(r.updates_received_);
+    const auto tracker = [&w](const DecayingRate& d) {
+      const auto p = d.persisted();
+      w.f64(p.value);
+      w.time(p.last);
+    };
+    tracker(r.busy_tracker_);
+    tracker(r.msg_tracker_);
+    tracker(r.loss_tracker_);
+    w.u32(static_cast<std::uint32_t>(r.loc_rib_.size()));
+    r.loc_rib_.for_each([&](Prefix p, const Router::RibRoute& e) {
+      w.u32(p);
+      write_pathref(w, paths, e.path);
+      w.u32(e.learned_from);
+      w.u8(static_cast<std::uint8_t>((e.ebgp_learned ? 1 : 0) | (e.local ? 2 : 0)));
+      w.u8(static_cast<std::uint8_t>(e.learned_rel));
+    });
+    w.u32(static_cast<std::uint32_t>(r.sessions_.size()));
+    for (const auto& s : r.sessions_) {
+      w.u8(s.up ? 1 : 0);
+      w.u32(static_cast<std::uint32_t>(s.adj_in.size()));
+      s.adj_in.for_each([&](Prefix p, const PathRef& ref) {
+        w.u32(p);
+        write_pathref(w, paths, ref);
+      });
+      w.u32(static_cast<std::uint32_t>(s.adj_out.size()));
+      s.adj_out.for_each([&](Prefix p, const PathRef& ref) {
+        w.u32(p);
+        write_pathref(w, paths, ref);
+      });
+      w.u32(static_cast<std::uint32_t>(s.damping.size()));
+      s.damping.for_each([&](Prefix p, const Router::DampState& d) {
+        w.u32(p);
+        w.f64(d.penalty);
+        w.time(d.last_decay);
+        w.u8(d.suppressed ? 1 : 0);
+      });
+    }
+    w.u32(static_cast<std::uint32_t>(r.change_counts_.size()));
+    r.change_counts_.for_each([&](Prefix p, const Router::ChangeCount& c) {
+      w.u32(p);
+      const auto pe = c.rate.persisted();
+      w.f64(pe.value);
+      w.time(pe.last);
+    });
+  }
+
+  static void load_router(Router& r, PathTable& paths, Reader& rd) {
+    r.alive_ = rd.u8() != 0;
+    r.updates_sent_ = rd.u64();
+    r.updates_received_ = rd.u64();
+    const auto tracker = [&rd](DecayingRate& d) {
+      DecayingRate::Persisted p;
+      p.value = rd.f64();
+      p.last = rd.time();
+      d.restore(p);
+    };
+    tracker(r.busy_tracker_);
+    tracker(r.msg_tracker_);
+    tracker(r.loss_tracker_);
+    r.loc_rib_.clear();
+    const std::uint32_t nrib = rd.u32();
+    for (std::uint32_t i = 0; i < nrib; ++i) {
+      const Prefix p = rd.u32();
+      Router::RibRoute e;
+      e.path = read_pathref(rd, paths);
+      e.learned_from = rd.u32();
+      const std::uint8_t flags = rd.u8();
+      e.ebgp_learned = (flags & 1) != 0;
+      e.local = (flags & 2) != 0;
+      e.learned_rel = static_cast<PeerRelation>(rd.u8());
+      r.loc_rib_.insert_or_assign(p, std::move(e));
+    }
+    const std::uint32_t nsess = rd.u32();
+    if (nsess != r.sessions_.size()) {
+      throw std::runtime_error{"checkpoint: session count mismatch (different topology?)"};
+    }
+    for (auto& s : r.sessions_) {
+      s.up = rd.u8() != 0;
+      // Quiescence invariant: no timers running at capture, so all timer
+      // state restores to "idle" -- pre-restore handles stay stale because
+      // Scheduler::restore_quiescent leaves slot generations alone.
+      s.timer_running = false;
+      s.timer = sim::EventHandle{};
+      s.pending.clear();
+      s.dest_pending.clear();
+      s.dest_timers.clear();
+      s.adj_in.clear();
+      const std::uint32_t nin = rd.u32();
+      for (std::uint32_t i = 0; i < nin; ++i) {
+        const Prefix p = rd.u32();
+        s.adj_in.insert_or_assign(p, read_pathref(rd, paths));
+      }
+      s.adj_out.clear();
+      const std::uint32_t nout = rd.u32();
+      for (std::uint32_t i = 0; i < nout; ++i) {
+        const Prefix p = rd.u32();
+        s.adj_out.insert_or_assign(p, read_pathref(rd, paths));
+      }
+      s.damping.clear();
+      const std::uint32_t nd = rd.u32();
+      for (std::uint32_t i = 0; i < nd; ++i) {
+        const Prefix p = rd.u32();
+        Router::DampState d;
+        d.penalty = rd.f64();
+        d.last_decay = rd.time();
+        d.suppressed = rd.u8() != 0;
+        s.damping.insert_or_assign(p, std::move(d));
+      }
+    }
+    r.change_counts_.clear();
+    const std::uint32_t nc = rd.u32();
+    for (std::uint32_t i = 0; i < nc; ++i) {
+      const Prefix p = rd.u32();
+      DecayingRate::Persisted pe;
+      pe.value = rd.f64();
+      pe.last = rd.time();
+      r.change_counts_[p].rate.restore(pe);
+    }
+    r.queue_.clear();
+    r.cpu_busy_ = false;
+  }
+};
+
+Checkpoint capture_checkpoint(const Network& net, std::uint64_t config_digest,
+                              double initial_convergence_s) {
+  Checkpoint ck;
+  ck.config_digest = config_digest;
+  ck.initial_convergence_s = initial_convergence_s;
+  CheckpointCodec::save(net, ck.state);
+  return ck;
+}
+
+void restore_checkpoint(Network& net, const Checkpoint& ck,
+                        std::uint64_t expected_config_digest) {
+  if (ck.config_digest != expected_config_digest) {
+    throw std::runtime_error{
+        "checkpoint: configuration digest mismatch (captured for a different run)"};
+  }
+  CheckpointCodec::load(net, ck.state);
+}
+
+std::string encode_checkpoint(const Checkpoint& ck) {
+  std::string out;
+  out.append(kCheckpointMagic, 4);
+  Writer w{out};
+  w.u16(kCheckpointVersion);
+  w.u16(kDeepCopyBuild ? kCheckpointFlagDeepCopyPaths : 0);
+  w.u64(ck.config_digest);
+  w.f64(ck.initial_convergence_s);
+  w.str(ck.state);
+  return out;
+}
+
+namespace {
+
+/// Parses and validates the header; returns a reader positioned at the
+/// length-prefixed state together with the decoded metadata.
+struct Header {
+  std::uint16_t version = 0;
+  std::uint16_t flags = 0;
+  std::uint64_t config_digest = 0;
+  double initial_convergence_s = 0.0;
+  std::string_view state;
+};
+
+Header decode_header(std::string_view bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kCheckpointMagic, 4) != 0) {
+    throw std::runtime_error{"checkpoint: not a .bgck file (bad magic)"};
+  }
+  Reader rd{bytes.substr(4)};
+  Header h;
+  h.version = rd.u16();
+  if (h.version == 0 || h.version > kCheckpointVersion) {
+    throw std::runtime_error{"checkpoint: unsupported version " + std::to_string(h.version)};
+  }
+  h.flags = rd.u16();
+  h.config_digest = rd.u64();
+  h.initial_convergence_s = rd.f64();
+  h.state = rd.str();
+  if (!rd.done()) throw std::runtime_error{"checkpoint: trailing bytes after state"};
+  return h;
+}
+
+}  // namespace
+
+Checkpoint decode_checkpoint(std::string_view bytes) {
+  const Header h = decode_header(bytes);
+  const bool deep = (h.flags & kCheckpointFlagDeepCopyPaths) != 0;
+  if (deep != kDeepCopyBuild) {
+    throw std::runtime_error{
+        "checkpoint: path-storage mode mismatch (captured by a different build)"};
+  }
+  Checkpoint ck;
+  ck.config_digest = h.config_digest;
+  ck.initial_convergence_s = h.initial_convergence_s;
+  ck.state = std::string{h.state};
+  return ck;
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck) {
+  const std::string bytes = encode_checkpoint(ck);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw std::runtime_error{"checkpoint: cannot open " + path + " for writing"};
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = written == bytes.size() && std::fclose(f) == 0;
+  if (!ok) throw std::runtime_error{"checkpoint: short write to " + path};
+}
+
+Checkpoint read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"checkpoint: cannot open " + path};
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buf, 1, sizeof buf, f);
+    bytes.append(buf, got);
+    if (got < sizeof buf) break;
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) throw std::runtime_error{"checkpoint: read error on " + path};
+  return decode_checkpoint(bytes);
+}
+
+// Build-independent summary: decodes either path-storage mode by branching
+// on the header flag at runtime (the inspect CLI must be able to describe
+// any .bgck file, including ones from the other build).
+CheckpointInfo inspect_checkpoint(std::string_view bytes) {
+  const Header h = decode_header(bytes);
+  CheckpointInfo info;
+  info.version = h.version;
+  info.deep_copy_paths = (h.flags & kCheckpointFlagDeepCopyPaths) != 0;
+  info.config_digest = h.config_digest;
+  info.initial_convergence_s = h.initial_convergence_s;
+  info.state_bytes = h.state.size();
+  info.state_digest = kFnvOffset;
+  for (const char c : h.state) mix(info.state_digest, static_cast<unsigned char>(c));
+
+  Reader rd{h.state};
+  const bool deep = rd.u8() != 0;
+  if (deep != info.deep_copy_paths) {
+    throw std::runtime_error{"checkpoint: header/state mode disagreement"};
+  }
+  info.routers = rd.u32();
+  info.sim_now_ns = rd.i64();
+  (void)rd.u64();  // next_seq
+  info.executed_events = rd.u64();
+  (void)rd.str();  // rng
+  info.updates_sent = rd.u64();
+  for (int i = 0; i < 5; ++i) (void)rd.u64();  // remaining counters
+  (void)rd.i64();                              // last_rib_change
+  (void)rd.i64();                              // last_activity
+  (void)rd.str();                              // scheme blob
+  const std::uint32_t path_count = rd.u32();
+  info.distinct_paths = path_count;
+  std::vector<std::vector<AsId>> dict;
+  if (path_count > 0) {
+    dict.resize(path_count);  // id 0 is the empty path
+    for (std::uint32_t id = 1; id < path_count; ++id) {
+      const std::uint32_t len = rd.u32();
+      dict[id].resize(len);
+      for (auto& hop : dict[id]) hop = rd.u32();
+    }
+  }
+  // Reads one serialized path reference; returns the materialized hops.
+  std::vector<AsId> scratch;
+  const auto read_hops = [&]() -> const std::vector<AsId>& {
+    if (deep) {
+      const std::uint32_t len = rd.u32();
+      scratch.resize(len);
+      for (auto& hop : scratch) hop = rd.u32();
+      return scratch;
+    }
+    const std::uint32_t id = rd.u32();
+    if (id >= dict.size()) throw std::runtime_error{"checkpoint: path id out of range"};
+    return dict[id];
+  };
+
+  info.rib_digest = kFnvOffset;
+  for (std::uint32_t v = 0; v < info.routers; ++v) {
+    const bool alive = rd.u8() != 0;
+    if (alive) ++info.alive_routers;
+    (void)rd.u64();  // updates_sent
+    (void)rd.u64();  // updates_received
+    for (int t = 0; t < 3; ++t) {
+      (void)rd.f64();
+      (void)rd.i64();
+    }
+    const std::uint32_t nrib = rd.u32();
+    info.loc_rib_routes += nrib;
+    for (std::uint32_t i = 0; i < nrib; ++i) {
+      const Prefix p = rd.u32();
+      const auto& hops = read_hops();
+      const std::uint32_t learned_from = rd.u32();
+      const std::uint8_t flags = rd.u8();
+      (void)rd.u8();  // relation
+      if (!alive) continue;  // same filter as identity_check's rib_digest
+      mix(info.rib_digest, v);
+      mix(info.rib_digest, p);
+      mix(info.rib_digest, (flags & 2) != 0 ? 1 : 0);  // local
+      mix(info.rib_digest, learned_from);
+      mix(info.rib_digest, hops.size());
+      for (const AsId as : hops) mix(info.rib_digest, as);
+    }
+    const std::uint32_t nsess = rd.u32();
+    info.sessions += nsess;
+    for (std::uint32_t s = 0; s < nsess; ++s) {
+      (void)rd.u8();  // up
+      const std::uint32_t nin = rd.u32();
+      info.adj_in_routes += nin;
+      for (std::uint32_t i = 0; i < nin; ++i) {
+        (void)rd.u32();
+        (void)read_hops();
+      }
+      const std::uint32_t nout = rd.u32();
+      info.adj_out_routes += nout;
+      for (std::uint32_t i = 0; i < nout; ++i) {
+        (void)rd.u32();
+        (void)read_hops();
+      }
+      const std::uint32_t nd = rd.u32();
+      for (std::uint32_t i = 0; i < nd; ++i) {
+        (void)rd.u32();
+        (void)rd.f64();
+        (void)rd.i64();
+        (void)rd.u8();
+      }
+    }
+    const std::uint32_t nc = rd.u32();
+    for (std::uint32_t i = 0; i < nc; ++i) {
+      (void)rd.u32();
+      (void)rd.f64();
+      (void)rd.i64();
+    }
+  }
+  if (!rd.done()) throw std::runtime_error{"checkpoint: trailing bytes in state"};
+  return info;
+}
+
+}  // namespace bgpsim::bgp

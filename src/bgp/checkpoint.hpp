@@ -1,0 +1,103 @@
+// Quiescent checkpoint/restore (.bgck).
+//
+// At quiescence the event heap is empty -- no updates in flight, no MRAI
+// or damping timers running, no router mid-processing -- so the full
+// simulation state collapses to plain data: the scheduler's clock and
+// counters, the RNG stream position, the network metrics, the scheme's
+// adaptive state, the path dictionary and every router's RIBs, session
+// flags, damping penalties and decay accumulators. capture_checkpoint()
+// serializes exactly that; restore_checkpoint() loads it into a network
+// built from the same configuration, after which the run continues
+// bit-identically to one that never stopped (the warm-start identity
+// argument lives in DESIGN.md "Checkpointing").
+//
+// On-disk format (.bgck, little-endian, same conventions as .bgtr/.bgtl):
+//
+//   "BGCK" | u16 version | u16 flags | u64 config_digest |
+//   f64 initial_convergence_s | u32 state_len | state bytes
+//
+// flags bit 0 records whether the producing build interned paths or
+// deep-copied them (-DBGPSIM_DEEP_COPY_PATHS); a checkpoint only restores
+// into the same mode. The state blob is length-prefixed throughout, so a
+// file that died mid-write is detected and rejected, never half-applied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bgpsim::bgp {
+
+class Network;
+
+inline constexpr char kCheckpointMagic[4] = {'B', 'G', 'C', 'K'};
+inline constexpr std::uint16_t kCheckpointVersion = 1;
+/// Header flag: the producing build deep-copied paths instead of interning.
+inline constexpr std::uint16_t kCheckpointFlagDeepCopyPaths = 1u << 0;
+
+/// A captured quiescent state plus the metadata needed to validate and
+/// resume from it.
+struct Checkpoint {
+  /// Caller-supplied identity of (topology, scheme, bgp config, seed); a
+  /// restore with a different digest is refused (the state would silently
+  /// diverge from what the configuration would have produced).
+  std::uint64_t config_digest = 0;
+  /// Simulated seconds the producer took to reach initial convergence
+  /// (reported as RunResult::initial_convergence_s by warm runs).
+  double initial_convergence_s = 0.0;
+  /// Opaque serialized network state.
+  std::string state;
+};
+
+/// Serializes `net`'s state. Throws std::logic_error unless the network is
+/// quiescent (empty scheduler, idle routers, no pending advertisements).
+Checkpoint capture_checkpoint(const Network& net, std::uint64_t config_digest,
+                              double initial_convergence_s);
+
+/// Loads a captured state into `net`, which must have been built from the
+/// configuration identified by `expected_config_digest` (router and session
+/// layout are validated structurally on top of the digest check) and must
+/// have no events pending -- either freshly built (before start()) or run
+/// to quiescence. Throws std::runtime_error on any mismatch or corruption;
+/// the scheduler/metrics/RIBs are only mutated after the header checks pass.
+void restore_checkpoint(Network& net, const Checkpoint& ck,
+                        std::uint64_t expected_config_digest);
+
+/// Encodes/decodes the on-disk representation. decode validates magic,
+/// version, path-storage mode and every length prefix; truncated or
+/// corrupted input throws std::runtime_error.
+std::string encode_checkpoint(const Checkpoint& ck);
+Checkpoint decode_checkpoint(std::string_view bytes);
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& ck);
+Checkpoint read_checkpoint_file(const std::string& path);
+
+/// Summary of a checkpoint's contents, computable without a Network (the
+/// inspect/diff CLI surface). rib_digest folds (router, prefix, local,
+/// learned_from, hop sequence) with the same FNV-1a shape as
+/// tools/identity_check, so two checkpoints of the same converged state
+/// diff equal even if compared across processes.
+struct CheckpointInfo {
+  std::uint16_t version = 0;
+  bool deep_copy_paths = false;
+  std::uint64_t config_digest = 0;
+  double initial_convergence_s = 0.0;
+  std::int64_t sim_now_ns = 0;
+  std::uint64_t executed_events = 0;
+  std::uint64_t updates_sent = 0;
+  std::uint32_t routers = 0;
+  std::uint32_t alive_routers = 0;
+  std::uint64_t sessions = 0;
+  std::uint32_t distinct_paths = 0;  ///< 0 in deep-copy checkpoints
+  std::uint64_t loc_rib_routes = 0;
+  std::uint64_t adj_in_routes = 0;
+  std::uint64_t adj_out_routes = 0;
+  std::size_t state_bytes = 0;
+  std::uint64_t state_digest = 0;  ///< FNV-1a over the raw state bytes
+  std::uint64_t rib_digest = 0;
+};
+
+/// Parses a full .bgck byte image (header + state) into a summary.
+CheckpointInfo inspect_checkpoint(std::string_view bytes);
+
+}  // namespace bgpsim::bgp

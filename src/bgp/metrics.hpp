@@ -56,6 +56,19 @@ class DecayingRate {
     return dt > 0 ? value_ * std::exp(-dt / tau_) : value_;
   }
 
+  /// Exact internal state for checkpointing. The decay timeline is
+  /// (value, last-decay-time); tau is configuration, not state, so a
+  /// restored accumulator must have been constructed with the same tau.
+  struct Persisted {
+    double value = 0.0;
+    sim::SimTime last;
+  };
+  Persisted persisted() const { return Persisted{value_, last_}; }
+  void restore(const Persisted& p) {
+    value_ = p.value;
+    last_ = p.last;
+  }
+
  private:
   void decay_to(sim::SimTime now) {
     const double dt = (now - last_).to_seconds();

@@ -8,6 +8,9 @@
 // schemes/dynamic_mrai.hpp.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bgp/types.hpp"
@@ -24,6 +27,17 @@ class MraiController {
   /// Base (un-jittered) MRAI for router `r`'s timer towards `peer`.
   /// Called at every timer (re)start; may update internal adaptive state.
   virtual sim::SimTime interval(Router& r, NodeId peer) = 0;
+
+  /// Checkpoint hooks: controllers with adaptive state (DynamicMrai)
+  /// serialize it into an opaque blob; stateless controllers keep the
+  /// defaults (empty blob, and a loud failure if asked to load one --
+  /// that means the checkpoint was taken under a different scheme).
+  virtual void save_state(std::string& out) const { out.clear(); }
+  virtual void load_state(std::string_view state) {
+    if (!state.empty()) {
+      throw std::runtime_error{"MraiController: checkpoint carries scheme state this controller cannot load"};
+    }
+  }
 };
 
 /// Constant MRAI, optionally overridden per node (used for the paper's

@@ -111,6 +111,9 @@ class Network {
   }
 
  private:
+  /// Serializes/restores the full quiescent network state (checkpoint.cpp).
+  friend struct CheckpointCodec;
+
   BgpConfig cfg_;
   std::shared_ptr<MraiController> mrai_;
   sim::Scheduler sched_;

@@ -127,6 +127,9 @@ class Router {
   void remap_paths(const PathTable& old, PathTable& fresh, std::vector<PathId>& memo);
 
  private:
+  /// Serializes/restores the full quiescent router state (checkpoint.cpp).
+  friend struct CheckpointCodec;
+
   /// RFC 2439 flap-damping bookkeeping for one (peer, prefix).
   struct DampState {
     double penalty = 0.0;

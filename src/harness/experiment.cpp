@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
 
+#include "bgp/checkpoint.hpp"
 #include "failure/failure.hpp"
 #include "harness/audit.hpp"
+#include "harness/warmstart.hpp"
 #include "schemes/degree_mrai.hpp"
 #include "topo/relations.hpp"
 
@@ -110,10 +113,20 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-}  // namespace
+/// A built-but-not-yet-converged run: everything run_experiment sets up
+/// before the first event fires. Shared by the cold path (prepare ->
+/// converge -> finish) and the warm path (prepare -> restore -> finish); the
+/// cold path's operation order is exactly the pre-refactor run_experiment.
+struct PreparedRun {
+  std::unique_ptr<bgp::Network> net;
+  BuiltScheme scheme;
+  RunResult res;
+  Clock::time_point t_run;
+};
 
-RunResult run_experiment(const ExperimentConfig& cfg) {
-  const auto t_run = Clock::now();
+PreparedRun prepare_run(const ExperimentConfig& cfg) {
+  PreparedRun pr;
+  pr.t_run = Clock::now();
   sim::Rng rng{cfg.seed};
   sim::Rng topo_rng = rng.fork();
   const auto net_seed = rng.engine()();
@@ -125,7 +138,7 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
     }
     built.as_rel = topo::infer_relations(*built.graph, cfg.topology.peer_tolerance);
   }
-  auto scheme = build_scheme(cfg.scheme, built.degrees);
+  pr.scheme = build_scheme(cfg.scheme, built.degrees);
 
   auto bgp_cfg = cfg.bgp;
   // The scheme's batching flag turns the paper's scheme on; otherwise the
@@ -133,32 +146,40 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   // router baseline) is preserved.
   if (cfg.scheme.batching) bgp_cfg.queue = bgp::QueueDiscipline::kBatched;
 
-  auto net = built.hier ? std::make_unique<bgp::Network>(*built.hier, bgp_cfg,
-                                                         scheme.controller, net_seed)
-             : built.as_rel
-                 ? std::make_unique<bgp::Network>(*built.as_rel, bgp_cfg, scheme.controller,
-                                                  net_seed)
-                 : std::make_unique<bgp::Network>(*built.graph, bgp_cfg, scheme.controller,
-                                                  net_seed);
+  pr.net = built.hier ? std::make_unique<bgp::Network>(*built.hier, bgp_cfg,
+                                                       pr.scheme.controller, net_seed)
+           : built.as_rel
+               ? std::make_unique<bgp::Network>(*built.as_rel, bgp_cfg, pr.scheme.controller,
+                                                net_seed)
+               : std::make_unique<bgp::Network>(*built.graph, bgp_cfg, pr.scheme.controller,
+                                                net_seed);
 
-  RunResult res;
-  res.routers = net->size();
-  res.timing.build_s = seconds_since(t_run);
+  pr.res.routers = pr.net->size();
+  pr.res.timing.build_s = seconds_since(pr.t_run);
 
   // Observers (trace sinks, telemetry samplers) attach before the first
   // event fires.
-  if (cfg.instrument) cfg.instrument(*net, cfg.seed);
+  if (cfg.instrument) cfg.instrument(*pr.net, cfg.seed);
+  return pr;
+}
 
-  // Phase 1: cold-start convergence.
+/// Phase 1: cold-start convergence.
+void converge_run(const ExperimentConfig& cfg, PreparedRun& pr) {
   const auto t_converge = Clock::now();
-  net->start();
+  pr.net->start();
   if (cfg.on_phase) cfg.on_phase(RunPhase::kColdStart);
-  const sim::SimTime quiet = net->run_to_quiescence();
-  res.initial_convergence_s = quiet.to_seconds();
-  res.timing.converge_s = seconds_since(t_converge);
+  const sim::SimTime quiet = pr.net->run_to_quiescence();
+  pr.res.initial_convergence_s = quiet.to_seconds();
+  pr.res.timing.converge_s = seconds_since(t_converge);
 
   // The paper's dynamic scheme starts every node at the lowest MRAI level.
-  if (scheme.dynamic) scheme.dynamic->reset();
+  if (pr.scheme.dynamic) pr.scheme.dynamic->reset();
+}
+
+/// Phases 2-3 plus metrics harvest and audit; consumes the prepared run.
+RunResult finish_run(const ExperimentConfig& cfg, PreparedRun& pr) {
+  auto& net = pr.net;
+  RunResult& res = pr.res;
 
   // Phase 2: contiguous failure at the grid centre.
   const topo::Point center{cfg.topology.grid / 2.0, cfg.topology.grid / 2.0};
@@ -215,8 +236,37 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   res.timing.audit_s = seconds_since(t_audit);
 
   if (cfg.on_complete) cfg.on_complete(*net, cfg.seed);
-  res.timing.total_s = seconds_since(t_run);
-  return res;
+  res.timing.total_s = seconds_since(pr.t_run);
+  return std::move(res);
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& cfg) {
+  PreparedRun pr = prepare_run(cfg);
+  converge_run(cfg, pr);
+  return finish_run(cfg, pr);
+}
+
+Snapshot converge_snapshot(const ExperimentConfig& cfg) {
+  PreparedRun pr = prepare_run(cfg);
+  converge_run(cfg, pr);
+  Snapshot snap;
+  snap.checkpoint = bgp::capture_checkpoint(*pr.net, converged_state_digest(cfg),
+                                            pr.res.initial_convergence_s);
+  snap.build_s = pr.res.timing.build_s;
+  snap.converge_s = pr.res.timing.converge_s;
+  return snap;
+}
+
+RunResult run_experiment_from(const ExperimentConfig& cfg, const Snapshot& snap) {
+  PreparedRun pr = prepare_run(cfg);
+  bgp::restore_checkpoint(*pr.net, snap.checkpoint, converged_state_digest(cfg));
+  pr.res.initial_convergence_s = snap.checkpoint.initial_convergence_s;
+  // Host-time accounting: this run paid build_s itself but inherited the
+  // convergence from the snapshot's producer.
+  pr.res.timing.converge_s = snap.converge_s;
+  return finish_run(cfg, pr);
 }
 
 Stats Stats::of(const std::vector<double>& xs) {

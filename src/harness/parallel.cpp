@@ -1,7 +1,9 @@
 #include "harness/parallel.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -10,10 +12,38 @@
 
 namespace bgpsim::harness {
 
+namespace {
+/// Upper bound on the sweep degree: well past any machine this runs on, and
+/// low enough that a fat-fingered BGPSIM_THREADS=100000 cannot ask the pool
+/// to spawn an absurd number of threads.
+constexpr std::size_t kMaxHarnessThreads = 512;
+
+void warn_threads_env(const char* env, const char* why) {
+  // One warning per process: harness_threads() is re-read on every parallel
+  // region, and a bad value should not flood a sweep's stderr.
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr, "bgpsim: BGPSIM_THREADS=\"%s\" %s\n", env, why);
+  }
+}
+}  // namespace
+
 std::size_t harness_threads() {
   if (const char* env = std::getenv("BGPSIM_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE || v <= 0) {
+      // The whole token must be a positive integer: "8x", "", " " and
+      // out-of-range values all fall back to hardware concurrency instead
+      // of whatever prefix strtol happened to accept.
+      warn_threads_env(env, "is not a positive integer; using hardware concurrency");
+    } else if (v > static_cast<long>(kMaxHarnessThreads)) {
+      warn_threads_env(env, "exceeds the 512-thread cap; clamping");
+      return kMaxHarnessThreads;
+    } else {
+      return static_cast<std::size_t>(v);
+    }
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
@@ -95,9 +125,12 @@ struct ThreadPool::Impl {
   void ensure_workers(std::size_t count) {
     std::lock_guard<std::mutex> lock{m};
     while (workers.size() < count) {
+      if (spawn_hook) spawn_hook();
       workers.emplace_back([this] { worker_loop(); });
     }
   }
+
+  std::function<void()> spawn_hook;  // guarded by m; test-only failure injection
 };
 
 ThreadPool::ThreadPool() : impl_{new Impl} {}
@@ -117,6 +150,16 @@ ThreadPool& ThreadPool::instance() {
   return pool;
 }
 
+void ThreadPool::set_spawn_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock{impl_->m};
+  impl_->spawn_hook = std::move(hook);
+}
+
+std::size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock{impl_->m};
+  return impl_->workers.size();
+}
+
 void ThreadPool::for_each_index(std::size_t n, std::size_t threads,
                                 const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
@@ -127,6 +170,14 @@ void ThreadPool::for_each_index(std::size_t n, std::size_t threads,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+  // From here on `in_region` is ours and must drop back to false on *every*
+  // exit path. Before this guard existed, ensure_workers() throwing (thread
+  // creation failure) leaked the flag and silently serialized every later
+  // region for the rest of the process.
+  struct InRegionReset {
+    std::atomic<bool>& flag;
+    ~InRegionReset() { flag.store(false); }
+  } in_region_reset{impl_->in_region};
 
   Impl::Region region;
   region.body = &body;
@@ -149,7 +200,6 @@ void ThreadPool::for_each_index(std::size_t n, std::size_t threads,
     impl_->done_cv.wait(lock, [&] { return region.remaining == 0 && region.active == 0; });
     impl_->region = nullptr;
   }
-  impl_->in_region.store(false);
   if (region.error) std::rethrow_exception(region.error);
 }
 

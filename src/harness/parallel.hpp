@@ -47,6 +47,13 @@ class ThreadPool {
   void for_each_index(std::size_t n, std::size_t threads,
                       const std::function<void(std::size_t)>& body);
 
+  /// Test hook: invoked (under the pool lock) immediately before each new
+  /// worker thread is spawned; a throwing hook simulates std::thread
+  /// creation failure. Pass an empty function to clear.
+  void set_spawn_hook(std::function<void()> hook);
+  /// Number of worker threads spawned so far (grow-only; test introspection).
+  std::size_t worker_count() const;
+
  private:
   ThreadPool();
   ~ThreadPool();

@@ -1,0 +1,372 @@
+#include "harness/resume.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "harness/parallel.hpp"
+#include "harness/warmstart.hpp"
+
+namespace bgpsim::harness {
+
+namespace {
+
+// --- JSONL encoding -------------------------------------------------------
+// The journal is written and read only by this module, so the "parser"
+// below is a keyed extractor over our own output, not a general JSON
+// reader. Doubles use %.17g, which round-trips IEEE doubles exactly; the
+// digest is hex text so it survives tools that mangle 64-bit JSON numbers.
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%llu,", key, static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_kv(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.17g,", key, v);
+  out += buf;
+}
+
+std::string encode_line(std::size_t run, std::uint64_t digest, const char* status,
+                        const RunResult* r, std::string_view error) {
+  std::string out = "{";
+  append_kv(out, "run", static_cast<std::uint64_t>(run));
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(digest));
+  out += "\"digest\":\"";
+  out += hex;
+  out += "\",\"status\":\"";
+  out += status;
+  out += "\",";
+  if (r != nullptr) {
+    append_kv(out, "initial_convergence_s", r->initial_convergence_s);
+    append_kv(out, "convergence_delay_s", r->convergence_delay_s);
+    append_kv(out, "recovery_delay_s", r->recovery_delay_s);
+    append_kv(out, "messages_after_recovery", r->messages_after_recovery);
+    append_kv(out, "messages_after_failure", r->messages_after_failure);
+    append_kv(out, "adverts_after_failure", r->adverts_after_failure);
+    append_kv(out, "withdrawals_after_failure", r->withdrawals_after_failure);
+    append_kv(out, "messages_total", r->messages_total);
+    append_kv(out, "messages_processed", r->messages_processed);
+    append_kv(out, "batch_dropped", r->batch_dropped);
+    append_kv(out, "events", r->events);
+    append_kv(out, "routers", static_cast<std::uint64_t>(r->routers));
+    append_kv(out, "failed_routers", static_cast<std::uint64_t>(r->failed_routers));
+    append_kv(out, "routes_valid", static_cast<std::uint64_t>(r->routes_valid ? 1 : 0));
+    out += "\"audit_error\":\"";
+    append_escaped(out, r->audit_error);
+    out += "\",";
+  }
+  if (!error.empty()) {
+    out += "\"error\":\"";
+    append_escaped(out, error);
+    out += "\",";
+  }
+  out.back() = '}';  // replace the trailing comma
+  out += '\n';
+  return out;
+}
+
+/// Raw text after `"key":` in `line`; nullopt when absent.
+std::optional<std::string_view> value_after(std::string_view line, std::string_view key) {
+  std::string pat;
+  pat.reserve(key.size() + 3);
+  pat += '"';
+  pat += key;
+  pat += "\":";
+  const std::size_t p = line.find(pat);
+  if (p == std::string_view::npos) return std::nullopt;
+  return line.substr(p + pat.size());
+}
+
+std::optional<std::uint64_t> get_u64(std::string_view line, std::string_view key) {
+  const auto raw = value_after(line, key);
+  if (!raw) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(std::string{raw->substr(0, 32)}.c_str(), &end, 10);
+  if (end == nullptr || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> get_f64(std::string_view line, std::string_view key) {
+  const auto raw = value_after(line, key);
+  if (!raw) return std::nullopt;
+  return std::strtod(std::string{raw->substr(0, 64)}.c_str(), nullptr);
+}
+
+std::optional<std::string> get_str(std::string_view line, std::string_view key) {
+  auto raw = value_after(line, key);
+  if (!raw || raw->empty() || raw->front() != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = 1; i < raw->size(); ++i) {
+    const char c = (*raw)[i];
+    if (c == '"') return out;
+    if (c == '\\' && i + 1 < raw->size()) {
+      const char n = (*raw)[++i];
+      switch (n) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          if (i + 4 < raw->size()) {
+            out += static_cast<char>(std::strtol(std::string{raw->substr(i + 1, 4)}.c_str(),
+                                                 nullptr, 16));
+            i += 4;
+          }
+          break;
+        default: out += n;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;  // unterminated string => truncated line
+}
+
+struct JournalEntry {
+  std::size_t run = 0;
+  std::uint64_t digest = 0;
+  bool done = false;
+  RunResult result;
+};
+
+/// Decodes one journal line; nullopt for malformed/truncated lines (a line
+/// interrupted by a kill simply does not count as completed work).
+std::optional<JournalEntry> decode_line(std::string_view line) {
+  JournalEntry e;
+  const auto run = get_u64(line, "run");
+  const auto digest_hex = get_str(line, "digest");
+  const auto status = get_str(line, "status");
+  if (!run || !digest_hex || !status) return std::nullopt;
+  e.run = static_cast<std::size_t>(*run);
+  e.digest = std::strtoull(digest_hex->c_str(), nullptr, 16);
+  e.done = *status == "done";
+  if (!e.done) return e;
+
+  RunResult& r = e.result;
+  const auto ic = get_f64(line, "initial_convergence_s");
+  const auto cd = get_f64(line, "convergence_delay_s");
+  const auto rd = get_f64(line, "recovery_delay_s");
+  const auto mar = get_u64(line, "messages_after_recovery");
+  const auto maf = get_u64(line, "messages_after_failure");
+  const auto aaf = get_u64(line, "adverts_after_failure");
+  const auto waf = get_u64(line, "withdrawals_after_failure");
+  const auto mt = get_u64(line, "messages_total");
+  const auto mp = get_u64(line, "messages_processed");
+  const auto bd = get_u64(line, "batch_dropped");
+  const auto ev = get_u64(line, "events");
+  const auto rt = get_u64(line, "routers");
+  const auto fr = get_u64(line, "failed_routers");
+  const auto rv = get_u64(line, "routes_valid");
+  const auto ae = get_str(line, "audit_error");
+  if (!ic || !cd || !rd || !mar || !maf || !aaf || !waf || !mt || !mp || !bd || !ev || !rt ||
+      !fr || !rv || !ae) {
+    return std::nullopt;
+  }
+  r.initial_convergence_s = *ic;
+  r.convergence_delay_s = *cd;
+  r.recovery_delay_s = *rd;
+  r.messages_after_recovery = *mar;
+  r.messages_after_failure = *maf;
+  r.adverts_after_failure = *aaf;
+  r.withdrawals_after_failure = *waf;
+  r.messages_total = *mt;
+  r.messages_processed = *mp;
+  r.batch_dropped = *bd;
+  r.events = *ev;
+  r.routers = static_cast<std::size_t>(*rt);
+  r.failed_routers = static_cast<std::size_t>(*fr);
+  r.routes_valid = *rv != 0;
+  r.audit_error = *ae;
+  return e;
+}
+
+/// Appends journal lines with per-line flushing; owns the test-only
+/// kill-after hook (BGPSIM_TEST_KILL_AFTER=k exits the process hard after
+/// the k-th append, simulating a mid-grid kill for the resume tests).
+class Journal {
+ public:
+  Journal(const std::string& path, bool append) {
+    f_ = std::fopen(path.c_str(), append ? "a+b" : "wb");
+    if (f_ == nullptr) {
+      throw std::runtime_error{"run_sweep_resumable: cannot open journal " + path + ": " +
+                               std::strerror(errno)};
+    }
+    if (append) {
+      // If the previous process died mid-line, the file ends in a torn
+      // record with no newline. Terminate it so our appends start on a
+      // fresh line -- otherwise the first new record would concatenate onto
+      // the torn prefix and the combined line could parse as a mixed,
+      // half-truncated record on the next resume.
+      if (std::fseek(f_, -1, SEEK_END) == 0) {
+        char last = '\n';
+        if (std::fread(&last, 1, 1, f_) == 1 && last != '\n') {
+          std::fputc('\n', f_);
+        }
+      }
+      std::fseek(f_, 0, SEEK_END);
+    }
+    if (const char* env = std::getenv("BGPSIM_TEST_KILL_AFTER")) {
+      kill_after_ = std::strtol(env, nullptr, 10);
+    }
+  }
+  ~Journal() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  void append(const std::string& line) {
+    std::lock_guard<std::mutex> lock{m_};
+    if (std::fwrite(line.data(), 1, line.size(), f_) != line.size() || std::fflush(f_) != 0) {
+      throw std::runtime_error{"run_sweep_resumable: journal write failed"};
+    }
+    if (kill_after_ > 0 && ++appended_ >= kill_after_) {
+      std::_Exit(42);  // test hook: die hard, mid-sweep, journal flushed
+    }
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::mutex m_;
+  long kill_after_ = 0;
+  long appended_ = 0;
+};
+
+}  // namespace
+
+std::vector<RunResult> run_sweep_resumable(const std::vector<ExperimentConfig>& configs,
+                                           const ResumeOptions& opt) {
+  if (opt.journal_path.empty()) {
+    throw std::invalid_argument{"run_sweep_resumable: journal_path is required"};
+  }
+  const std::size_t n = configs.size();
+  std::vector<std::uint64_t> digests(n);
+  for (std::size_t i = 0; i < n; ++i) digests[i] = run_digest(configs[i]);
+
+  std::vector<RunResult> out(n);
+  std::vector<char> have(n, 0);
+  if (opt.resume) {
+    std::ifstream in{opt.journal_path};
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto e = decode_line(line);
+      // Later lines win: a retry's "done" supersedes an earlier "failed".
+      if (e && e->run < n && e->digest == digests[e->run]) {
+        if (e->done) {
+          out[e->run] = e->result;
+          have[e->run] = 1;
+        } else {
+          have[e->run] = 0;
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!have[i]) todo.push_back(i);
+  }
+
+  Journal journal{opt.journal_path, opt.resume};
+  if (todo.empty()) return out;
+
+  // Warm mode: snapshot each group represented in the remaining runs first
+  // (see run_sweep_warm for why this is a separate flat pass), then the
+  // per-run pass below restores instead of re-converging.
+  const std::size_t threads = harness_threads();
+  std::vector<Snapshot> snaps;
+  std::vector<std::size_t> snap_of(n, 0);
+  if (opt.warm) {
+    std::vector<std::size_t> first_member;
+    {
+      std::vector<std::pair<std::uint64_t, std::size_t>> seen;  // (digest, snap index)
+      for (const std::size_t i : todo) {
+        const std::uint64_t d = converged_state_digest(configs[i]);
+        std::size_t g = seen.size();
+        for (const auto& [sd, sg] : seen) {
+          if (sd == d) {
+            g = sg;
+            break;
+          }
+        }
+        if (g == seen.size()) {
+          seen.emplace_back(d, g);
+          first_member.push_back(i);
+        }
+        snap_of[i] = g;
+      }
+    }
+    snaps.resize(first_member.size());
+    ThreadPool::instance().for_each_index(first_member.size(), threads, [&](std::size_t g) {
+      snaps[g] = converge_snapshot(configs[first_member[g]]);
+    });
+  }
+
+  const int attempts = opt.max_attempts > 0 ? opt.max_attempts : 1;
+  std::mutex fail_m;
+  std::size_t failed = 0;
+  std::string first_error;
+  ThreadPool::instance().for_each_index(todo.size(), threads, [&](std::size_t j) {
+    const std::size_t i = todo[j];
+    std::string error;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      try {
+        out[i] = opt.warm ? run_experiment_from(configs[i], snaps[snap_of[i]])
+                          : run_experiment(configs[i]);
+        journal.append(encode_line(i, digests[i], "done", &out[i], {}));
+        return;
+      } catch (const std::exception& e) {
+        error = e.what();
+      } catch (...) {
+        error = "unknown exception";
+      }
+    }
+    journal.append(encode_line(i, digests[i], "failed", nullptr, error));
+    std::lock_guard<std::mutex> lock{fail_m};
+    ++failed;
+    if (first_error.empty()) first_error = error;
+  });
+
+  if (failed > 0) {
+    std::ostringstream msg;
+    msg << "run_sweep_resumable: " << failed << " of " << todo.size()
+        << " runs failed after " << attempts << " attempt(s) (first error: " << first_error
+        << "); journal " << opt.journal_path << " retains them for --resume";
+    throw std::runtime_error{msg.str()};
+  }
+  return out;
+}
+
+}  // namespace bgpsim::harness

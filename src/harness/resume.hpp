@@ -1,0 +1,43 @@
+// Fault-tolerant sweeps: journal every run's result to JSONL as it
+// completes, so a sweep killed mid-grid (OOM, preemption, ^C) can be
+// resumed and completes only the missing runs.
+//
+// The journal is append-only, one JSON object per line, flushed per line:
+// a killed process loses at most the line it was writing, and a truncated
+// final line is detected and ignored on resume. Runs are keyed by (index,
+// run_digest) -- a journal from a *different* grid cannot satisfy a resume,
+// it just contributes no matching entries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+
+struct ResumeOptions {
+  /// JSONL journal path. Required.
+  std::string journal_path;
+  /// Reuse completed entries from an existing journal; without this the
+  /// journal is truncated and every run executes.
+  bool resume = false;
+  /// Execute missing runs warm (grouped snapshots, see warmstart.hpp)
+  /// instead of cold. Results are bit-identical either way.
+  bool warm = false;
+  /// In-process attempts per run before it is recorded as failed.
+  int max_attempts = 2;
+};
+
+/// run_sweep with a journal: executes every config not already journaled as
+/// done, appending a {"run":i,"digest":...,"status":"done",...} line per
+/// completed run and a "failed" line (with the exception text) per
+/// exhausted-retries failure. Returns results in input order, bit-identical
+/// to run_sweep. Throws std::runtime_error after the sweep if any run still
+/// failed -- its journal lines remain, so a later --resume retries exactly
+/// those. Host-time fields (RunResult::timing) are not journaled; resumed
+/// entries report zero timings.
+std::vector<RunResult> run_sweep_resumable(const std::vector<ExperimentConfig>& configs,
+                                           const ResumeOptions& opt);
+
+}  // namespace bgpsim::harness

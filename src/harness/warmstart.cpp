@@ -1,0 +1,170 @@
+#include "harness/warmstart.hpp"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "harness/parallel.hpp"
+
+namespace bgpsim::harness {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a accumulator over the configuration fields. Every field that can
+/// change the converged state must be mixed in here -- a missed field means
+/// two *different* configurations share a digest and a warm run silently
+/// resumes from the wrong snapshot. Doubles are hashed by bit pattern, so
+/// the digest is exact, not tolerance-based.
+struct Digest {
+  std::uint64_t h = kFnvOffset;
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFu;
+      h *= kFnvPrime;
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u64(v ? 1u : 0u); }
+  void time(sim::SimTime t) { i64(t.ns()); }
+};
+
+void mix_topology(Digest& d, const TopologySpec& t) {
+  d.u64(static_cast<std::uint64_t>(t.kind));
+  d.size(t.n);
+  d.f64(t.grid);
+  d.f64(t.skew.frac_low);
+  d.i64(t.skew.low_min);
+  d.i64(t.skew.low_max);
+  d.size(t.skew.high_degrees.size());
+  for (const int deg : t.skew.high_degrees) d.i64(deg);
+  d.size(t.skew.high_weights.size());
+  for (const double w : t.skew.high_weights) d.f64(w);
+  d.i64(t.max_degree);
+  d.f64(t.target_avg);
+  d.f64(t.waxman.alpha);
+  d.f64(t.waxman.beta);
+  d.size(t.ba.m);
+  d.size(t.glp.m);
+  d.f64(t.glp.p);
+  d.f64(t.glp.beta);
+  d.size(t.hier.num_ases);
+  d.i64(t.hier.min_as_size);
+  d.i64(t.hier.max_as_size);
+  d.f64(t.hier.size_alpha);
+  d.size(t.hier.max_total_routers);
+  d.i64(t.hier.max_inter_as_degree);
+  d.f64(t.hier.target_avg_inter_as_degree);
+  d.f64(t.hier.grid);
+  d.boolean(t.policy_routing);
+  d.size(t.peer_tolerance);
+}
+
+void mix_scheme(Digest& d, const SchemeSpec& s) {
+  d.u64(static_cast<std::uint64_t>(s.mrai));
+  d.time(s.constant_mrai);
+  d.size(s.high_degree_threshold);
+  d.time(s.low_mrai);
+  d.time(s.high_mrai);
+  d.size(s.dynamic.levels.size());
+  for (const sim::SimTime lvl : s.dynamic.levels) d.time(lvl);
+  d.time(s.dynamic.up_th);
+  d.time(s.dynamic.down_th);
+  d.u64(static_cast<std::uint64_t>(s.dynamic.monitor));
+  d.f64(s.dynamic.up_util);
+  d.f64(s.dynamic.down_util);
+  d.f64(s.dynamic.up_rate);
+  d.f64(s.dynamic.down_rate);
+  d.size(s.dynamic.min_degree);
+  d.size(s.extent.levels.size());
+  for (const sim::SimTime lvl : s.extent.levels) d.time(lvl);
+  d.size(s.extent.loss_thresholds.size());
+  for (const double th : s.extent.loss_thresholds) d.f64(th);
+  d.boolean(s.batching);
+}
+
+void mix_bgp(Digest& d, const bgp::BgpConfig& b) {
+  d.time(b.link_delay);
+  d.time(b.proc_min);
+  d.time(b.proc_max);
+  d.boolean(b.jitter_timers);
+  d.boolean(b.per_destination_mrai);
+  d.boolean(b.mrai_applies_to_withdrawals);
+  d.u64(static_cast<std::uint64_t>(b.queue));
+  d.u64(static_cast<std::uint64_t>(b.teardown));
+  d.boolean(b.free_redundant_updates);
+  d.i64(b.dest_mrai_min_changes);
+  d.size(b.tcp_batch_limit);
+  d.time(b.failure_detection_delay);
+  d.boolean(b.sender_side_loop_detection);
+  d.boolean(b.damping.enabled);
+  d.f64(b.damping.withdrawal_penalty);
+  d.f64(b.damping.attribute_change_penalty);
+  d.f64(b.damping.suppress_threshold);
+  d.f64(b.damping.reuse_threshold);
+  d.f64(b.damping.max_penalty);
+  d.f64(b.damping.half_life_s);
+  d.u64(b.prefixes_per_origin);
+  d.time(b.origination_spread);
+}
+
+}  // namespace
+
+std::uint64_t converged_state_digest(const ExperimentConfig& cfg) {
+  Digest d;
+  d.u64(1);  // digest schema version
+  d.u64(cfg.seed);
+  mix_topology(d, cfg.topology);
+  mix_scheme(d, cfg.scheme);
+  mix_bgp(d, cfg.bgp);
+  return d.h;
+}
+
+std::uint64_t run_digest(const ExperimentConfig& cfg) {
+  Digest d;
+  d.u64(converged_state_digest(cfg));
+  d.f64(cfg.failure_fraction);
+  d.time(cfg.pre_failure_gap);
+  d.boolean(cfg.measure_recovery);
+  return d.h;
+}
+
+std::vector<RunResult> run_sweep_warm(const std::vector<ExperimentConfig>& configs) {
+  std::vector<RunResult> out(configs.size());
+  if (configs.empty()) return out;
+
+  // Group runs sharing a converged state; groups keep first-appearance
+  // order so the fan-out below is deterministic.
+  std::unordered_map<std::uint64_t, std::size_t> group_of;
+  std::vector<std::size_t> first_member;         // group -> first config index
+  std::vector<std::size_t> group_index(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const std::uint64_t digest = converged_state_digest(configs[i]);
+    const auto [it, inserted] = group_of.emplace(digest, first_member.size());
+    if (inserted) first_member.push_back(i);
+    group_index[i] = it->second;
+  }
+
+  // Two flat passes (snapshots, then runs) rather than one region nested in
+  // another: the pool runs nested regions inline, so fanning runs out from
+  // inside a per-group region would serialize them.
+  const std::size_t threads = harness_threads();
+  std::vector<Snapshot> snaps(first_member.size());
+  ThreadPool::instance().for_each_index(first_member.size(), threads, [&](std::size_t g) {
+    snaps[g] = converge_snapshot(configs[first_member[g]]);
+  });
+  ThreadPool::instance().for_each_index(configs.size(), threads, [&](std::size_t i) {
+    out[i] = run_experiment_from(configs[i], snaps[group_index[i]]);
+  });
+  return out;
+}
+
+}  // namespace bgpsim::harness

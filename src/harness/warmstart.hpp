@@ -1,0 +1,62 @@
+// Warm-start sweeps: converge once per converged-state group, checkpoint
+// the quiescent network, and fan the group's failure scenarios out from the
+// snapshot instead of re-running the (dominant) cold-start convergence for
+// every run.
+//
+// Correctness rests on the quiescence argument in DESIGN.md "Checkpointing":
+// at quiescence the event heap is empty, so the checkpoint captures the
+// complete simulation state and a restored run is bit-identical to one that
+// never stopped. run_sweep_warm is therefore result-identical to run_sweep
+// -- CI diffs the two via tools/identity_check --warm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/checkpoint.hpp"
+#include "harness/experiment.hpp"
+
+namespace bgpsim::harness {
+
+/// FNV-1a digest over every configuration field that determines the
+/// converged pre-failure state: topology, scheme, BGP config and seed.
+/// Failure fraction, recovery, the pre-failure gap and the observer hooks
+/// are excluded -- runs differing only in those share a snapshot. This is
+/// the digest stamped into (and checked against) a checkpoint.
+std::uint64_t converged_state_digest(const ExperimentConfig& cfg);
+
+/// Digest of the full run identity: converged_state_digest plus the failure
+/// scenario fields. The resumable journal keys completed runs by this.
+std::uint64_t run_digest(const ExperimentConfig& cfg);
+
+/// A converged pre-failure snapshot: the checkpoint plus the host-time cost
+/// the producer paid, which warm runs report in their timings so profiling
+/// stays honest about where the wall-clock went.
+struct Snapshot {
+  bgp::Checkpoint checkpoint;
+  double build_s = 0.0;
+  double converge_s = 0.0;
+};
+
+/// Builds cfg's network, runs it to cold-start convergence (exactly as
+/// run_experiment's phase 1, including the scheme reset) and captures the
+/// quiescent state.
+Snapshot converge_snapshot(const ExperimentConfig& cfg);
+
+/// Runs the failure (and optional recovery) phases of `cfg` from the
+/// snapshot; the snapshot must come from a config with the same
+/// converged_state_digest (enforced). Bit-identical to run_experiment(cfg)
+/// in every simulated quantity; only host-time fields differ (converge_s
+/// reports the producer's cost). Observer caveats: cfg.instrument still
+/// fires after the network is built (before the restore), but cold-start
+/// events never re-execute, so on_phase(kColdStart) is not emitted and
+/// trace sinks see the run begin at the failure phase.
+RunResult run_experiment_from(const ExperimentConfig& cfg, const Snapshot& snap);
+
+/// run_sweep, but grouping configs by converged_state_digest, converging
+/// each group once (groups in parallel on the harness pool) and then
+/// running every config warm from its group's snapshot (runs in parallel).
+/// Results in input order, bit-identical to run_sweep.
+std::vector<RunResult> run_sweep_warm(const std::vector<ExperimentConfig>& configs);
+
+}  // namespace bgpsim::harness

@@ -1,5 +1,7 @@
 #include "schemes/dynamic_mrai.hpp"
 
+#include "sim/wire.hpp"
+
 namespace bgpsim::schemes {
 
 DynamicMrai::DynamicMrai(DynamicMraiParams params) : params_{std::move(params)} {
@@ -38,7 +40,19 @@ bool DynamicMrai::under_down_threshold(bgp::Router& r) const {
   return false;
 }
 
+void DynamicMrai::assert_single_thread() const {
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (!owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed) &&
+      expected != self) {
+    throw std::logic_error{
+        "DynamicMrai: instance used from more than one thread -- build one "
+        "controller per run; never share one across parallel sweep runs"};
+  }
+}
+
 sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
+  assert_single_thread();
   if (r.id() >= level_.size()) level_.resize(r.id() + 1, 0);
   if (params_.min_degree > 0 && r.degree() < params_.min_degree) {
     return params_.levels.front();
@@ -59,9 +73,38 @@ sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
 }
 
 void DynamicMrai::reset() {
+  assert_single_thread();
   for (auto& l : level_) l = 0;
   ups_ = 0;
   downs_ = 0;
+}
+
+void DynamicMrai::save_state(std::string& out) const {
+  out.clear();
+  sim::wire::Writer w{out};
+  w.u64(ups_);
+  w.u64(downs_);
+  w.u64(level_.size());
+  for (const std::size_t l : level_) w.u64(l);
+}
+
+void DynamicMrai::load_state(std::string_view state) {
+  assert_single_thread();
+  sim::wire::Reader rd{state};
+  const std::uint64_t ups = rd.u64();
+  const std::uint64_t downs = rd.u64();
+  const std::uint64_t n = rd.u64();
+  std::vector<std::size_t> levels(n);
+  for (auto& l : levels) {
+    l = static_cast<std::size_t>(rd.u64());
+    if (l >= params_.levels.size()) {
+      throw std::runtime_error{"DynamicMrai: checkpoint level out of range"};
+    }
+  }
+  if (!rd.done()) throw std::runtime_error{"DynamicMrai: trailing checkpoint bytes"};
+  ups_ = ups;
+  downs_ = downs;
+  level_ = std::move(levels);
 }
 
 std::size_t DynamicMrai::level(bgp::NodeId node) const {

@@ -13,8 +13,12 @@
 // received-message rate) are selectable via Monitor.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
 #include "bgp/mrai.hpp"
@@ -43,6 +47,12 @@ struct DynamicMraiParams {
   std::size_t min_degree = 0;
 };
 
+/// NOT thread-safe: `level_`/`ups_`/`downs_` are mutated on every interval()
+/// call with no synchronization, so each simulation run must own its own
+/// instance (harness::build_scheme constructs one per run). The first
+/// mutating call pins the instance to the calling thread and any later call
+/// from a different thread throws std::logic_error -- a shared-instance bug
+/// in a parallel sweep fails loudly instead of silently corrupting levels.
 class DynamicMrai final : public bgp::MraiController {
  public:
   explicit DynamicMrai(DynamicMraiParams params);
@@ -54,6 +64,11 @@ class DynamicMrai final : public bgp::MraiController {
   /// 0.5 seconds in the beginning").
   void reset();
 
+  /// Checkpoint hooks: the adaptive state is (per-node level, up/down
+  /// transition counters). Parameters are configuration, not state.
+  void save_state(std::string& out) const override;
+  void load_state(std::string_view state) override;
+
   std::size_t level(bgp::NodeId node) const;
   std::uint64_t ups() const { return ups_; }
   std::uint64_t downs() const { return downs_; }
@@ -62,11 +77,15 @@ class DynamicMrai final : public bgp::MraiController {
  private:
   bool over_up_threshold(bgp::Router& r) const;
   bool under_down_threshold(bgp::Router& r) const;
+  /// Pins the instance to the first mutating thread; throws on cross-thread
+  /// use (one controller per run, never shared between parallel runs).
+  void assert_single_thread() const;
 
   DynamicMraiParams params_;
   std::vector<std::size_t> level_;  // grown on demand, indexed by node id
   std::uint64_t ups_ = 0;
   std::uint64_t downs_ = 0;
+  mutable std::atomic<std::thread::id> owner_{std::thread::id{}};
 };
 
 }  // namespace bgpsim::schemes

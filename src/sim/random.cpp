@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace bgpsim::sim {
@@ -31,6 +32,20 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
     if (r < 0.0) return i;
   }
   return weights.size() - 1;  // numeric edge: r landed exactly on the total
+}
+
+std::string Rng::save_state() const {
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+void Rng::load_state(const std::string& state) {
+  std::istringstream is{state};
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) throw std::runtime_error{"Rng: malformed engine state"};
+  engine_ = restored;
 }
 
 }  // namespace bgpsim::sim

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -62,6 +63,16 @@ class Rng {
   Rng fork() { return Rng{engine_()}; }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serializes the exact engine state. std::mt19937_64 stream insertion is
+  /// specified to round-trip bit-exactly, so load_state(save_state()) puts
+  /// the stream back at the same position -- the primitive checkpointing
+  /// builds on.
+  std::string save_state() const;
+
+  /// Restores a state produced by save_state(). Throws std::runtime_error
+  /// on malformed input (the engine is left unchanged in that case).
+  void load_state(const std::string& state);
 
  private:
   std::mt19937_64 engine_;

@@ -28,7 +28,6 @@ std::uint32_t Scheduler::acquire_slot() {
 void Scheduler::recycle_slot(std::uint32_t i) {
   Slot& s = slot(i);
   s.fn.reset();
-  ++s.gen;  // odd -> even: free; outstanding handles go stale
   free_slots_.push_back(i);
 }
 
@@ -98,27 +97,42 @@ bool Scheduler::step(SimTime limit) {
     __builtin_prefetch(&slot(top.slot()));  // overlap the slot fetch with the sift
     heap_pop();
     // A slot is recycled exactly when its heap entry is popped, so
-    // `top.slot()` still refers to this entry's event here.
+    // `top.slot()` still refers to this entry's event here. Bump the
+    // generation before anything else: handles to this event report "not
+    // pending" from here on (for fired events that includes from inside the
+    // callback, matching the old fired flag).
     Slot& s = slot(top.slot());
+    ++s.gen;  // odd -> even: no longer live
+    --live_count_;
     if (s.cancelled) {
       recycle_slot(top.slot());
-      --live_count_;
       continue;
     }
     now_ = top.at;
-    // Bump the generation before invoking so handles to this event report
-    // "not pending" from inside the callback (matching the old fired flag),
-    // then run the callback in place -- the slot only joins the free list
-    // afterwards, so events the callback schedules cannot clobber it.
-    ++s.gen;  // odd -> even: no longer live
-    --live_count_;
     ++executed_;
     s.fn();
-    s.fn.reset();
-    free_slots_.push_back(top.slot());
+    // The slot only joins the free list after the callback returns, so
+    // events the callback schedules cannot clobber it.
+    recycle_slot(top.slot());
     return true;
   }
   return false;
+}
+
+Scheduler::QuiescentState Scheduler::quiescent_state() const {
+  if (live_count_ != 0) {
+    throw std::logic_error{"Scheduler: quiescent_state() requires an empty scheduler"};
+  }
+  return QuiescentState{now_, next_seq_, executed_};
+}
+
+void Scheduler::restore_quiescent(const QuiescentState& qs) {
+  if (live_count_ != 0) {
+    throw std::logic_error{"Scheduler: restore_quiescent() requires an empty scheduler"};
+  }
+  now_ = qs.now;
+  next_seq_ = qs.next_seq;
+  executed_ = qs.executed;
 }
 
 SimTime Scheduler::run() { return run_until(SimTime::max()); }

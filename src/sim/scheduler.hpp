@@ -79,6 +79,26 @@ class Scheduler {
   /// Total events executed (cancelled events are not counted).
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Snapshot of the kernel clock and counters, capturable only at
+  /// quiescence: with an empty heap there are no events in flight, so this
+  /// plus the domain state IS the full scheduler state.
+  struct QuiescentState {
+    SimTime now;
+    std::uint64_t next_seq = 0;
+    std::uint64_t executed = 0;
+  };
+
+  /// Returns the current quiescent state. Throws std::logic_error if events
+  /// are still pending -- in-flight events cannot be checkpointed.
+  QuiescentState quiescent_state() const;
+
+  /// Restores clock and counters captured by quiescent_state(). Requires an
+  /// empty scheduler (throws std::logic_error otherwise). Slot generations
+  /// are deliberately left untouched, so EventHandles issued before the
+  /// restore stay stale instead of aliasing post-restore events that happen
+  /// to reuse their slot.
+  void restore_quiescent(const QuiescentState& qs);
+
   /// Event slots currently owned by the pool (pooled capacity; grows to the
   /// peak number of simultaneously scheduled events and is then reused).
   std::size_t pool_slots() const { return slot_count_; }
@@ -125,8 +145,9 @@ class Scheduler {
   /// it in use.
   std::uint32_t acquire_slot();
 
-  /// Returns a popped slot to the free list; bumps the generation so any
-  /// outstanding handle to the old event goes stale.
+  /// Returns a popped slot to the free list. The caller has already bumped
+  /// the generation back to even (so outstanding handles are stale); this
+  /// just drops the callback and makes the slot reusable.
   void recycle_slot(std::uint32_t i);
 
   /// Pops and runs the next live event; returns false if none remain at or

@@ -1,0 +1,94 @@
+// Little-endian encoding helpers for the binary state formats (.bgck).
+//
+// Writer appends fixed-width little-endian fields and length-prefixed
+// strings to a caller-owned std::string. Reader walks a string_view with
+// bounds checking on every field and throws std::runtime_error the moment
+// a read would run past the end -- so a consumer of a file that died
+// mid-write fails cleanly instead of reading garbage. Byte order is
+// explicit (not memcpy of host integers), matching the .bgtr/.bgtl
+// convention in src/obs/.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::sim::wire {
+
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_{out} {}
+
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u64(std::uint64_t v) { le(v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void time(SimTime t) { i64(t.ns()); }
+  void str(std::string_view s) {
+    if (s.size() > 0xFFFFFFFFull) throw std::length_error{"wire: string too long"};
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+ private:
+  void le(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::string& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view in) : in_{in} {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  SimTime time() { return SimTime::from_ns(i64()); }
+  std::string_view str() { return take(u32()); }
+
+  bool done() const { return pos_ == in_.size(); }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  std::string_view take(std::size_t n) {
+    if (n > in_.size() - pos_) throw std::runtime_error{"wire: truncated input"};
+    const std::string_view v = in_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  std::uint64_t le(int bytes) {
+    const std::string_view b = take(static_cast<std::size_t>(bytes));
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) {
+      v = (v << 8) | static_cast<unsigned char>(b[static_cast<std::size_t>(i)]);
+    }
+    return v;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace bgpsim::sim::wire

@@ -1,0 +1,279 @@
+// Quiescent checkpoint/restore: round-trip byte identity, continuation
+// identity through failure/recovery, and rejection of corrupted, truncated
+// or mismatched checkpoints.
+#include "bgp/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "bgp/mrai.hpp"
+#include "bgp/network.hpp"
+#include "test_util.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+constexpr std::uint64_t kDigest = 0xfeedfacecafe1234ull;
+
+std::unique_ptr<Network> make_net(const topo::Graph& g, const BgpConfig& cfg,
+                                  std::uint64_t seed = 7) {
+  return std::make_unique<Network>(g, cfg, std::make_shared<FixedMrai>(sim::SimTime::seconds(0.5)),
+                                   seed);
+}
+
+std::unique_ptr<Network> converged_net(const topo::Graph& g, const BgpConfig& cfg,
+                                       std::uint64_t seed = 7) {
+  auto net = make_net(g, cfg, seed);
+  net->start();
+  net->run_to_quiescence();
+  return net;
+}
+
+/// Full simulated-state equality: same Loc-RIB selections everywhere, same
+/// metrics, same clock/counters. (Byte-level equality is asserted separately
+/// via capture_checkpoint.)
+void expect_same_state(Network& a, Network& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.scheduler().now().ns(), b.scheduler().now().ns());
+  EXPECT_EQ(a.scheduler().executed_events(), b.scheduler().executed_events());
+  EXPECT_EQ(a.metrics().updates_sent, b.metrics().updates_sent);
+  EXPECT_EQ(a.metrics().messages_processed, b.metrics().messages_processed);
+  EXPECT_EQ(a.metrics().last_rib_change.ns(), b.metrics().last_rib_change.ns());
+  for (NodeId v = 0; v < a.size(); ++v) {
+    ASSERT_EQ(a.router(v).alive(), b.router(v).alive()) << "router " << v;
+    for (Prefix p = 0; p < a.prefix_space(); ++p) {
+      const auto ra = a.router(v).best(p);
+      const auto rb = b.router(v).best(p);
+      ASSERT_EQ(ra.has_value(), rb.has_value()) << "router " << v << " prefix " << p;
+      if (ra) {
+        EXPECT_EQ(ra->path.hops(), rb->path.hops()) << "router " << v << " prefix " << p;
+        EXPECT_EQ(ra->learned_from, rb->learned_from);
+      }
+    }
+  }
+}
+
+TEST(Checkpoint, CaptureRequiresQuiescence) {
+  auto net = make_net(bgp::testing::ring(6), bgp::testing::deterministic_config());
+  net->start();  // origination events pending => not quiescent
+  EXPECT_THROW(capture_checkpoint(*net, kDigest, 0.0), std::logic_error);
+  net->run_to_quiescence();
+  EXPECT_NO_THROW(capture_checkpoint(*net, kDigest, 0.0));
+}
+
+TEST(Checkpoint, RoundTripStateIsByteIdentical) {
+  const auto g = bgp::testing::clique(8);
+  const auto cfg = bgp::testing::deterministic_config();
+  auto a = converged_net(g, cfg);
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 1.25);
+  EXPECT_FALSE(ck.state.empty());
+
+  // Restore into a freshly built (never started) replica and re-capture:
+  // save(load(x)) must be byte-identical to x.
+  auto b = make_net(g, cfg);
+  restore_checkpoint(*b, ck, kDigest);
+  const Checkpoint again = capture_checkpoint(*b, kDigest, 1.25);
+  EXPECT_EQ(ck.state, again.state);
+  expect_same_state(*a, *b);
+}
+
+TEST(Checkpoint, RestoreIntoConvergedNetworkIsAllowed) {
+  // A network that already ran to quiescence has an empty heap too; restore
+  // must overwrite its state completely.
+  const auto g = bgp::testing::star(6);
+  const auto cfg = bgp::testing::deterministic_config();
+  auto a = converged_net(g, cfg, 7);
+  auto b = converged_net(g, cfg, 7);
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 0.0);
+  restore_checkpoint(*b, ck, kDigest);
+  EXPECT_EQ(capture_checkpoint(*b, kDigest, 0.0).state, ck.state);
+}
+
+TEST(Checkpoint, RestoredRunContinuesIdenticallyThroughFailure) {
+  const auto g = bgp::testing::clique(8);
+  const auto cfg = bgp::testing::deterministic_config();
+  const std::vector<NodeId> victims{0, 1};
+
+  auto inject = [&victims](Network& net) {
+    const sim::SimTime t = net.scheduler().now() + sim::SimTime::seconds(1.0);
+    net.scheduler().schedule_at(t, [&net, &victims] { net.fail_nodes(victims); });
+    net.run_to_quiescence();
+  };
+
+  // Uninterrupted reference run.
+  auto a = converged_net(g, cfg);
+  inject(*a);
+
+  // Checkpointed run: converge, capture, restore into a fresh network, then
+  // inject the identical failure.
+  auto src = converged_net(g, cfg);
+  const Checkpoint ck = capture_checkpoint(*src, kDigest, 0.0);
+  auto c = make_net(g, cfg);
+  restore_checkpoint(*c, ck, kDigest);
+  inject(*c);
+
+  expect_same_state(*a, *c);
+  // The post-failure states must agree byte-for-byte, not just field-wise.
+  EXPECT_EQ(capture_checkpoint(*a, kDigest, 0.0).state,
+            capture_checkpoint(*c, kDigest, 0.0).state);
+}
+
+TEST(Checkpoint, MidRunQuiescenceWithJitterAndDamping) {
+  // Checkpoint at a *mid-run* quiescent point: after a failure already
+  // happened, with RFC 1771 jitter (mid-stream RNG) and flap damping
+  // (non-trivial per-session penalty state) enabled.
+  auto g = bgp::testing::clique(7);
+  auto cfg = bgp::testing::deterministic_config();
+  cfg.jitter_timers = true;
+  cfg.damping.enabled = true;
+  cfg.damping.suppress_threshold = 1.5;  // make suppression actually trigger
+  const std::vector<NodeId> victims{2};
+
+  auto fail_then_quiesce = [&victims](Network& net) {
+    const sim::SimTime t = net.scheduler().now() + sim::SimTime::seconds(1.0);
+    net.scheduler().schedule_at(t, [&net, &victims] { net.fail_nodes(victims); });
+    net.run_to_quiescence();
+  };
+  auto recover_then_quiesce = [&victims](Network& net) {
+    const sim::SimTime t = net.scheduler().now() + sim::SimTime::seconds(1.0);
+    net.scheduler().schedule_at(t, [&net, &victims] { net.recover_nodes(victims); });
+    net.run_to_quiescence();
+  };
+
+  auto a = converged_net(g, cfg);
+  fail_then_quiesce(*a);
+
+  auto src = converged_net(g, cfg);
+  fail_then_quiesce(*src);
+  const Checkpoint ck = capture_checkpoint(*src, kDigest, 0.0);
+
+  auto c = make_net(g, cfg);
+  restore_checkpoint(*c, ck, kDigest);
+  EXPECT_EQ(capture_checkpoint(*c, kDigest, 0.0).state, ck.state);
+
+  // Continue both runs through recovery: the restored network must track
+  // the uninterrupted one exactly (same RNG draws, same damping decays).
+  recover_then_quiesce(*a);
+  recover_then_quiesce(*c);
+  expect_same_state(*a, *c);
+  EXPECT_EQ(capture_checkpoint(*a, kDigest, 0.0).state,
+            capture_checkpoint(*c, kDigest, 0.0).state);
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  auto net = converged_net(bgp::testing::ring(5), bgp::testing::deterministic_config());
+  const Checkpoint ck = capture_checkpoint(*net, kDigest, 2.5);
+  const std::string bytes = encode_checkpoint(ck);
+  const Checkpoint back = decode_checkpoint(bytes);
+  EXPECT_EQ(back.config_digest, ck.config_digest);
+  EXPECT_EQ(back.initial_convergence_s, ck.initial_convergence_s);
+  EXPECT_EQ(back.state, ck.state);
+}
+
+TEST(Checkpoint, DecodeRejectsCorruption) {
+  auto net = converged_net(bgp::testing::ring(5), bgp::testing::deterministic_config());
+  const std::string bytes = encode_checkpoint(capture_checkpoint(*net, kDigest, 0.0));
+
+  {
+    std::string bad = bytes;
+    bad[0] = 'X';  // magic
+    EXPECT_THROW(decode_checkpoint(bad), std::runtime_error);
+  }
+  {
+    std::string bad = bytes;
+    bad[4] = char(0x7F);  // version
+    EXPECT_THROW(decode_checkpoint(bad), std::runtime_error);
+  }
+  {
+    std::string bad = bytes;
+    bad[6] = char(bad[6] ^ 1);  // flags bit 0: cross path-storage mode
+    EXPECT_THROW(decode_checkpoint(bad), std::runtime_error);
+  }
+  // Truncation anywhere -- inside the header, at the state-length prefix,
+  // mid-state -- must be detected, never half-applied.
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, std::size_t{10}, std::size_t{20}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_THROW(decode_checkpoint(std::string_view{bytes}.substr(0, len)), std::runtime_error)
+        << "accepted a checkpoint truncated to " << len << " bytes";
+  }
+  EXPECT_NO_THROW(decode_checkpoint(bytes));
+}
+
+TEST(Checkpoint, RestoreRejectsDigestMismatch) {
+  const auto g = bgp::testing::ring(5);
+  const auto cfg = bgp::testing::deterministic_config();
+  auto a = converged_net(g, cfg);
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 0.0);
+  auto b = make_net(g, cfg);
+  EXPECT_THROW(restore_checkpoint(*b, ck, kDigest + 1), std::runtime_error);
+}
+
+TEST(Checkpoint, RestoreRejectsStructuralMismatch) {
+  auto a = converged_net(bgp::testing::clique(8), bgp::testing::deterministic_config());
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 0.0);
+  // Same digest claimed, different topology actually built: the router
+  // layout check must catch it before any state is touched.
+  auto b = make_net(bgp::testing::line(5), bgp::testing::deterministic_config());
+  EXPECT_THROW(restore_checkpoint(*b, ck, kDigest), std::runtime_error);
+  // b is still a valid, runnable network.
+  b->start();
+  b->run_to_quiescence();
+  EXPECT_TRUE(b->scheduler().empty());
+}
+
+TEST(Checkpoint, RestoreRejectsNonQuiescentTarget) {
+  const auto g = bgp::testing::ring(5);
+  const auto cfg = bgp::testing::deterministic_config();
+  auto a = converged_net(g, cfg);
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 0.0);
+  auto b = make_net(g, cfg);
+  b->start();  // events pending
+  EXPECT_THROW(restore_checkpoint(*b, ck, kDigest), std::logic_error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  auto net = converged_net(bgp::testing::star(5), bgp::testing::deterministic_config());
+  const Checkpoint ck = capture_checkpoint(*net, kDigest, 3.5);
+  const std::string path = ::testing::TempDir() + "checkpoint_test.bgck";
+  write_checkpoint_file(path, ck);
+  const Checkpoint back = read_checkpoint_file(path);
+  EXPECT_EQ(back.config_digest, ck.config_digest);
+  EXPECT_EQ(back.initial_convergence_s, ck.initial_convergence_s);
+  EXPECT_EQ(back.state, ck.state);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_checkpoint_file(path), std::runtime_error);
+}
+
+TEST(Checkpoint, InspectReportsContents) {
+  const auto g = bgp::testing::clique(6);
+  const auto cfg = bgp::testing::deterministic_config();
+  auto a = converged_net(g, cfg, 7);
+  const Checkpoint ck = capture_checkpoint(*a, kDigest, 1.5);
+  const CheckpointInfo info = inspect_checkpoint(encode_checkpoint(ck));
+  EXPECT_EQ(info.version, kCheckpointVersion);
+  EXPECT_EQ(info.config_digest, kDigest);
+  EXPECT_EQ(info.initial_convergence_s, 1.5);
+  EXPECT_EQ(info.routers, 6u);
+  EXPECT_EQ(info.alive_routers, 6u);
+  EXPECT_EQ(info.sessions, 30u);  // clique(6): 15 links, a session per side
+  EXPECT_EQ(info.loc_rib_routes, 36u);
+  EXPECT_EQ(info.state_bytes, ck.state.size());
+  EXPECT_NE(info.rib_digest, 0u);
+  EXPECT_EQ(info.sim_now_ns, a->scheduler().now().ns());
+  EXPECT_EQ(info.executed_events, a->scheduler().executed_events());
+
+  // Identical converged state (same seed) => identical rib digest; a
+  // different seed's convergence differs.
+  auto same = converged_net(g, cfg, 7);
+  const auto same_info = inspect_checkpoint(encode_checkpoint(capture_checkpoint(*same, kDigest, 1.5)));
+  EXPECT_EQ(same_info.rib_digest, info.rib_digest);
+  EXPECT_EQ(same_info.state_digest, info.state_digest);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

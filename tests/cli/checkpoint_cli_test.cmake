@@ -1,0 +1,118 @@
+# End-to-end checkpoint CLI test: write a snapshot with bgpsim_run
+# --checkpoint, restore it with --restore, run the sweep warm, inspect and
+# diff the .bgck artifacts, and exercise the journal/resume path including a
+# genuine mid-grid kill (BGPSIM_TEST_KILL_AFTER). Run by ctest as
+#   cmake -DBGPSIM_RUN=... -DCHECKPOINT_INSPECT=... -DWORK_DIR=... -P this_file
+#
+# Every mode's CSV output must be byte-identical to the cold reference run:
+# checkpoint/restore may never change a simulated result.
+
+foreach(var BGPSIM_RUN CHECKPOINT_INSPECT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(snap "${WORK_DIR}/base.bgck")
+set(snap2 "${WORK_DIR}/other.bgck")
+set(journal "${WORK_DIR}/sweep.jsonl")
+set(grid --n 40 --failure 0.10 --seeds 3 --csv)
+
+# Runs a command, requires exit code `expect_rc`, optionally requires a
+# substring in stdout+stderr, and stores stdout in `outvar`.
+function(run_expect label expect_rc expect_substring outvar)
+  execute_process(
+    COMMAND ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "${label}: exit ${rc} (expected ${expect_rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT expect_substring STREQUAL "")
+    string(FIND "${out}${err}" "${expect_substring}" found)
+    if(found EQUAL -1)
+      message(FATAL_ERROR "${label}: expected '${expect_substring}' in output:\nstdout: ${out}\nstderr: ${err}")
+    endif()
+  endif()
+  set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical label got want)
+  if(NOT got STREQUAL want)
+    message(FATAL_ERROR "${label}: output differs from the cold reference\ngot:\n${got}\nwant:\n${want}")
+  endif()
+endfunction()
+
+# Cold reference sweep.
+run_expect("cold reference" 0 "" cold ${BGPSIM_RUN} ${grid})
+
+# --checkpoint writes the base seed's snapshot and still reports the full
+# (bit-identical) sweep.
+run_expect("checkpoint write" 0 "checkpoint:" ck_out ${BGPSIM_RUN} ${grid} --checkpoint "${snap}")
+require_identical("checkpoint write results" "${ck_out}" "${cold}")
+if(NOT EXISTS "${snap}")
+  message(FATAL_ERROR "bgpsim_run --checkpoint did not produce ${snap}")
+endif()
+
+# --restore warm-starts the base seed from the snapshot.
+run_expect("restore" 0 "" restore_out ${BGPSIM_RUN} ${grid} --restore "${snap}")
+require_identical("restore results" "${restore_out}" "${cold}")
+
+# --warm runs the whole sweep from grouped snapshots.
+run_expect("warm sweep" 0 "" warm_out ${BGPSIM_RUN} ${grid} --warm)
+require_identical("warm sweep results" "${warm_out}" "${cold}")
+
+# inspect prints the header and content summary; a snapshot diffs equal to
+# itself and unequal to a different seed's.
+run_expect("inspect" 0 "checkpoint v1" inspect_out ${CHECKPOINT_INSPECT} inspect "${snap}")
+string(FIND "${inspect_out}" "rib digest:" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "inspect output missing rib digest:\n${inspect_out}")
+endif()
+run_expect("diff self" 0 "identical" diff_out ${CHECKPOINT_INSPECT} diff "${snap}" "${snap}")
+run_expect("other-seed snapshot" 0 "" ck2_out
+  ${BGPSIM_RUN} ${grid} --seed 2 --checkpoint "${snap2}")
+run_expect("diff other" 1 "differ" diff2_out ${CHECKPOINT_INSPECT} diff "${snap}" "${snap2}")
+
+# Corrupt snapshots are rejected cleanly (exit 2, no crash): a missing file
+# and a non-checkpoint file here; the truncated-at-every-offset matrix lives
+# in Checkpoint.DecodeRejectsCorruption.
+run_expect("restore missing file" 2 "error:" miss_out
+  ${BGPSIM_RUN} ${grid} --restore "${WORK_DIR}/nope.bgck")
+file(WRITE "${WORK_DIR}/garbage.bgck" "this is not a checkpoint file")
+run_expect("restore garbage" 2 "error:" garbage_out
+  ${BGPSIM_RUN} ${grid} --restore "${WORK_DIR}/garbage.bgck")
+run_expect("inspect garbage" 2 "error:" garbage_inspect
+  ${CHECKPOINT_INSPECT} inspect "${WORK_DIR}/garbage.bgck")
+
+# Conflicting/invalid flag combinations are refused up front.
+run_expect("resume without journal" 2 "--resume requires --journal" usage_out
+  ${BGPSIM_RUN} ${grid} --resume)
+run_expect("trace with warm" 2 "cannot be combined" trace_out
+  ${BGPSIM_RUN} ${grid} --warm --trace "${WORK_DIR}/x.bgtr")
+
+# Journaled sweep: kill the process mid-grid after the first journal append
+# (the test hook calls _Exit(42)), then --resume completes only the missing
+# runs and reproduces the cold results.
+run_expect("killed sweep" 42 "" kill_out ${CMAKE_COMMAND} -E env BGPSIM_TEST_KILL_AFTER=1
+  ${BGPSIM_RUN} ${grid} --journal "${journal}")
+file(STRINGS "${journal}" journal_lines)
+list(LENGTH journal_lines n_lines)
+if(NOT n_lines EQUAL 1)
+  message(FATAL_ERROR "killed sweep journaled ${n_lines} runs (expected 1)")
+endif()
+run_expect("resume after kill" 0 "" resume_out ${BGPSIM_RUN} ${grid} --journal "${journal}" --resume)
+require_identical("resume results" "${resume_out}" "${cold}")
+file(STRINGS "${journal}" journal_lines)
+list(LENGTH journal_lines n_lines)
+if(NOT n_lines EQUAL 3)
+  message(FATAL_ERROR "resumed journal has ${n_lines} lines (expected 3)")
+endif()
+# A second resume has nothing left to do and still reports the full sweep.
+run_expect("resume no-op" 0 "" resume2_out ${BGPSIM_RUN} ${grid} --journal "${journal}" --resume)
+require_identical("resume no-op results" "${resume2_out}" "${cold}")
+
+message(STATUS "checkpoint CLI end-to-end: all checks passed")

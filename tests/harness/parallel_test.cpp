@@ -8,8 +8,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "harness/warmstart.hpp"
 #include "sim/scheduler.hpp"
 
 namespace bgpsim::harness {
@@ -74,6 +76,57 @@ TEST(HarnessThreads, ReadsEnvironment) {
     ScopedThreads t{"garbage"};
     EXPECT_GE(harness_threads(), 1u);  // falls back to hardware_concurrency
   }
+}
+
+TEST(HarnessThreads, RejectsPartialAndOutOfRangeTokens) {
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw > 0 ? hw_raw : 1;
+  // The whole token must parse: strtol's accepted prefix ("8" of "8x") must
+  // NOT win. Same for empty, sign-only and non-positive values.
+  for (const char* bad : {"8x", "", " ", "-", "0", "-3", "2.5"}) {
+    ScopedThreads t{bad};
+    EXPECT_EQ(harness_threads(), hw) << "token \"" << bad << "\"";
+  }
+  {
+    // Overflowing long must not wrap into some huge/garbage degree.
+    ScopedThreads t{"99999999999999999999999"};
+    EXPECT_EQ(harness_threads(), hw);
+  }
+  {
+    // In-range but absurd values are clamped to the 512-thread cap.
+    ScopedThreads t{"100000"};
+    EXPECT_EQ(harness_threads(), 512u);
+  }
+  {
+    ScopedThreads t{"512"};
+    EXPECT_EQ(harness_threads(), 512u);
+  }
+}
+
+TEST(ThreadPool, RegionsParallelizeAgainAfterSpawnFailure) {
+  auto& pool = ThreadPool::instance();
+  // Force ensure_workers to actually spawn (the pool persists across tests,
+  // so ask for more workers than it already has), with a hook that makes
+  // the spawn throw -- the thread-creation-failure path.
+  const std::size_t threads = pool.worker_count() + 3;
+  pool.set_spawn_hook([] { throw std::runtime_error{"spawn failed"}; });
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.for_each_index(64, threads, [&](std::size_t) { ++ran; }),
+               std::runtime_error);
+  pool.set_spawn_hook({});
+
+  // Regression: the failed region used to leak in_region=true, so every
+  // later region took the can't-nest serial fallback -- which never calls
+  // ensure_workers. A counting hook distinguishes the two paths without
+  // depending on thread scheduling.
+  std::atomic<std::size_t> spawns{0};
+  pool.set_spawn_hook([&] { ++spawns; });
+  std::atomic<std::size_t> count{0};
+  const std::size_t threads2 = pool.worker_count() + 2;
+  pool.for_each_index(64, threads2, [&](std::size_t) { ++count; });
+  pool.set_spawn_hook({});
+  EXPECT_EQ(count.load(), 64u);
+  EXPECT_GT(spawns.load(), 0u) << "region ran in the serial fallback: in_region leaked";
 }
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
@@ -164,6 +217,54 @@ TEST(RunAveraged, ParallelIdenticalToSerial) {
 
 TEST(RunSweep, EmptyInputYieldsEmptyOutput) {
   EXPECT_TRUE(run_sweep({}).empty());
+}
+
+TEST(RunSweep, DynamicSchemeParallelIdenticalToSerial) {
+  // Each run must build its own DynamicMrai: a shared instance would trip
+  // the controller's thread-ownership assertion (and, before that existed,
+  // silently corrupt the per-node levels). Runs under TSan in CI.
+  std::vector<ExperimentConfig> configs(4, small_config());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].scheme = SchemeSpec::dynamic_mrai();
+    configs[i].seed = 10 + i;
+  }
+  std::vector<RunResult> serial;
+  std::vector<RunResult> parallel;
+  {
+    ScopedThreads t{"1"};
+    serial = run_sweep(configs);
+  }
+  {
+    ScopedThreads t{"4"};
+    parallel = run_sweep(configs);
+  }
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_TRUE(same_run(serial[i], parallel[i])) << "config " << i;
+  }
+}
+
+TEST(RunSweep, WarmSweepParallelIdenticalToSerial) {
+  // Warm-start grouping (snapshot fan-out) under parallel execution; runs
+  // under TSan in CI like the other RunSweep tests.
+  std::vector<ExperimentConfig> configs(4, small_config());
+  configs[1].failure_fraction = 0.20;
+  configs[2].seed = 17;
+  configs[3].scheme = SchemeSpec::dynamic_mrai();
+  std::vector<RunResult> serial;
+  std::vector<RunResult> parallel;
+  {
+    ScopedThreads t{"1"};
+    serial = run_sweep_warm(configs);
+  }
+  {
+    ScopedThreads t{"4"};
+    parallel = run_sweep_warm(configs);
+  }
+  const auto cold = run_sweep(configs);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_TRUE(same_run(serial[i], parallel[i])) << "config " << i;
+    EXPECT_TRUE(same_run(cold[i], serial[i])) << "config " << i;
+  }
 }
 
 }  // namespace

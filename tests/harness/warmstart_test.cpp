@@ -1,0 +1,328 @@
+// Warm-start identity (run from a snapshot == run that never stopped) and
+// resumable-sweep journaling/recovery.
+#include "harness/warmstart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/parallel.hpp"
+#include "harness/resume.hpp"
+
+namespace bgpsim::harness {
+namespace {
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.topology.n = 30;
+  cfg.scheme = SchemeSpec::constant(0.5);
+  cfg.failure_fraction = 0.10;
+  cfg.seed = 3;
+  return cfg;
+}
+
+/// Every simulated (deterministic) RunResult field; host timings excluded.
+void expect_same_run(const RunResult& a, const RunResult& b, const std::string& what) {
+  EXPECT_EQ(a.initial_convergence_s, b.initial_convergence_s) << what;
+  EXPECT_EQ(a.convergence_delay_s, b.convergence_delay_s) << what;
+  EXPECT_EQ(a.recovery_delay_s, b.recovery_delay_s) << what;
+  EXPECT_EQ(a.messages_after_recovery, b.messages_after_recovery) << what;
+  EXPECT_EQ(a.messages_after_failure, b.messages_after_failure) << what;
+  EXPECT_EQ(a.adverts_after_failure, b.adverts_after_failure) << what;
+  EXPECT_EQ(a.withdrawals_after_failure, b.withdrawals_after_failure) << what;
+  EXPECT_EQ(a.messages_total, b.messages_total) << what;
+  EXPECT_EQ(a.messages_processed, b.messages_processed) << what;
+  EXPECT_EQ(a.batch_dropped, b.batch_dropped) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  EXPECT_EQ(a.routers, b.routers) << what;
+  EXPECT_EQ(a.failed_routers, b.failed_routers) << what;
+  EXPECT_EQ(a.routes_valid, b.routes_valid) << what;
+  EXPECT_EQ(a.audit_error, b.audit_error) << what;
+}
+
+TEST(WarmStart, IdenticalToColdAcrossSchemes) {
+  struct Case {
+    const char* name;
+    SchemeSpec scheme;
+    bool damping = false;
+    bool recovery = false;
+  };
+  const std::vector<Case> cases{
+      {"constant", SchemeSpec::constant(0.5)},
+      {"degree", SchemeSpec::degree_dependent(0.5, 2.25)},
+      {"dynamic", SchemeSpec::dynamic_mrai()},
+      {"extent", SchemeSpec::extent_mrai()},
+      {"batching", SchemeSpec::constant(0.5, /*batch=*/true)},
+      {"damping", SchemeSpec::constant(0.5), /*damping=*/true},
+      {"recovery", SchemeSpec::dynamic_mrai(), /*damping=*/false, /*recovery=*/true},
+  };
+  for (const Case& c : cases) {
+    ExperimentConfig cfg = base_config();
+    cfg.scheme = c.scheme;
+    cfg.bgp.damping.enabled = c.damping;
+    cfg.measure_recovery = c.recovery;
+    const RunResult cold = run_experiment(cfg);
+    const Snapshot snap = converge_snapshot(cfg);
+    const RunResult warm = run_experiment_from(cfg, snap);
+    expect_same_run(cold, warm, c.name);
+    EXPECT_GT(warm.events, 0u) << c.name;
+  }
+}
+
+TEST(WarmStart, SnapshotSharedAcrossFailureScenariosOnly) {
+  const ExperimentConfig cfg = base_config();
+  ExperimentConfig other_fraction = cfg;
+  other_fraction.failure_fraction = 0.25;
+  ExperimentConfig other_recovery = cfg;
+  other_recovery.measure_recovery = true;
+  ExperimentConfig other_seed = cfg;
+  other_seed.seed = 4;
+  ExperimentConfig other_scheme = cfg;
+  other_scheme.scheme = SchemeSpec::constant(2.25);
+  ExperimentConfig other_bgp = cfg;
+  other_bgp.bgp.jitter_timers = false;
+
+  // Scenario-only changes share the converged state...
+  EXPECT_EQ(converged_state_digest(cfg), converged_state_digest(other_fraction));
+  EXPECT_EQ(converged_state_digest(cfg), converged_state_digest(other_recovery));
+  // ...anything touching the converged state does not.
+  EXPECT_NE(converged_state_digest(cfg), converged_state_digest(other_seed));
+  EXPECT_NE(converged_state_digest(cfg), converged_state_digest(other_scheme));
+  EXPECT_NE(converged_state_digest(cfg), converged_state_digest(other_bgp));
+  // The run digest distinguishes scenarios on top of the shared state.
+  EXPECT_NE(run_digest(cfg), run_digest(other_fraction));
+  EXPECT_NE(run_digest(cfg), run_digest(other_recovery));
+
+  // And a fraction-only sibling really can run from cfg's snapshot.
+  const Snapshot snap = converge_snapshot(cfg);
+  const RunResult cold = run_experiment(other_fraction);
+  const RunResult warm = run_experiment_from(other_fraction, snap);
+  expect_same_run(cold, warm, "shared snapshot, different fraction");
+}
+
+TEST(WarmStart, MismatchedSnapshotIsRejected) {
+  const ExperimentConfig cfg = base_config();
+  ExperimentConfig other = cfg;
+  other.seed = 99;
+  const Snapshot snap = converge_snapshot(cfg);
+  EXPECT_THROW(run_experiment_from(other, snap), std::runtime_error);
+}
+
+TEST(WarmStart, SweepIdenticalToColdSweep) {
+  // 2 schemes x 2 fractions x 2 seeds: 8 runs, 4 snapshot groups.
+  std::vector<ExperimentConfig> configs;
+  for (const double frac : {0.05, 0.15}) {
+    for (const std::uint64_t seed : {3ull, 4ull}) {
+      for (const bool dynamic : {false, true}) {
+        ExperimentConfig cfg = base_config();
+        cfg.failure_fraction = frac;
+        cfg.seed = seed;
+        if (dynamic) cfg.scheme = SchemeSpec::dynamic_mrai();
+        configs.push_back(cfg);
+      }
+    }
+  }
+  const auto cold = run_sweep(configs);
+  const auto warm = run_sweep_warm(configs);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    expect_same_run(cold[i], warm[i], "run " + std::to_string(i));
+  }
+}
+
+TEST(WarmStart, FileRoundTripSnapshotRunsIdentically) {
+  const ExperimentConfig cfg = base_config();
+  const RunResult cold = run_experiment(cfg);
+  Snapshot snap = converge_snapshot(cfg);
+  const std::string path = ::testing::TempDir() + "warmstart_test.bgck";
+  bgp::write_checkpoint_file(path, snap.checkpoint);
+  Snapshot loaded;
+  loaded.checkpoint = bgp::read_checkpoint_file(path);
+  std::remove(path.c_str());
+  const RunResult warm = run_experiment_from(cfg, loaded);
+  expect_same_run(cold, warm, "file round-trip");
+}
+
+// --- Resumable sweeps -----------------------------------------------------
+
+std::vector<ExperimentConfig> small_grid() {
+  std::vector<ExperimentConfig> configs;
+  for (const double frac : {0.05, 0.10, 0.15}) {
+    for (const std::uint64_t seed : {3ull, 4ull}) {
+      ExperimentConfig cfg = base_config();
+      cfg.failure_fraction = frac;
+      cfg.seed = seed;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+std::string temp_journal(const char* name) {
+  const std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<std::string> journal_lines(const std::string& path) {
+  std::ifstream in{path};
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Resumable, FreshSweepMatchesRunSweepAndJournalsEveryRun) {
+  const auto configs = small_grid();
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_fresh.jsonl");
+  const auto expected = run_sweep(configs);
+  const auto got = run_sweep_resumable(configs, opt);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same_run(expected[i], got[i], "run " + std::to_string(i));
+  }
+  EXPECT_EQ(journal_lines(opt.journal_path).size(), configs.size());
+  std::remove(opt.journal_path.c_str());
+}
+
+TEST(Resumable, ResumeExecutesOnlyMissingRuns) {
+  const auto configs = small_grid();
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_partial.jsonl");
+  const auto expected = run_sweep_resumable(configs, opt);
+
+  // Simulate a mid-grid kill: keep the first 2 journal lines, drop the rest
+  // and leave a torn (half-written) final line behind.
+  const auto lines = journal_lines(opt.journal_path);
+  ASSERT_EQ(lines.size(), configs.size());
+  {
+    std::ofstream out{opt.journal_path, std::ios::trunc};
+    out << lines[0] << "\n" << lines[1] << "\n";
+    out << lines[2].substr(0, lines[2].size() / 2);  // torn write
+  }
+
+  // Resume must re-run exactly the configs without a completed entry (the
+  // torn line does not count), and reproduce the full sweep bit-identically.
+  std::atomic<std::size_t> executed{0};
+  auto counted = configs;
+  for (auto& cfg : counted) {
+    cfg.instrument = [&executed](bgp::Network&, std::uint64_t) { ++executed; };
+  }
+  opt.resume = true;
+  const auto got = run_sweep_resumable(counted, opt);
+  EXPECT_EQ(executed.load(), configs.size() - 2);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same_run(expected[i], got[i], "run " + std::to_string(i));
+  }
+  // The journal is now complete; a further resume re-runs nothing.
+  executed = 0;
+  const auto again = run_sweep_resumable(counted, opt);
+  EXPECT_EQ(executed.load(), 0u);
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    expect_same_run(expected[i], again[i], "run " + std::to_string(i));
+  }
+  std::remove(opt.journal_path.c_str());
+}
+
+TEST(Resumable, FailedEntriesAreRetriedOnResume) {
+  const auto configs = small_grid();
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_failed.jsonl");
+  run_sweep_resumable(configs, opt);
+  const auto expected = run_sweep(configs);
+
+  // Rewrite run 0's entry as a recorded failure; resume must retry it (and
+  // only it) and come back bit-identical.
+  auto lines = journal_lines(opt.journal_path);
+  ASSERT_EQ(lines.size(), configs.size());
+  {
+    std::ofstream out{opt.journal_path, std::ios::trunc};
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "{\"run\":0,\"digest\":\"%016llx\",\"status\":\"failed\",\"error\":\"killed\"}",
+                  static_cast<unsigned long long>(run_digest(configs[0])));
+    out << buf << "\n";
+    for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << "\n";
+  }
+  std::atomic<std::size_t> executed{0};
+  auto counted = configs;
+  for (auto& cfg : counted) {
+    cfg.instrument = [&executed](bgp::Network&, std::uint64_t) { ++executed; };
+  }
+  opt.resume = true;
+  const auto got = run_sweep_resumable(counted, opt);
+  EXPECT_EQ(executed.load(), 1u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same_run(expected[i], got[i], "run " + std::to_string(i));
+  }
+  std::remove(opt.journal_path.c_str());
+}
+
+TEST(Resumable, ForeignJournalEntriesAreIgnored) {
+  const auto configs = small_grid();
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_foreign.jsonl");
+  run_sweep_resumable(configs, opt);
+
+  // A journal produced by a *different* grid (digests differ) must not
+  // satisfy any of this grid's runs.
+  auto other = configs;
+  for (auto& cfg : other) cfg.pre_failure_gap = sim::SimTime::seconds(2.0);
+  std::atomic<std::size_t> executed{0};
+  for (auto& cfg : other) {
+    cfg.instrument = [&executed](bgp::Network&, std::uint64_t) { ++executed; };
+  }
+  opt.resume = true;
+  run_sweep_resumable(other, opt);
+  EXPECT_EQ(executed.load(), other.size());
+  std::remove(opt.journal_path.c_str());
+}
+
+TEST(Resumable, WarmModeMatchesCold) {
+  const auto configs = small_grid();
+  const auto expected = run_sweep(configs);
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_warm.jsonl");
+  opt.warm = true;
+  const auto got = run_sweep_resumable(configs, opt);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same_run(expected[i], got[i], "run " + std::to_string(i));
+  }
+  std::remove(opt.journal_path.c_str());
+}
+
+TEST(Resumable, RequiresJournalPath) {
+  EXPECT_THROW(run_sweep_resumable(small_grid(), ResumeOptions{}), std::invalid_argument);
+}
+
+TEST(Resumable, PersistentlyFailingRunThrowsButJournalsTheRest) {
+  auto configs = small_grid();
+  // Config 2 is invalid: policy routing on a hierarchical topology throws
+  // inside run_experiment on every attempt.
+  configs[2].topology.kind = TopologySpec::Kind::kHierarchical;
+  configs[2].topology.policy_routing = true;
+  ResumeOptions opt;
+  opt.journal_path = temp_journal("resume_throw.jsonl");
+  opt.max_attempts = 2;
+  EXPECT_THROW(run_sweep_resumable(configs, opt), std::runtime_error);
+  // Every other run was journaled as done; the bad one as failed.
+  const auto lines = journal_lines(opt.journal_path);
+  EXPECT_EQ(lines.size(), configs.size());
+  std::size_t failed = 0;
+  for (const auto& line : lines) {
+    if (line.find("\"status\":\"failed\"") != std::string::npos) ++failed;
+  }
+  EXPECT_EQ(failed, 1u);
+  std::remove(opt.journal_path.c_str());
+}
+
+}  // namespace
+}  // namespace bgpsim::harness

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <exception>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
 
 #include "bgp/network.hpp"
 #include "../bgp/test_util.hpp"
@@ -187,6 +191,57 @@ TEST(DynamicMrai, MessageRateMonitorVariant) {
   }
   EXPECT_GT(r.recent_message_rate(), 10.0);
   EXPECT_EQ(ctl.interval(r, 1), sim::SimTime::seconds(1.25));
+}
+
+TEST(DynamicMraiThreading, CrossThreadUseThrows) {
+  // One controller per run is the contract (build_scheme constructs one per
+  // experiment); a shared instance across parallel sweep runs must fail
+  // loudly instead of silently corrupting the per-node levels.
+  DynamicMrai ctl{DynamicMraiParams{}};
+  ctl.reset();  // pins the instance to this thread
+  std::exception_ptr err;
+  std::thread t{[&] {
+    try {
+      ctl.reset();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }};
+  t.join();
+  ASSERT_TRUE(err != nullptr);
+  EXPECT_THROW(std::rethrow_exception(err), std::logic_error);
+  // The pinned thread keeps working.
+  EXPECT_NO_THROW(ctl.reset());
+}
+
+TEST(DynamicMraiCheckpoint, SaveLoadRoundTripsAdaptiveState) {
+  ControllerHarness h;
+  DynamicMraiParams params;
+  // Rate monitor with an always-exceeded threshold: every restart steps up.
+  params.monitor = DynamicMraiParams::Monitor::kMessageRate;
+  params.up_rate = -1.0;
+  params.down_rate = -2.0;
+  DynamicMrai a{params};
+  auto& r = h.net.router(0);
+  a.interval(r, 1);  // level 0 -> 1
+  ASSERT_GE(a.ups(), 1u);
+
+  std::string blob;
+  a.save_state(blob);
+  DynamicMrai b{params};
+  b.load_state(blob);
+  EXPECT_EQ(b.ups(), a.ups());
+  EXPECT_EQ(b.downs(), a.downs());
+  EXPECT_EQ(b.level(0), a.level(0));
+
+  // Corrupted/mismatched state is refused.
+  DynamicMrai c{params};
+  EXPECT_THROW(c.load_state(blob.substr(0, blob.size() - 1)), std::runtime_error);
+  EXPECT_THROW(c.load_state("garbage"), std::runtime_error);
+  // The base controller (stateless schemes) refuses a non-empty blob.
+  bgp::FixedMrai fixed{sim::SimTime::seconds(1.0)};
+  EXPECT_NO_THROW(fixed.load_state(""));
+  EXPECT_THROW(fixed.load_state(blob), std::runtime_error);
 }
 
 }  // namespace

@@ -170,6 +170,31 @@ def regress_obs(base, cand, tolerance, gate):
                  f"instrumented/disabled wall = {overhead:.2f}x (sanity bound 3x)")
 
 
+def regress_checkpoint(base, cand, tolerance, gate):
+    # The warm-start machinery must be invisible in the results: exact event
+    # totals and run/group counts, and the warm sweep must reproduce the
+    # cold sweep bit-for-bit.
+    for field in ("nodes", "seeds_per_point", "runs", "groups", "events_total"):
+        gate.exact(field, base.get(field), cand.get(field))
+    gate.require(
+        "warm_identical_to_cold",
+        cand.get("warm_identical_to_cold") is True,
+        f"candidate flag = {cand.get('warm_identical_to_cold')}")
+    # The subsystem's raison d'etre: warm must stay decisively faster than
+    # cold (converging once per group instead of once per run).
+    speedup = require_key(cand, "speedup")
+    gate.require("speedup", speedup >= 2.0,
+                 f"cold/warm wall = {speedup:.2f}x (need >= 2x)")
+    # Absolute throughput of both paths, within the usual tolerance.
+    events = require_key(cand, "events_total")
+    for wall in ("cold_wall_s", "warm_wall_s"):
+        base_wall = require_key(base, wall)
+        cand_wall = require_key(cand, wall)
+        if base_wall > 0 and cand_wall > 0:
+            gate.throughput(f"events_per_{wall}", events / base_wall,
+                            events / cand_wall, tolerance)
+
+
 def cmd_regress(args):
     base = load(args.baseline)
     cand = load(args.candidate)
@@ -183,6 +208,8 @@ def cmd_regress(args):
         regress_scale(base, cand, args.tolerance, gate)
     elif suite == "obs_overhead":
         regress_obs(base, cand, args.tolerance, gate)
+    elif suite == "checkpoint":
+        regress_checkpoint(base, cand, args.tolerance, gate)
     else:
         print(f"bench_compare: unknown suite {suite!r}", file=sys.stderr)
         return 2

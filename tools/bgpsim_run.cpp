@@ -12,11 +12,14 @@
 #include <memory>
 #include <string>
 
+#include "bgp/checkpoint.hpp"
 #include "harness/experiment.hpp"
 #include "harness/options.hpp"
 #include "harness/parallel.hpp"
 #include "harness/profile.hpp"
+#include "harness/resume.hpp"
 #include "harness/table.hpp"
+#include "harness/warmstart.hpp"
 #include "obs/binary_trace.hpp"
 #include "obs/telemetry.hpp"
 #include "schemes/dynamic_mrai.hpp"
@@ -54,6 +57,16 @@ Observability (captures the base-seed run; see tools/trace_inspect):
   --telemetry FILE  periodic per-router/network samples to a .bgtl file
   --sample-interval S   telemetry sampling period seconds (default 0.1)
   --profile FILE    sweep wall-clock/utilization profile as JSON
+Checkpointing (quiescent snapshots; see DESIGN.md and tools/checkpoint_inspect):
+  --checkpoint FILE write the base seed's converged state to a .bgck file,
+                    then run its failure phase warm from that snapshot
+  --restore FILE    warm-start the base seed from an existing .bgck snapshot
+                    (must match the configured topology/scheme/seed)
+  --warm            converge once per converged-state group, snapshot, and
+                    run every failure scenario from the snapshot
+                    (bit-identical to the cold sweep, much faster)
+  --journal FILE    journal per-run results to JSONL as the sweep progresses
+  --resume          with --journal: execute only runs missing from the journal
 Run control:
   --seeds K         replicas (default 3)    --seed S  base seed (default 1)
   --csv             CSV output              --help    this text
@@ -102,7 +115,8 @@ int main(int argc, char** argv) {
         {"topo", "n", "failure", "scheme", "mrai", "low", "high", "threshold", "batching",
          "queue", "per-dest-mrai", "withdrawal-mrai", "no-jitter", "ssld", "detection",
          "damping", "prefixes", "recovery", "policy", "seeds", "seed", "csv", "help",
-         "trace", "telemetry", "sample-interval", "profile"});
+         "trace", "telemetry", "sample-interval", "profile", "checkpoint", "restore",
+         "warm", "journal", "resume"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n", unknown.front().c_str());
       return 2;
@@ -157,6 +171,29 @@ int main(int argc, char** argv) {
     const auto telemetry_path = opts.get_or("telemetry", "");
     const auto profile_path = opts.get_or("profile", "");
     const double sample_interval = opts.get_double("sample-interval", 0.1);
+    const auto checkpoint_path = opts.get_or("checkpoint", "");
+    const auto restore_path = opts.get_or("restore", "");
+    const bool warm = opts.flag("warm");
+    const auto journal_path = opts.get_or("journal", "");
+    const bool resume = opts.flag("resume");
+
+    const bool checkpointing = !checkpoint_path.empty() || !restore_path.empty() || warm ||
+                               !journal_path.empty();
+    if (!checkpoint_path.empty() && !restore_path.empty()) {
+      throw std::invalid_argument{"--checkpoint and --restore are mutually exclusive"};
+    }
+    if (warm && (!checkpoint_path.empty() || !restore_path.empty())) {
+      throw std::invalid_argument{"--warm cannot be combined with --checkpoint/--restore"};
+    }
+    if (resume && journal_path.empty()) {
+      throw std::invalid_argument{"--resume requires --journal FILE"};
+    }
+    if (checkpointing && (!trace_path.empty() || !telemetry_path.empty() || !profile_path.empty())) {
+      // Warm runs skip the cold-start phase, so trace/telemetry capture and
+      // the sweep profile would silently miss most of the run.
+      throw std::invalid_argument{
+          "--trace/--telemetry/--profile cannot be combined with checkpointing options"};
+    }
 
     std::vector<harness::ExperimentConfig> cfgs(std::max<std::size_t>(seeds, 1), cfg);
     for (std::size_t i = 0; i < cfgs.size(); ++i) cfgs[i].seed = cfg.seed + i;
@@ -202,8 +239,36 @@ int main(int argc, char** argv) {
     }
 
     harness::SweepProfile profile;
-    auto runs = profile_path.empty() ? harness::run_sweep(cfgs)
-                                     : harness::run_sweep_profiled(cfgs, profile);
+    std::vector<harness::RunResult> runs;
+    if (!journal_path.empty()) {
+      harness::ResumeOptions ropt;
+      ropt.journal_path = journal_path;
+      ropt.resume = resume;
+      ropt.warm = warm;
+      runs = harness::run_sweep_resumable(cfgs, ropt);
+    } else if (!restore_path.empty()) {
+      harness::Snapshot snap;
+      snap.checkpoint = bgp::read_checkpoint_file(restore_path);
+      runs.reserve(cfgs.size());
+      runs.push_back(harness::run_experiment_from(cfgs[0], snap));
+      // Other seeds converge to different states; they run cold.
+      for (std::size_t i = 1; i < cfgs.size(); ++i)
+        runs.push_back(harness::run_experiment(cfgs[i]));
+    } else if (!checkpoint_path.empty()) {
+      const auto snap = harness::converge_snapshot(cfgs[0]);
+      bgp::write_checkpoint_file(checkpoint_path, snap.checkpoint);
+      std::fprintf(stderr, "checkpoint: %zu state bytes -> %s\n", snap.checkpoint.state.size(),
+                   checkpoint_path.c_str());
+      runs.reserve(cfgs.size());
+      runs.push_back(harness::run_experiment_from(cfgs[0], snap));
+      for (std::size_t i = 1; i < cfgs.size(); ++i)
+        runs.push_back(harness::run_experiment(cfgs[i]));
+    } else if (warm) {
+      runs = harness::run_sweep_warm(cfgs);
+    } else {
+      runs = profile_path.empty() ? harness::run_sweep(cfgs)
+                                  : harness::run_sweep_profiled(cfgs, profile);
+    }
     if (!profile_path.empty()) profile.write_json_file(profile_path);
     const auto result = harness::aggregate_runs(std::move(runs));
 

@@ -15,12 +15,19 @@
 // exactly the failure mode a chunked-arena (or any path-storage) bug
 // would produce.
 //
-// Usage: identity_check [> out.txt]   Knobs: BGPSIM_N, BGPSIM_SEEDS.
+// With --warm the grid runs through run_sweep_warm (converge once per
+// (topology, scheme, seed) group, checkpoint, fan the failure fractions out
+// from the snapshot) instead of run_sweep. CI diffs the two outputs: the
+// checkpoint/restore cycle must be invisible down to the last RIB bit.
+//
+// Usage: identity_check [--warm] [> out.txt]   Knobs: BGPSIM_N, BGPSIM_SEEDS.
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
+#include "harness/warmstart.hpp"
 
 namespace {
 
@@ -57,8 +64,9 @@ std::uint64_t rib_digest(bgpsim::bgp::Network& net) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bgpsim;
+  const bool warm = argc > 1 && std::strcmp(argv[1], "--warm") == 0;
   const std::size_t n = harness::bench_seeds(2);  // seeds per grid point
 
   std::vector<harness::ExperimentConfig> grid;
@@ -87,7 +95,7 @@ int main() {
     };
   }
 
-  const auto results = harness::run_sweep(grid);
+  const auto results = warm ? harness::run_sweep_warm(grid) : harness::run_sweep(grid);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::printf(
