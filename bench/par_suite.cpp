@@ -1,0 +1,167 @@
+// Intra-run parallel scheduler suite: one large convergence workload on the
+// partitioned conservative-window scheduler at 1/2/4/8 threads.
+//
+// Measures the cold-start convergence wall (the phase the partitioning
+// targets: every router floods at once, so all partitions stay busy) plus
+// the total run wall, verifies that every thread count produces
+// bit-identical results (Loc-RIB digest, counters, event totals -- the
+// serial-oracle identity the design guarantees), and writes BENCH_par.json;
+// tools/bench_compare.py gates the identity flag always and the 8-thread
+// speedup when the host actually has the cores (gate_applicable).
+//
+// Usage: par_suite [output.json]   (default: BENCH_par.json in the current
+// directory; run from the repo root to update the tracked file)
+//
+// Knobs: BGPSIM_PAR_N (nodes, default 4000; CI uses 600 to bound runtime).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bgp/network.hpp"
+#include "bgp/router.hpp"
+#include "harness/experiment.hpp"
+
+namespace {
+
+// FNV-1a over the full post-run Loc-RIB content (router, prefix,
+// materialized hop sequence) -- the same digest identity_check prints.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+std::uint64_t rib_digest(bgpsim::bgp::Network& net) {
+  using namespace bgpsim;
+  std::uint64_t h = kFnvOffset;
+  for (bgp::NodeId v = 0; v < net.size(); ++v) {
+    const bgp::Router& r = net.router(v);
+    if (!r.alive()) continue;
+    for (const bgp::Prefix p : r.known_prefixes()) {
+      const auto e = r.best(p);
+      if (!e.has_value()) continue;
+      mix(h, v);
+      mix(h, p);
+      mix(h, e->local ? 1 : 0);
+      mix(h, e->learned_from);
+      mix(h, e->path.length());
+      for (const bgp::AsId as : e->path.hops()) mix(h, as);
+    }
+  }
+  return h;
+}
+
+struct Measured {
+  bgpsim::harness::RunResult res;
+  std::uint64_t digest = 0;
+};
+
+bool same_results(const Measured& a, const Measured& b) {
+  const auto& x = a.res;
+  const auto& y = b.res;
+  return a.digest == b.digest && x.initial_convergence_s == y.initial_convergence_s &&
+         x.convergence_delay_s == y.convergence_delay_s &&
+         x.messages_after_failure == y.messages_after_failure &&
+         x.adverts_after_failure == y.adverts_after_failure &&
+         x.withdrawals_after_failure == y.withdrawals_after_failure &&
+         x.messages_total == y.messages_total &&
+         x.messages_processed == y.messages_processed && x.events == y.events &&
+         x.failed_routers == y.failed_routers && x.routes_valid == y.routes_valid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_par.json";
+  const std::size_t n = bench::env_or("BGPSIM_PAR_N", 4000);
+  const std::size_t host_cpus = std::max(1u, std::thread::hardware_concurrency());
+  const std::vector<std::size_t> thread_counts{1, 2, 4, 8};
+
+  // One heavyweight convergence workload: the paper's skewed topology at
+  // scale, a small contiguous failure (fractions >= 5% at n >= 1000 exhaust
+  // the 32-bit path arena during the uncompacted failure flood -- see
+  // checkpoint_suite), MRAI 2.25 s.
+  harness::ExperimentConfig base = bench::paper_default();
+  base.topology.n = n;
+  base.failure_fraction = 0.002;
+  base.scheme = harness::SchemeSpec::constant(2.25);
+  base.seed = 1;
+
+  std::printf("par_suite: %zu nodes, threads {1,2,4,8}, host has %zu cpu(s)\n", n, host_cpus);
+  std::fflush(stdout);
+
+  std::vector<Measured> runs;
+  std::vector<double> converge_wall(thread_counts.size(), 0.0);
+  std::vector<double> total_wall(thread_counts.size(), 0.0);
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    auto cfg = base;
+    cfg.par_threads = thread_counts[i];
+    Measured m;
+    cfg.on_complete = [&m](bgp::Network& net, std::uint64_t) { m.digest = rib_digest(net); };
+    m.res = harness::run_experiment(cfg);
+    converge_wall[i] = m.res.timing.converge_s;
+    total_wall[i] = m.res.timing.total_s;
+    std::printf("  par=%zu: converge %.3f s, total %.3f s, events %llu, rib %016llx\n",
+                thread_counts[i], converge_wall[i], total_wall[i],
+                static_cast<unsigned long long>(m.res.events),
+                static_cast<unsigned long long>(m.digest));
+    std::fflush(stdout);
+    runs.push_back(std::move(m));
+  }
+
+  bool identical = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    identical = identical && same_results(runs[0], runs[i]);
+  }
+  const bool valid = runs[0].res.routes_valid;
+
+  const double speedup = converge_wall.back() > 0 ? converge_wall[0] / converge_wall.back() : 0.0;
+  const double efficiency = speedup / static_cast<double>(thread_counts.back());
+  // The >=2x speedup gate only means something when the host can actually
+  // run the 8 partitions concurrently; on smaller hosts the suite still
+  // verifies identity and records the (honest) walls.
+  const bool gate_applicable = host_cpus >= thread_counts.back();
+
+  std::printf("  speedup (converge, 8t vs 1t): %.2fx (efficiency %.2f), identical: %s%s\n",
+              speedup, efficiency, identical ? "yes" : "NO (BUG)",
+              gate_applicable ? "" : "  [speedup gate not applicable on this host]");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "par_suite: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"suite\": \"par\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"host_cpus\": %zu,\n"
+               "  \"gate_applicable\": %s,\n"
+               "  \"events_total\": %llu,\n"
+               "  \"converge_wall_s_t1\": %.6f,\n"
+               "  \"converge_wall_s_t2\": %.6f,\n"
+               "  \"converge_wall_s_t4\": %.6f,\n"
+               "  \"converge_wall_s_t8\": %.6f,\n"
+               "  \"total_wall_s_t1\": %.6f,\n"
+               "  \"total_wall_s_t8\": %.6f,\n"
+               "  \"speedup\": %.4f,\n"
+               "  \"scaling_efficiency\": %.4f,\n"
+               "  \"routes_valid\": %s,\n"
+               "  \"identical_across_threads\": %s\n"
+               "}\n",
+               n, host_cpus, gate_applicable ? "true" : "false",
+               static_cast<unsigned long long>(runs[0].res.events), converge_wall[0],
+               converge_wall[1], converge_wall[2], converge_wall[3], total_wall[0],
+               total_wall.back(), speedup, efficiency, valid ? "true" : "false",
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return identical && valid ? 0 : 2;
+}

@@ -302,6 +302,12 @@ struct CheckpointCodec {
 
 Checkpoint capture_checkpoint(const Network& net, std::uint64_t config_digest,
                               double initial_convergence_s) {
+  if (net.parallel()) {
+    throw std::runtime_error{
+        "checkpoint: capture requires the legacy serial scheduler (the .bgck "
+        "format does not describe partitioned clocks, lanes or per-router RNG "
+        "streams); run without --par-threads"};
+  }
   Checkpoint ck;
   ck.config_digest = config_digest;
   ck.initial_convergence_s = initial_convergence_s;
@@ -311,6 +317,11 @@ Checkpoint capture_checkpoint(const Network& net, std::uint64_t config_digest,
 
 void restore_checkpoint(Network& net, const Checkpoint& ck,
                         std::uint64_t expected_config_digest) {
+  if (net.parallel()) {
+    throw std::runtime_error{
+        "checkpoint: restore requires the legacy serial scheduler; run "
+        "without --par-threads"};
+  }
   if (ck.config_digest != expected_config_digest) {
     throw std::runtime_error{
         "checkpoint: configuration digest mismatch (captured for a different run)"};

@@ -28,6 +28,13 @@ class MraiController {
   /// Called at every timer (re)start; may update internal adaptive state.
   virtual sim::SimTime interval(Router& r, NodeId peer) = 0;
 
+  /// Called once by Network::enable_parallel before any interval() call:
+  /// interval() will be invoked concurrently from partition worker threads
+  /// (never twice concurrently for the same router). Controllers with
+  /// shared mutable state presize/harden it here; stateless controllers
+  /// need nothing.
+  virtual void prepare_parallel(std::size_t /*nodes*/) {}
+
   /// Checkpoint hooks: controllers with adaptive state (DynamicMrai)
   /// serialize it into an opaque blob; stateless controllers keep the
   /// defaults (empty blob, and a loud failure if asked to load one --

@@ -1,13 +1,32 @@
 #include "bgp/network.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <span>
 #include <stdexcept>
+
+#include "topo/partition.hpp"
 
 namespace bgpsim::bgp {
 
+namespace {
+
+/// splitmix64 finalizer over (seed, router id): each router gets an
+/// independent RNG stream that is a pure function of the network seed and
+/// its own id -- never of the partitioning -- so per-router draws are
+/// identical at every thread count.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t id) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (id + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Network::Network(const topo::Graph& g, BgpConfig cfg, std::shared_ptr<MraiController> mrai,
                  std::uint64_t seed)
-    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed}, seed_{seed} {
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto n = static_cast<NodeId>(g.size());
   node_space_ = n;
@@ -31,7 +50,7 @@ Network::Network(const topo::Graph& g, BgpConfig cfg, std::shared_ptr<MraiContro
 
 Network::Network(const topo::HierTopology& h, BgpConfig cfg,
                  std::shared_ptr<MraiController> mrai, std::uint64_t seed)
-    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed} {
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed}, seed_{seed} {
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto n = static_cast<NodeId>(h.num_routers());
   node_space_ = n;
@@ -58,7 +77,7 @@ Network::Network(const topo::HierTopology& h, BgpConfig cfg,
 
 Network::Network(const topo::AsRelGraph& ar, BgpConfig cfg,
                  std::shared_ptr<MraiController> mrai, std::uint64_t seed)
-    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed}, policy_routing_{true} {
+    : cfg_{cfg}, mrai_{std::move(mrai)}, rng_{seed}, seed_{seed}, policy_routing_{true} {
   if (!mrai_) throw std::invalid_argument{"Network: null MraiController"};
   const auto& g = ar.graph;
   const auto n = static_cast<NodeId>(g.size());
@@ -95,11 +114,19 @@ Network::Network(const topo::AsRelGraph& ar, BgpConfig cfg,
 void Network::start() {
   for (auto& r : routers_) {
     if (!r->originates()) continue;
+    // Parallel mode draws the spread from the router's own stream and keys
+    // the event on its internal lane, so the origination schedule is a pure
+    // function of (seed, id) -- identical at every thread count.
+    sim::Rng& rng = par_k_ == 0 ? rng_ : par_rngs_[r->id()];
     const sim::SimTime delay =
         cfg_.origination_spread > sim::SimTime::zero()
-            ? rng_.uniform_time(sim::SimTime::zero(), cfg_.origination_spread)
+            ? rng.uniform_time(sim::SimTime::zero(), cfg_.origination_spread)
             : sim::SimTime::zero();
-    sched_.schedule_after(delay, [router = r.get()] { router->originate(); });
+    if (par_k_ == 0) {
+      sched_.schedule_after(delay, [router = r.get()] { router->originate(); });
+    } else {
+      r->schedule_event(delay, [router = r.get()] { router->originate(); });
+    }
   }
 }
 
@@ -112,11 +139,20 @@ void Network::fail_nodes(const std::vector<NodeId>& victims) {
         router(peer).peer_failed(v);
       } else {
         // BGP hold timer: each survivor notices the dead peer after
-        // U(0.5, 1.0) x the configured detection delay.
-        const auto delay = cfg_.failure_detection_delay * rng_.uniform(0.5, 1.0);
-        sched_.schedule_after(delay, [this, peer, v] {
+        // U(0.5, 1.0) x the configured detection delay. Parallel mode draws
+        // from the survivor's stream and schedules into its partition
+        // (victims and peers are iterated in a fixed order, so each
+        // survivor's draw sequence is partition-independent).
+        sim::Rng& rng = par_k_ == 0 ? rng_ : par_rngs_[peer];
+        const auto delay = cfg_.failure_detection_delay * rng.uniform(0.5, 1.0);
+        auto notice = [this, peer, v] {
           if (routers_[peer]->alive()) routers_[peer]->peer_failed(v);
-        });
+        };
+        if (par_k_ == 0) {
+          sched_.schedule_after(delay, std::move(notice));
+        } else {
+          routers_[peer]->schedule_event(delay, std::move(notice));
+        }
       }
     }
   }
@@ -136,13 +172,26 @@ void Network::recover_nodes(const std::vector<NodeId>& nodes) {
 
 void Network::compact_paths() {
 #ifndef BGPSIM_DEEP_COPY_PATHS
-  PathTable fresh;
-  std::vector<PathId> memo(paths_.size(), kInvalidPathId);
-  for (auto& r : routers_) r->remap_paths(paths_, fresh, memo);
-  fresh.shrink_to_fit();
-  // Retires the old epoch's hop blocks wholesale: the chunked arena frees
-  // block-by-block here instead of one monolithic allocation.
-  paths_ = std::move(fresh);
+  if (par_k_ == 0) {
+    PathTable fresh;
+    std::vector<PathId> memo(paths_.size(), kInvalidPathId);
+    for (auto& r : routers_) r->remap_paths(paths_, fresh, memo);
+    fresh.shrink_to_fit();
+    // Retires the old epoch's hop blocks wholesale: the chunked arena frees
+    // block-by-block here instead of one monolithic allocation.
+    paths_ = std::move(fresh);
+    return;
+  }
+  // Parallel mode: partition tables compact independently ("per-partition
+  // arenas merged at quiescence" -- each table shrinks to its partition's
+  // live set; run on the barrier thread while the workers are parked).
+  for (auto& part : parts_) {
+    PathTable fresh;
+    std::vector<PathId> memo(part->paths.size(), kInvalidPathId);
+    for (const NodeId v : part->members) routers_[v]->remap_paths(part->paths, fresh, memo);
+    fresh.shrink_to_fit();
+    part->paths = std::move(fresh);  // member address stable: router pointers survive
+  }
 #endif
 }
 
@@ -158,6 +207,253 @@ void Network::transmit(UpdateMessage msg) {
   sched_.schedule_after(cfg_.link_delay, [this, m = std::move(msg)] {
     routers_[m.to]->deliver(m);
   });
+}
+
+// --- parallel execution -------------------------------------------------------
+
+Network::~Network() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard lk{par_mu_};
+      shutdown_ = true;
+    }
+    par_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+}
+
+void Network::enable_parallel(std::size_t threads) {
+  if (threads == 0) return;
+  if (par_k_ != 0) throw std::logic_error{"Network: parallel mode already enabled"};
+  if (sched_.executed_events() != 0 || !sched_.empty()) {
+    throw std::logic_error{"Network: enable_parallel() must be called before start()"};
+  }
+  if (cfg_.link_delay <= sim::SimTime::zero()) {
+    throw std::invalid_argument{
+        "Network: parallel execution requires link_delay > 0 -- it is the "
+        "conservative window lookahead"};
+  }
+  const std::size_t n = routers_.size();
+  if (n == 0) throw std::logic_error{"Network: cannot parallelize an empty network"};
+  const std::size_t k = std::min(threads, n);
+
+  // Greedy edge-cut partition of the session graph (deterministic).
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId peer : routers_[v]->peers()) adj[v].push_back(peer);
+  }
+  part_of_ = topo::partition_greedy(adj, k).part_of;
+  par_k_ = k;
+  lookahead_ = cfg_.link_delay;
+
+  // Ordering lanes: one per router (timers, processing completions) plus
+  // one per directed session (messages), numbered in (router, session)
+  // order -- a pure function of the topology, independent of k. The 40-bit
+  // scheduler key is split into lane | per-lane sequence.
+  std::uint64_t lanes = n;
+  for (NodeId v = 0; v < n; ++v) lanes += routers_[v]->sessions_.size();
+  const auto lane_bits = static_cast<std::uint64_t>(lanes <= 1 ? 1 : std::bit_width(lanes - 1));
+  if (lane_bits >= 36) {
+    throw std::length_error{"Network: too many ordering lanes for 40-bit scheduler keys"};
+  }
+  const std::uint64_t seq_bits = 40 - lane_bits;
+  const std::uint64_t seq_limit = std::uint64_t{1} << seq_bits;
+
+  parts_.clear();
+  for (std::size_t p = 0; p < k; ++p) parts_.push_back(std::make_unique<Partition>());
+  for (NodeId v = 0; v < n; ++v) parts_[part_of_[v]]->members.push_back(v);
+  mailbox_.assign(k * k, {});
+
+  par_rngs_.clear();
+  par_rngs_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) par_rngs_.emplace_back(mix_seed(seed_, v));
+
+  std::uint64_t next_lane = n;
+  for (NodeId v = 0; v < n; ++v) {
+    Router& r = *routers_[v];
+    Partition& part = *parts_[part_of_[v]];
+    r.par_ = true;
+    r.sched_ = &part.sched;
+    r.metrics_ = &part.metrics;
+    r.rng_ = &par_rngs_[v];
+#ifndef BGPSIM_DEEP_COPY_PATHS
+    r.paths_ = &part.paths;
+#endif
+    r.lane_seq_limit_ = seq_limit;
+    r.internal_lane_base_ = static_cast<std::uint64_t>(v) << seq_bits;
+    for (auto& s : r.sessions_) s.out_lane_base = next_lane++ << seq_bits;
+  }
+  mrai_->prepare_parallel(n);
+
+  // k - 1 workers for partitions 1..k-1; the thread that calls
+  // run_to_quiescence drives partition 0 and the window barriers.
+  for (std::size_t w = 1; w < k; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Network::worker_loop(std::size_t part) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    sim::SimTime limit;
+    {
+      std::unique_lock lk{par_mu_};
+      par_cv_.wait(lk, [&] { return shutdown_ || window_gen_ != seen; });
+      if (shutdown_) return;
+      seen = window_gen_;
+      limit = window_limit_;
+    }
+    parts_[part]->sched.run_until(limit);
+    {
+      std::lock_guard lk{par_mu_};
+      ++workers_done_;
+    }
+    par_cv_.notify_all();
+  }
+}
+
+sim::SimTime Network::run_par() {
+  for (;;) {
+    // Deliver parked cross-partition messages before looking for the next
+    // window: the previous window's sends, and -- between run_to_quiescence
+    // calls -- injection-time sends (recover_nodes re-establishing sessions
+    // fires full-table resends over cut edges with no window barrier to
+    // drain them). Only after the drain do the partition heaps hold every
+    // pending event, making tmin the true next simulation instant.
+    drain_mailboxes();
+    sim::SimTime tmin = sim::SimTime::max();
+    for (auto& p : parts_) tmin = std::min(tmin, p->sched.next_event_time());
+    if (tmin == sim::SimTime::max()) break;  // quiescent
+
+    // Conservative window [tmin, tmin + lookahead): any message sent at
+    // t >= tmin arrives at t + link_delay >= window end, so partitions
+    // cannot affect each other inside the window. SimTime is integral ns;
+    // run_until is inclusive, hence the -1.
+    const sim::SimTime window_end = tmin + lookahead_;
+    const sim::SimTime limit = sim::SimTime::from_ns(window_end.ns() - 1);
+    if (!workers_.empty()) {
+      {
+        std::lock_guard lk{par_mu_};
+        window_limit_ = limit;
+        workers_done_ = 0;
+        ++window_gen_;
+      }
+      par_cv_.notify_all();
+    }
+    parts_[0]->sched.run_until(limit);
+    if (!workers_.empty()) {
+      std::unique_lock lk{par_mu_};
+      par_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
+    }
+    // Workers are parked again: cross-partition sends from this window sit
+    // in the mailboxes and are drained at the top of the next iteration.
+    merge_metrics();
+    if (window_observer_) window_observer_(window_end);
+  }
+  merge_metrics();
+  return now();
+}
+
+void Network::schedule_delivery(Partition& part, sim::SimTime at, std::uint64_t key,
+                                UpdateMessage msg) {
+  part.sched.schedule_keyed(at, key,
+                            [this, m = std::move(msg)] { routers_[m.to]->deliver(m); });
+}
+
+void Network::transmit_par(UpdateMessage msg, sim::SimTime at, std::uint64_t key) {
+  const std::uint32_t sp = part_of_[msg.from];
+  const std::uint32_t dp = part_of_[msg.to];
+  if (sp == dp) {
+    schedule_delivery(*parts_[dp], at, key, std::move(msg));
+    return;
+  }
+  Envelope env;
+  env.at = at;
+  env.key = key;
+#ifndef BGPSIM_DEEP_COPY_PATHS
+  // PathIds are partition-local: carry the materialized hops across and
+  // re-intern into the receiver's table at the barrier.
+  if (!msg.withdraw) {
+    const auto h = parts_[sp]->paths.hops(msg.path);
+    env.hops.assign(h.begin(), h.end());
+  }
+#endif
+  env.msg = std::move(msg);
+  mailbox_[sp * par_k_ + dp].push_back(std::move(env));
+}
+
+void Network::drain_mailboxes() {
+  // Fixed drain order (sender partition, then send sequence within each
+  // box). The order is semantically irrelevant -- every delivery carries a
+  // partition-independent (time, lane, seq) key that fixes its execution
+  // order -- but keeping it deterministic makes the heap layout, and thus
+  // any tie-breaking-by-slot bug, reproducible too.
+  for (std::size_t sp = 0; sp < par_k_; ++sp) {
+    for (std::size_t dp = 0; dp < par_k_; ++dp) {
+      auto& box = mailbox_[sp * par_k_ + dp];
+      for (auto& env : box) {
+#ifndef BGPSIM_DEEP_COPY_PATHS
+        if (!env.msg.withdraw) {
+          env.msg.path = parts_[dp]->paths.intern(std::span<const AsId>{env.hops});
+        }
+#endif
+        schedule_delivery(*parts_[dp], env.at, env.key, std::move(env.msg));
+      }
+      box.clear();
+    }
+  }
+}
+
+void Network::merge_metrics() {
+  // Counters sum, high-water times max: every NetMetrics field is
+  // order-independent under this fold, which is what makes per-partition
+  // shards equivalent to the serial single struct.
+  NetMetrics merged;
+  for (auto& p : parts_) {
+    const NetMetrics& m = p->metrics;
+    merged.updates_sent += m.updates_sent;
+    merged.adverts_sent += m.adverts_sent;
+    merged.withdrawals_sent += m.withdrawals_sent;
+    merged.messages_processed += m.messages_processed;
+    merged.batch_dropped += m.batch_dropped;
+    merged.rib_changes += m.rib_changes;
+    merged.last_rib_change = std::max(merged.last_rib_change, m.last_rib_change);
+    merged.last_activity = std::max(merged.last_activity, m.last_activity);
+  }
+  metrics_ = merged;
+}
+
+sim::SimTime Network::now() const {
+  if (par_k_ == 0) return sched_.now();
+  sim::SimTime t;
+  for (const auto& p : parts_) t = std::max(t, p->sched.now());
+  return t;
+}
+
+std::uint64_t Network::executed_events() const {
+  if (par_k_ == 0) return sched_.executed_events();
+  std::uint64_t total = 0;
+  for (const auto& p : parts_) total += p->sched.executed_events();
+  return total;
+}
+
+void Network::advance_all(sim::SimTime t) {
+  if (par_k_ == 0) {
+    sched_.advance_to(t);
+    return;
+  }
+  for (auto& p : parts_) p->sched.advance_to(t);
+}
+
+double Network::min_path_capacity_remaining() const {
+#ifdef BGPSIM_DEEP_COPY_PATHS
+  return 1.0;  // deep copies have no structural cap
+#else
+  if (par_k_ == 0) return paths_.capacity_remaining();
+  double rem = 1.0;
+  for (const auto& p : parts_) rem = std::min(rem, p->paths.capacity_remaining());
+  return rem;
+#endif
 }
 
 }  // namespace bgpsim::bgp

@@ -6,7 +6,11 @@
 // border sessions).
 #pragma once
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "bgp/config.hpp"
@@ -41,6 +45,19 @@ class Network {
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+  ~Network();
+
+  /// Switches this network to partitioned parallel execution with
+  /// `threads` worker threads (clamped to the router count). Must be
+  /// called before start(); spawns threads - 1 workers (the calling thread
+  /// drives partition 0 and the window barriers). threads == 1 runs the
+  /// identical partitioned code path single-threaded -- that is the serial
+  /// identity oracle the K-thread runs are compared against; threads == 0
+  /// is a no-op (legacy serial scheduler, byte-for-byte the historical
+  /// behavior). See DESIGN.md "Parallel execution".
+  void enable_parallel(std::size_t threads);
+  bool parallel() const { return par_k_ != 0; }
+  std::size_t par_threads() const { return par_k_; }
 
   /// Schedules every origin's initial announcement (spread over
   /// cfg.origination_spread) -- call once before running.
@@ -53,10 +70,32 @@ class Network {
   /// interns millions of transient exploration paths that nothing
   /// references once the network settles).
   sim::SimTime run_to_quiescence() {
-    const sim::SimTime t = sched_.run();
+    const sim::SimTime t = par_k_ == 0 ? sched_.run() : run_par();
+    // Sample fill before compaction: convergence churn is when the intern
+    // arena peaks, and compact_paths() erases the evidence.
+    const double cap = min_path_capacity_remaining();
+    if (cap < path_capacity_low_water_) path_capacity_low_water_ = cap;
     compact_paths();
     return t;
   }
+
+  /// Lowest min_path_capacity_remaining() observed at any quiescence point
+  /// (pre-compaction) -- the run's closest approach to arena exhaustion.
+  /// 1.0 in deep-copy builds and before the first quiescence.
+  double path_capacity_low_water() const { return path_capacity_low_water_; }
+
+  /// Current simulation time: the legacy scheduler's clock, or in parallel
+  /// mode the furthest partition clock (at quiescence all partitions have
+  /// drained, so this is the time of the globally last event).
+  sim::SimTime now() const;
+  /// Total executed events across all partitions (== the legacy
+  /// scheduler's count in serial mode).
+  std::uint64_t executed_events() const;
+  /// Moves every partition clock (or the legacy clock) forward to `t`;
+  /// requires quiescence (throws if events are pending before `t`). The
+  /// harness uses this to align clocks before injecting a failure in
+  /// parallel mode.
+  void advance_all(sim::SimTime t);
 
   /// Rebuilds the path table from the paths RIBs still reference and
   /// remaps every stored PathRef (ids are opaque handles, so behavior is
@@ -102,6 +141,26 @@ class Network {
   /// Sends `msg` over the (from -> to) link; delivery after link_delay.
   void transmit(UpdateMessage msg);
 
+  /// Parallel-mode send: delivery at `at` ordered by `key` (the sender's
+  /// per-session lane key). In-partition messages go straight into the
+  /// receiver's event queue; cross-partition ones are buffered in the
+  /// (src partition, dst partition) mailbox and scheduled at the next
+  /// window barrier (they cannot fire inside the current window:
+  /// at >= window_end by the lookahead argument).
+  void transmit_par(UpdateMessage msg, sim::SimTime at, std::uint64_t key);
+
+  /// Parallel-mode observer invoked on the barrier thread at the end of
+  /// every window (after mailbox drain and metrics merge) with the window
+  /// end time; the telemetry sampler hooks this instead of a scheduled
+  /// periodic event, which a partitioned heap cannot support.
+  void set_window_observer(std::function<void(sim::SimTime)> obs) {
+    window_observer_ = std::move(obs);
+  }
+
+  /// Tightest path-table capacity across partitions (== paths()'s in
+  /// serial mode); the harness warns when this drops under 10%.
+  double min_path_capacity_remaining() const;
+
   /// Installs a trace sink (non-owning; pass nullptr to disable). With no
   /// sink, routers skip event construction entirely.
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
@@ -114,10 +173,42 @@ class Network {
   /// Serializes/restores the full quiescent network state (checkpoint.cpp).
   friend struct CheckpointCodec;
 
+  /// One conservative-window execution unit: a slice of the routers with
+  /// their own event queue, clock, metrics shard and path-intern table
+  /// (per-partition arenas: interning needs no locks because only the
+  /// owning thread touches a partition's table during a window).
+  struct Partition {
+    sim::Scheduler sched;
+    NetMetrics metrics;
+    PathTable paths;
+    std::vector<NodeId> members;
+  };
+
+  /// A cross-partition message parked until the window barrier. In interned
+  /// builds the hop sequence is materialized from the sender's table at
+  /// send time and re-interned into the receiver's table at drain time
+  /// (PathIds are partition-local).
+  struct Envelope {
+    sim::SimTime at;
+    std::uint64_t key;
+    UpdateMessage msg;
+    std::vector<AsId> hops;
+  };
+
+  /// Conservative-window driver: runs windows until every partition heap
+  /// drains; returns the time of the globally last event.
+  sim::SimTime run_par();
+  void worker_loop(std::size_t part);
+  void drain_mailboxes();
+  void merge_metrics();
+  void schedule_delivery(Partition& part, sim::SimTime at, std::uint64_t key,
+                         UpdateMessage msg);
+
   BgpConfig cfg_;
   std::shared_ptr<MraiController> mrai_;
   sim::Scheduler sched_;
   sim::Rng rng_;
+  std::uint64_t seed_ = 0;
   PathTable paths_;
   std::size_t prefix_space_ = 0;
   std::size_t node_space_ = 0;
@@ -126,6 +217,23 @@ class Network {
   NetMetrics metrics_;
   TraceSink* trace_ = nullptr;
   bool policy_routing_ = false;
+  double path_capacity_low_water_ = 1.0;
+
+  // --- parallel execution state (empty/idle when par_k_ == 0) ---
+  std::size_t par_k_ = 0;  ///< partition count; 0 = legacy serial mode
+  sim::SimTime lookahead_;  ///< = cfg_.link_delay (min cross-partition latency)
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<std::uint32_t> part_of_;  ///< NodeId -> partition
+  std::vector<sim::Rng> par_rngs_;      ///< per-router streams (splitmix64 of seed, id)
+  std::vector<std::vector<Envelope>> mailbox_;  ///< [src * k + dst]
+  std::function<void(sim::SimTime)> window_observer_;
+  std::vector<std::thread> workers_;  ///< k - 1 threads; main drives partition 0
+  std::mutex par_mu_;
+  std::condition_variable par_cv_;
+  std::uint64_t window_gen_ = 0;  ///< bumped to release workers into a window
+  std::size_t workers_done_ = 0;
+  sim::SimTime window_limit_;
+  bool shutdown_ = false;
 };
 
 }  // namespace bgpsim::bgp

@@ -58,9 +58,13 @@ AsId* PathTable::alloc_hops(std::size_t len, std::uint32_t& packed) {
     // span), so the current block's tail is retired unused.
     if (chunks_.size() >= max_chunks_) {
       throw std::length_error{
-          "PathTable: arena full (" + std::to_string(chunks_.size()) +
-          " blocks of " + std::to_string(chunk_hops_) +
-          " hops); the packed 32-bit (chunk, offset) addressing admits no more"};
+          "PathTable: hop arena full: " + std::to_string(chunks_.size()) + "/" +
+          std::to_string(max_chunks_) + " blocks of " + std::to_string(chunk_hops_) +
+          " hops in use, " + std::to_string(slots_.size()) +
+          " distinct paths interned (" + std::to_string(total_hops_) +
+          " hops); the packed 32-bit (chunk, offset) addressing admits no more. "
+          "Rebuild with -DBGPSIM_DEEP_COPY_PATHS=ON to trade memory for "
+          "unbounded per-route path storage, or raise chunk_hop_bits"};
     }
     chunks_.emplace_back(new AsId[chunk_hops_]);  // uninitialized storage
     chunk_used_ = 0;
@@ -84,7 +88,12 @@ PathId PathTable::find_or_intern(std::span<const AsId> hops, std::uint64_t h) {
     b = (b + 1) & index_mask_;
   }
   if (slots_.size() >= kInvalidPathId) {
-    throw std::length_error{"PathTable: id space exhausted (2^32 - 1 paths)"};
+    throw std::length_error{
+        "PathTable: id space exhausted: " + std::to_string(slots_.size()) +
+        " distinct paths interned (cap 2^32 - 1), " + std::to_string(chunks_.size()) +
+        "/" + std::to_string(max_chunks_) +
+        " hop blocks in use. Rebuild with -DBGPSIM_DEEP_COPY_PATHS=ON to bypass "
+        "interning entirely"};
   }
   const auto id = static_cast<PathId>(slots_.size());
   Slot s;
@@ -143,7 +152,12 @@ PathId PathTable::prepend(PathId base, AsId head) {
     b = (b + 1) & index_mask_;
   }
   if (slots_.size() >= kInvalidPathId) {
-    throw std::length_error{"PathTable: id space exhausted (2^32 - 1 paths)"};
+    throw std::length_error{
+        "PathTable: id space exhausted: " + std::to_string(slots_.size()) +
+        " distinct paths interned (cap 2^32 - 1), " + std::to_string(chunks_.size()) +
+        "/" + std::to_string(max_chunks_) +
+        " hop blocks in use. Rebuild with -DBGPSIM_DEEP_COPY_PATHS=ON to bypass "
+        "interning entirely"};
   }
   const auto id = static_cast<PathId>(slots_.size());
   Slot s;
@@ -177,6 +191,19 @@ std::size_t PathTable::memory_bytes() const {
   return chunks_.size() * (static_cast<std::size_t>(chunk_hops_) * sizeof(AsId)) +
          chunks_.capacity() * sizeof(chunks_[0]) + slots_.capacity() * sizeof(Slot) +
          index_.capacity() * sizeof(std::uint32_t);
+}
+
+double PathTable::capacity_remaining() const {
+  const double id_rem =
+      1.0 - static_cast<double>(slots_.size()) / static_cast<double>(kInvalidPathId);
+  const std::size_t hops_used =
+      chunks_.empty() ? 0
+                      : (chunks_.size() - 1) * static_cast<std::size_t>(chunk_hops_) +
+                            chunk_used_;
+  const double hop_cap =
+      static_cast<double>(max_chunks_) * static_cast<double>(chunk_hops_);
+  const double hop_rem = 1.0 - static_cast<double>(hops_used) / hop_cap;
+  return std::max(0.0, std::min(id_rem, hop_rem));
 }
 
 void PathTable::clear() {

@@ -107,6 +107,13 @@ class PathTable {
   /// vector, slots and the hash index.
   std::size_t memory_bytes() const;
 
+  /// Fraction [0, 1] of structural capacity still available, taking the
+  /// tighter of the two hard caps (32-bit id space and the packed
+  /// (chunk, offset) hop-arena addressing). The harness warns on stderr
+  /// when this drops below 10% so an impending std::length_error is
+  /// predictable instead of a surprise mid-sweep.
+  double capacity_remaining() const;
+
   /// Epoch reclamation: drops every interned path except the canonical
   /// empty one and releases all hop blocks. All outstanding PathIds other
   /// than kEmptyPathId become invalid -- callers reset their RIBs alongside

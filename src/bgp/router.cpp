@@ -26,6 +26,31 @@ Router::Router(Network& net, NodeId id, AsId as, bool originates)
   origin_base_ = as_;
   origin_count_ = originates_ ? 1 : 0;
   loc_rib_.reserve_prefixes(net.prefix_space());
+  // Serial default: all indirection points alias the Network's own
+  // singletons. enable_parallel rebinds them to a partition.
+  sched_ = &net.scheduler();
+  metrics_ = &net.metrics();
+  rng_ = &net.rng();
+  paths_ = &net.paths();
+}
+
+std::uint64_t Router::next_internal_key() {
+  if (internal_seq_ >= lane_seq_limit_) {
+    throw std::length_error{"Router: parallel ordering-key sequence exhausted for internal lane"};
+  }
+  return internal_lane_base_ | internal_seq_++;
+}
+
+std::uint64_t Router::next_session_key(PeerSession& s) {
+  if (s.out_seq >= lane_seq_limit_) {
+    throw std::length_error{"Router: parallel ordering-key sequence exhausted for session lane"};
+  }
+  return s.out_lane_base | s.out_seq++;
+}
+
+sim::EventHandle Router::sched_event(sim::SimTime delay, sim::EventFn fn) {
+  if (!par_) return sched_->schedule_after(delay, std::move(fn));
+  return sched_->schedule_keyed(sched_->now() + delay, next_internal_key(), std::move(fn));
 }
 
 void Router::set_origin_range(Prefix base, std::uint32_t count) {
@@ -72,8 +97,8 @@ void Router::originate() {
     RibRoute local;
     local.local = true;
     loc_rib_.insert_or_assign(p, local);
-    ++net_.metrics().rib_changes;
-    net_.metrics().last_rib_change = net_.scheduler().now();
+    ++metrics().rib_changes;
+    metrics().last_rib_change = sched().now();
     for (auto& s : sessions_) route_changed(s, p);
   }
 }
@@ -81,9 +106,9 @@ void Router::originate() {
 void Router::deliver(const UpdateMessage& msg) {
   if (!alive_) return;
   ++updates_received_;
-  msg_tracker_.add(net_.scheduler().now(), 1.0);
+  msg_tracker_.add(sched().now(), 1.0);
   trace(TraceEvent::Kind::kUpdateReceived, msg.from, msg.prefix, msg.withdraw, 0,
-        msg.withdraw ? 0 : static_cast<std::uint32_t>(path_length(net_.paths(), msg.path)));
+        msg.withdraw ? 0 : static_cast<std::uint32_t>(path_length(paths(), msg.path)));
   WorkItem item;
   item.kind = WorkItem::Kind::kUpdate;
   item.from = msg.from;
@@ -181,27 +206,27 @@ void Router::session_established(NodeId peer) {
 void Router::maybe_start_processing() {
   if (!alive_ || cpu_busy_ || queue_.empty()) return;
   cpu_busy_ = true;
-  auto batch = queue_.pop_batch(net_.metrics().batch_dropped);
+  auto batch = queue_.pop_batch(metrics().batch_dropped);
   sim::SimTime cost;
   for (const auto& item : batch) {
     // Improved batching (future-work extension): a cheap pre-filter spots
     // updates that cannot change the Adj-RIB-In and skips their full
     // processing cost.
     if (net_.config().free_redundant_updates && !would_change(item)) continue;
-    cost += net_.rng().uniform_time(net_.config().proc_min, net_.config().proc_max);
+    cost += rng().uniform_time(net_.config().proc_min, net_.config().proc_max);
   }
   trace(TraceEvent::Kind::kBatchStarted, 0, 0, false, batch.size());
-  net_.scheduler().schedule_after(cost, [this, b = std::move(batch), cost]() mutable {
+  sched_event(cost, [this, b = std::move(batch), cost]() mutable {
     if (!alive_) return;
-    busy_tracker_.add(net_.scheduler().now(), cost.to_seconds());
+    busy_tracker_.add(sched().now(), cost.to_seconds());
     finish_processing(std::move(b));
   });
 }
 
 void Router::finish_processing(std::vector<WorkItem> batch) {
   cpu_busy_ = false;
-  net_.metrics().messages_processed += batch.size();
-  net_.metrics().last_activity = net_.scheduler().now();
+  metrics().messages_processed += batch.size();
+  metrics().last_activity = sched().now();
   trace(TraceEvent::Kind::kBatchProcessed, 0, 0, false, batch.size());
   std::set<Prefix> affected;
   for (const auto& item : batch) apply(item, affected);
@@ -231,7 +256,7 @@ void Router::apply(const WorkItem& item, std::set<Prefix>& affected) {
     return;
   }
   if (!s->up) return;  // stale advertisement from a fallen peer
-  if (path_contains(net_.paths(), item.path, as_)) {
+  if (path_contains(paths(), item.path, as_)) {
     // AS-path loop: the peer's best route goes through us, so this prefix
     // is unreachable via this peer (an implicit withdrawal).
     if (s->adj_in.erase(item.prefix) > 0) {
@@ -258,7 +283,7 @@ bool Router::would_change(const WorkItem& item) const {
   if (item.withdraw) return s->adj_in.contains(item.prefix);
   if (!s->up) return false;  // stale advertisement, will be dropped
   const PathRef* cur = s->adj_in.find(item.prefix);
-  if (path_contains(net_.paths(), item.path, as_)) {
+  if (path_contains(paths(), item.path, as_)) {
     return cur != nullptr;  // loop => erase
   }
   return cur == nullptr || *cur != item.path;
@@ -266,7 +291,7 @@ bool Router::would_change(const WorkItem& item) const {
 
 bool Router::better_rib(const RibRoute& a, const RibRoute& b) const {
   return better_route_by(
-      a, b, [this](const RibRoute& e) { return path_length(net_.paths(), e.path); });
+      a, b, [this](const RibRoute& e) { return path_length(paths(), e.path); });
 }
 
 std::optional<Router::RibRoute> Router::compute_best(Prefix p) const {
@@ -303,13 +328,13 @@ void Router::run_decision(Prefix p) {
     loc_rib_.insert_or_assign(p, *nb);
   } else {
     loc_rib_.erase(p);
-    loss_tracker_.add(net_.scheduler().now(), 1.0);
+    loss_tracker_.add(sched().now(), 1.0);
   }
-  ++net_.metrics().rib_changes;
-  net_.metrics().last_rib_change = net_.scheduler().now();
+  ++metrics().rib_changes;
+  metrics().last_rib_change = sched().now();
   trace(TraceEvent::Kind::kRibChanged, 0, p);
   if (net_.config().per_destination_mrai && net_.config().dest_mrai_min_changes > 0) {
-    change_counts_[p].rate.add(net_.scheduler().now(), 1.0);
+    change_counts_[p].rate.add(sched().now(), 1.0);
   }
   for (auto& s : sessions_) route_changed(s, p);
 }
@@ -320,7 +345,7 @@ std::optional<PathRef> Router::advert_content(const PeerSession& s, Prefix p) co
   const RibRoute* e = loc_rib_.find(p);
   if (e == nullptr) return std::nullopt;
   if (e->local) {
-    return s.ebgp ? path_prepend(net_.paths(), path_empty(), as_) : path_empty();
+    return s.ebgp ? path_prepend(paths(), path_empty(), as_) : path_empty();
   }
   if (e->learned_from == s.peer) return std::nullopt;   // never advertise back
   if (!e->ebgp_learned && !s.ebgp) return std::nullopt; // iBGP-learned: not to iBGP
@@ -333,10 +358,10 @@ std::optional<PathRef> Router::advert_content(const PeerSession& s, Prefix p) co
     return std::nullopt;
   }
   if (net_.config().sender_side_loop_detection && s.ebgp &&
-      path_contains(net_.paths(), e->path, s.peer_as)) {
+      path_contains(paths(), e->path, s.peer_as)) {
     return std::nullopt;  // SSLD: the peer would reject this path anyway
   }
-  return s.ebgp ? path_prepend(net_.paths(), e->path, as_) : e->path;
+  return s.ebgp ? path_prepend(paths(), e->path, as_) : e->path;
 }
 
 void Router::route_changed(PeerSession& s, Prefix p) {
@@ -387,7 +412,7 @@ void Router::send(PeerSession& s, Prefix p, const std::optional<PathRef>& conten
   msg.prefix = p;
   msg.withdraw = !content.has_value();
   if (content) msg.path = *content;
-  auto& m = net_.metrics();
+  auto& m = metrics();
   ++updates_sent_;
   ++m.updates_sent;
   if (msg.withdraw) {
@@ -395,19 +420,27 @@ void Router::send(PeerSession& s, Prefix p, const std::optional<PathRef>& conten
   } else {
     ++m.adverts_sent;
   }
-  m.last_activity = net_.scheduler().now();
+  m.last_activity = sched().now();
   trace(TraceEvent::Kind::kUpdateSent, s.peer, p, msg.withdraw, 0,
-        content ? static_cast<std::uint32_t>(path_length(net_.paths(), *content)) : 0);
-  net_.transmit(std::move(msg));
+        content ? static_cast<std::uint32_t>(path_length(paths(), *content)) : 0);
+  if (par_) {
+    // Delivery time and ordering key are fixed here, at send time: both are
+    // pure functions of simulation state, so the receiving partition
+    // executes the delivery identically no matter which thread carried it.
+    net_.transmit_par(std::move(msg), sched().now() + net_.config().link_delay,
+                      next_session_key(s));
+  } else {
+    net_.transmit(std::move(msg));
+  }
 }
 
 void Router::start_mrai(PeerSession& s) {
   const sim::SimTime base = net_.mrai().interval(*this, s.peer);
   if (base <= sim::SimTime::zero()) return;  // MRAI disabled
-  const sim::SimTime ivl = net_.config().jitter_timers ? net_.rng().jittered(base) : base;
+  const sim::SimTime ivl = net_.config().jitter_timers ? rng().jittered(base) : base;
   s.timer_running = true;
   trace(TraceEvent::Kind::kMraiStarted, s.peer);
-  s.timer = net_.scheduler().schedule_after(
+  s.timer = sched_event(
       ivl, [this, peer = s.peer] { on_mrai_expiry(peer); });
 }
 
@@ -431,7 +464,7 @@ void Router::route_changed_per_dest(PeerSession& s, Prefix p) {
   // the MRAI entirely; only flapping ones are rate-limited.
   if (const int min_changes = net_.config().dest_mrai_min_changes; min_changes > 0) {
     ChangeCount* cc = change_counts_.find(p);
-    const double recent = cc == nullptr ? 0.0 : cc->rate.value(net_.scheduler().now());
+    const double recent = cc == nullptr ? 0.0 : cc->rate.value(sched().now());
     if (recent < static_cast<double>(min_changes)) {
       sync_to_peer(s, p);  // immediate, no timer
       return;
@@ -445,8 +478,8 @@ void Router::route_changed_per_dest(PeerSession& s, Prefix p) {
   if (sync_to_peer(s, p)) {
     const sim::SimTime base = net_.mrai().interval(*this, s.peer);
     if (base <= sim::SimTime::zero()) return;
-    const sim::SimTime ivl = net_.config().jitter_timers ? net_.rng().jittered(base) : base;
-    s.dest_timers.insert_or_assign(p, net_.scheduler().schedule_after(
+    const sim::SimTime ivl = net_.config().jitter_timers ? rng().jittered(base) : base;
+    s.dest_timers.insert_or_assign(p, sched_event(
         ivl, [this, peer = s.peer, p] { on_dest_mrai_expiry(peer, p); }));
   }
 }
@@ -461,8 +494,8 @@ void Router::on_dest_mrai_expiry(NodeId peer, Prefix p) {
       const sim::SimTime base = net_.mrai().interval(*this, s->peer);
       if (base <= sim::SimTime::zero()) return;
       const sim::SimTime ivl =
-          net_.config().jitter_timers ? net_.rng().jittered(base) : base;
-      s->dest_timers.insert_or_assign(p, net_.scheduler().schedule_after(
+          net_.config().jitter_timers ? rng().jittered(base) : base;
+      s->dest_timers.insert_or_assign(p, sched_event(
           ivl, [this, peer, p] { on_dest_mrai_expiry(peer, p); }));
     }
   }
@@ -475,25 +508,25 @@ sim::SimTime Router::unfinished_work() const {
   return sim::SimTime::from_ns(static_cast<std::int64_t>(queue_.size()) * mean.ns());
 }
 
-double Router::recent_utilization() { return busy_tracker_.rate(net_.scheduler().now()); }
+double Router::recent_utilization() { return busy_tracker_.rate(sched().now()); }
 
-double Router::recent_message_rate() { return msg_tracker_.rate(net_.scheduler().now()); }
+double Router::recent_message_rate() { return msg_tracker_.rate(sched().now()); }
 
 double Router::utilization_estimate() const {
-  return busy_tracker_.peek_rate(net_.scheduler().now());
+  return busy_tracker_.peek_rate(sched().now());
 }
 
 double Router::message_rate_estimate() const {
-  return msg_tracker_.peek_rate(net_.scheduler().now());
+  return msg_tracker_.peek_rate(sched().now());
 }
 
-double Router::recent_route_losses() { return loss_tracker_.value(net_.scheduler().now()); }
+double Router::recent_route_losses() { return loss_tracker_.value(sched().now()); }
 
 std::optional<RouteEntry> Router::best(Prefix p) const {
   const RibRoute* e = loc_rib_.find(p);
   if (e == nullptr) return std::nullopt;
   RouteEntry out;
-  out.path = path_materialize(net_.paths(), e->path);
+  out.path = path_materialize(paths(), e->path);
   out.learned_from = e->learned_from;
   out.ebgp_learned = e->ebgp_learned;
   out.local = e->local;
@@ -513,7 +546,7 @@ std::optional<AsPath> Router::adj_in(NodeId peer, Prefix p) const {
   if (s == nullptr) return std::nullopt;
   const PathRef* in = s->adj_in.find(p);
   if (in == nullptr) return std::nullopt;
-  return path_materialize(net_.paths(), *in);
+  return path_materialize(paths(), *in);
 }
 
 std::optional<AsPath> Router::adj_out(NodeId peer, Prefix p) const {
@@ -521,7 +554,7 @@ std::optional<AsPath> Router::adj_out(NodeId peer, Prefix p) const {
   if (s == nullptr) return std::nullopt;
   const PathRef* out = s->adj_out.find(p);
   if (out == nullptr) return std::nullopt;
-  return path_materialize(net_.paths(), *out);
+  return path_materialize(paths(), *out);
 }
 
 bool Router::peer_session_up(NodeId peer) const {
@@ -595,7 +628,7 @@ void Router::remap_paths(const PathTable& old, PathTable& fresh, std::vector<Pat
 
 void Router::damping_penalize(PeerSession& s, Prefix p, double amount) {
   const auto& cfg = net_.config().damping;
-  const auto now = net_.scheduler().now();
+  const auto now = sched().now();
   auto& d = s.damping[p];
   // Lazy exponential decay since the last touch.
   if (d.last_decay < now && d.penalty > 0.0) {
@@ -613,7 +646,7 @@ void Router::damping_penalize(PeerSession& s, Prefix p, double amount) {
     // to the reuse threshold.
     d.reuse_timer.cancel();
     const double wait_s = cfg.half_life_s * std::log2(d.penalty / cfg.reuse_threshold);
-    d.reuse_timer = net_.scheduler().schedule_after(
+    d.reuse_timer = sched_event(
         sim::SimTime::seconds(std::max(wait_s, 0.001)),
         [this, peer = s.peer, p] { damping_reuse_check(peer, p); });
   }
@@ -625,7 +658,7 @@ void Router::damping_reuse_check(NodeId peer, Prefix p) {
   if (s == nullptr) return;
   DampState* d = s->damping.find(p);
   if (d == nullptr || !d->suppressed) return;
-  const auto now = net_.scheduler().now();
+  const auto now = sched().now();
   const double dt = (now - d->last_decay).to_seconds();
   d->penalty *= std::exp2(-dt / net_.config().damping.half_life_s);
   d->last_decay = now;
@@ -636,7 +669,7 @@ void Router::damping_reuse_check(NodeId peer, Prefix p) {
   } else {
     const double wait_s = net_.config().damping.half_life_s *
                           std::log2(d->penalty / net_.config().damping.reuse_threshold);
-    d->reuse_timer = net_.scheduler().schedule_after(
+    d->reuse_timer = sched_event(
         sim::SimTime::seconds(std::max(wait_s, 0.001)),
         [this, peer, p] { damping_reuse_check(peer, p); });
   }
@@ -647,7 +680,7 @@ void Router::trace(TraceEvent::Kind kind, NodeId peer, Prefix prefix, bool withd
   if (!net_.tracing()) return;
   TraceEvent event;
   event.kind = kind;
-  event.at = net_.scheduler().now();
+  event.at = sched().now();
   event.router = id_;
   event.peer = peer;
   event.prefix = prefix;

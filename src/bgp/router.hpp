@@ -126,9 +126,20 @@ class Router {
   /// No-op in deep-copy builds, where paths own their storage.
   void remap_paths(const PathTable& old, PathTable& fresh, std::vector<PathId>& memo);
 
+  /// Schedules `fn` on this router's scheduler after `delay`, ordered by
+  /// this router's internal lane in parallel mode (Network uses this for
+  /// origination spread and failure-detection timers so the events land in
+  /// the right partition with a partition-independent ordering key).
+  sim::EventHandle schedule_event(sim::SimTime delay, sim::EventFn fn) {
+    return sched_event(delay, std::move(fn));
+  }
+
  private:
   /// Serializes/restores the full quiescent router state (checkpoint.cpp).
   friend struct CheckpointCodec;
+  /// Rebinds the scheduler/metrics/rng/path-table indirection for parallel
+  /// execution (Network::enable_parallel).
+  friend class Network;
 
   /// RFC 2439 flap-damping bookkeeping for one (peer, prefix).
   struct DampState {
@@ -171,6 +182,11 @@ class Router {
     PrefixMap<sim::EventHandle> dest_timers;
     // Flap-damping state (only when cfg.damping.enabled; lazily grown).
     PrefixMap<DampState> damping;
+    // Parallel mode: deterministic ordering lane for messages sent over
+    // this directed session ((lane << seq bits) | out_seq, assigned by
+    // Network::enable_parallel in router/session order).
+    std::uint64_t out_lane_base = 0;
+    std::uint64_t out_seq = 0;
   };
 
   PeerSession* session(NodeId peer);
@@ -212,11 +228,41 @@ class Router {
   void damping_penalize(PeerSession& s, Prefix p, double amount);
   void damping_reuse_check(NodeId peer, Prefix p);
 
+  // Indirection points for the execution backend. In the (default) serial
+  // mode they alias the Network's own scheduler/metrics/rng/path table, so
+  // every call site is identical to a direct access; enable_parallel
+  // rebinds them to this router's partition. Accessed through the inline
+  // helpers below so protocol code reads the same either way.
+  sim::Scheduler& sched() { return *sched_; }
+  const sim::Scheduler& sched() const { return *sched_; }
+  NetMetrics& metrics() { return *metrics_; }
+  sim::Rng& rng() { return *rng_; }
+  // Const methods still intern (advert_content materializes the would-be
+  // advertisement) -- same mutability the old net_.paths() indirection gave
+  // const members through the non-const Network reference.
+  PathTable& paths() const { return *paths_; }
+
+  /// schedule_after in serial mode; keyed on this router's internal lane in
+  /// parallel mode (same-time events then order by (lane, seq), which is a
+  /// pure function of simulation state -- see DESIGN.md "Parallel
+  /// execution").
+  sim::EventHandle sched_event(sim::SimTime delay, sim::EventFn fn);
+  std::uint64_t next_internal_key();
+  std::uint64_t next_session_key(PeerSession& s);
+
   Network& net_;
   NodeId id_;
   AsId as_;
   bool originates_;
   bool alive_ = true;
+  sim::Scheduler* sched_ = nullptr;
+  NetMetrics* metrics_ = nullptr;
+  sim::Rng* rng_ = nullptr;
+  PathTable* paths_ = nullptr;
+  bool par_ = false;
+  std::uint64_t internal_lane_base_ = 0;
+  std::uint64_t internal_seq_ = 0;
+  std::uint64_t lane_seq_limit_ = 0;  ///< 2^(seq bits); per-lane overflow cap
   Prefix origin_base_ = 0;
   std::uint32_t origin_count_ = 0;
   std::uint64_t updates_sent_ = 0;

@@ -1,7 +1,11 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +13,7 @@
 #include "bgp/checkpoint.hpp"
 #include "failure/failure.hpp"
 #include "harness/audit.hpp"
+#include "harness/parallel.hpp"
 #include "harness/warmstart.hpp"
 #include "schemes/degree_mrai.hpp"
 #include "topo/relations.hpp"
@@ -107,6 +112,64 @@ BuiltScheme build_scheme(const SchemeSpec& spec, const std::vector<std::size_t>&
   throw std::logic_error{"build_scheme: unknown kind"};
 }
 
+/// BGPSIM_PAR_THREADS: process-wide default for ExperimentConfig::par_threads
+/// when the config leaves it 0. Unset / unparsable / negative => 0 (legacy
+/// serial scheduler).
+std::size_t env_par_threads() {
+  const char* env = std::getenv("BGPSIM_PAR_THREADS");
+  if (env == nullptr) return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 0) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "bgpsim: BGPSIM_PAR_THREADS=\"%s\" is not a non-negative integer; "
+                   "running the legacy serial scheduler\n",
+                   env);
+    }
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Effective intra-run partition-thread count for one run: the config's
+/// request (or the environment default), clamped so that this sweep's
+/// concurrent runs cannot together exceed harness_thread_cap() threads.
+std::size_t resolve_par_threads(const ExperimentConfig& cfg) {
+  std::size_t par = cfg.par_threads != 0 ? cfg.par_threads : env_par_threads();
+  if (par <= 1) return par;
+  const std::size_t outer = active_sweep_threads();
+  if (outer * par > harness_thread_cap()) {
+    const std::size_t clamped = std::max<std::size_t>(1, harness_thread_cap() / outer);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "bgpsim: %zu sweep threads x %zu partition threads exceeds the "
+                   "%zu-thread cap; clamping partition threads to %zu\n",
+                   outer, par, harness_thread_cap(), clamped);
+    }
+    par = clamped;
+  }
+  return par;
+}
+
+/// Satellite probe: warn (once per process) when any run's path table came
+/// within 10% of exhaustion -- the next larger topology would likely throw.
+void warn_if_paths_nearly_full(const bgp::Network& net) {
+  const double low = net.path_capacity_low_water();
+  if (low >= 0.10) return;
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "bgpsim: path table reached %.1f%% of capacity during this run; "
+                 "larger topologies may exhaust it (rebuild with "
+                 "-DBGPSIM_DEEP_COPY_PATHS=ON to remove the shared arena)\n",
+                 (1.0 - low) * 100.0);
+  }
+}
+
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
@@ -124,7 +187,10 @@ struct PreparedRun {
   Clock::time_point t_run;
 };
 
-PreparedRun prepare_run(const ExperimentConfig& cfg) {
+/// `allow_par == false` forces the legacy serial scheduler regardless of the
+/// config/environment: the checkpoint format only describes serial state, so
+/// both the capture and the restore sides of a warm start must run legacy.
+PreparedRun prepare_run(const ExperimentConfig& cfg, bool allow_par = true) {
   PreparedRun pr;
   pr.t_run = Clock::now();
   sim::Rng rng{cfg.seed};
@@ -156,6 +222,15 @@ PreparedRun prepare_run(const ExperimentConfig& cfg) {
 
   pr.res.routers = pr.net->size();
   pr.res.timing.build_s = seconds_since(pr.t_run);
+
+  // Partitioned parallel execution switches on before any observer or event
+  // exists (enable_parallel requires a pristine network, and observers need
+  // to know whether to hook the window barrier or a scheduled task).
+  if (allow_par) {
+    if (const std::size_t par = resolve_par_threads(cfg); par != 0) {
+      pr.net->enable_parallel(par);
+    }
+  }
 
   // Observers (trace sinks, telemetry samplers) attach before the first
   // event fires.
@@ -192,8 +267,17 @@ RunResult finish_run(const ExperimentConfig& cfg, PreparedRun& pr) {
   const std::uint64_t wdr_before = net->metrics().withdrawals_sent;
 
   const auto t_phase2 = Clock::now();
-  const sim::SimTime t_fail = net->scheduler().now() + cfg.pre_failure_gap;
-  net->scheduler().schedule_at(t_fail, [&net, &victims] { net->fail_nodes(victims); });
+  const sim::SimTime t_fail = net->now() + cfg.pre_failure_gap;
+  if (net->parallel()) {
+    // Between run_to_quiescence() calls the partition workers are parked, so
+    // the failure is injected directly from this thread after aligning every
+    // partition clock to t_fail -- a partitioned heap has no single queue to
+    // schedule the trigger on.
+    net->advance_all(t_fail);
+    net->fail_nodes(victims);
+  } else {
+    net->scheduler().schedule_at(t_fail, [&net, &victims] { net->fail_nodes(victims); });
+  }
   if (cfg.on_phase) cfg.on_phase(RunPhase::kFailure);
   net->run_to_quiescence();
 
@@ -212,8 +296,13 @@ RunResult finish_run(const ExperimentConfig& cfg, PreparedRun& pr) {
   if (cfg.measure_recovery && !victims.empty()) {
     const auto t_phase3 = Clock::now();
     const std::uint64_t msgs_pre_rec = net->metrics().updates_sent;
-    const sim::SimTime t_rec = net->scheduler().now() + cfg.pre_failure_gap;
-    net->scheduler().schedule_at(t_rec, [&net, &victims] { net->recover_nodes(victims); });
+    const sim::SimTime t_rec = net->now() + cfg.pre_failure_gap;
+    if (net->parallel()) {
+      net->advance_all(t_rec);
+      net->recover_nodes(victims);
+    } else {
+      net->scheduler().schedule_at(t_rec, [&net, &victims] { net->recover_nodes(victims); });
+    }
     if (cfg.on_phase) cfg.on_phase(RunPhase::kRecovery);
     net->run_to_quiescence();
     const auto& m = net->metrics();
@@ -227,7 +316,8 @@ RunResult finish_run(const ExperimentConfig& cfg, PreparedRun& pr) {
   res.messages_total = m.updates_sent;
   res.messages_processed = m.messages_processed;
   res.batch_dropped = m.batch_dropped;
-  res.events = net->scheduler().executed_events();
+  res.events = net->executed_events();
+  warn_if_paths_nearly_full(*net);
 
   const auto t_audit = Clock::now();
   const auto audit = audit_routes(*net);
@@ -249,7 +339,7 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
 }
 
 Snapshot converge_snapshot(const ExperimentConfig& cfg) {
-  PreparedRun pr = prepare_run(cfg);
+  PreparedRun pr = prepare_run(cfg, /*allow_par=*/false);
   converge_run(cfg, pr);
   Snapshot snap;
   snap.checkpoint = bgp::capture_checkpoint(*pr.net, converged_state_digest(cfg),
@@ -260,7 +350,7 @@ Snapshot converge_snapshot(const ExperimentConfig& cfg) {
 }
 
 RunResult run_experiment_from(const ExperimentConfig& cfg, const Snapshot& snap) {
-  PreparedRun pr = prepare_run(cfg);
+  PreparedRun pr = prepare_run(cfg, /*allow_par=*/false);
   bgp::restore_checkpoint(*pr.net, snap.checkpoint, converged_state_digest(cfg));
   pr.res.initial_convergence_s = snap.checkpoint.initial_convergence_s;
   // Host-time accounting: this run paid build_s itself but inherited the

@@ -105,6 +105,13 @@ struct ExperimentConfig {
   bgp::BgpConfig bgp{};
   double failure_fraction = 0.05;  ///< of all routers, contiguous at grid centre
   std::uint64_t seed = 1;
+  /// Intra-run partition threads (Network::enable_parallel). 0 = use the
+  /// BGPSIM_PAR_THREADS environment variable (itself defaulting to the
+  /// legacy serial scheduler); 1 = the partitioned serial identity oracle.
+  /// The effective value is clamped so sweep-threads x par-threads stays
+  /// under harness_thread_cap(). Checkpoint capture/restore paths always
+  /// run legacy serial regardless of this setting.
+  std::size_t par_threads = 0;
   /// Quiet gap inserted between cold-start convergence and the failure.
   sim::SimTime pre_failure_gap = sim::SimTime::seconds(1.0);
   /// When true, after the post-failure convergence quiesces the failed

@@ -1,5 +1,6 @@
 #include "harness/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -16,7 +17,12 @@ namespace {
 /// Upper bound on the sweep degree: well past any machine this runs on, and
 /// low enough that a fat-fingered BGPSIM_THREADS=100000 cannot ask the pool
 /// to spawn an absurd number of threads.
-constexpr std::size_t kMaxHarnessThreads = 512;
+constexpr std::size_t kMaxHarnessThreads = harness_thread_cap();
+
+/// Executors in the active sweep region; 1 when no region is running.
+/// Written only by the (single) region owner, read by experiment setup on
+/// the region's worker threads, hence atomic.
+std::atomic<std::size_t> g_active_sweep_threads{1};
 
 void warn_threads_env(const char* env, const char* why) {
   // One warning per process: harness_threads() is re-read on every parallel
@@ -47,6 +53,10 @@ std::size_t harness_threads() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+std::size_t active_sweep_threads() {
+  return g_active_sweep_threads.load(std::memory_order_relaxed);
 }
 
 struct ThreadPool::Impl {
@@ -176,8 +186,12 @@ void ThreadPool::for_each_index(std::size_t n, std::size_t threads,
   // region for the rest of the process.
   struct InRegionReset {
     std::atomic<bool>& flag;
-    ~InRegionReset() { flag.store(false); }
+    ~InRegionReset() {
+      g_active_sweep_threads.store(1, std::memory_order_relaxed);
+      flag.store(false);
+    }
   } in_region_reset{impl_->in_region};
+  g_active_sweep_threads.store(std::min(threads, n), std::memory_order_relaxed);
 
   Impl::Region region;
   region.body = &body;

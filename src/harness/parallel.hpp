@@ -29,6 +29,16 @@ namespace bgpsim::harness {
 /// every call.
 std::size_t harness_threads();
 
+/// The process-wide thread budget shared by sweep workers and intra-run
+/// partition threads: BGPSIM_THREADS is clamped to this, and experiment
+/// setup caps sweep-threads x par-threads at it too.
+constexpr std::size_t harness_thread_cap() { return 512; }
+
+/// Number of concurrent executors in the currently active sweep region
+/// (1 outside any region). Experiment setup reads this to keep
+/// sweep-threads x intra-run partition threads under harness_thread_cap().
+std::size_t active_sweep_threads();
+
 /// A deliberately work-stealing-free thread pool: each parallel region
 /// shares one atomic index that the caller and the workers pull from, so
 /// there are no per-worker queues to steal between. Workers are lazily

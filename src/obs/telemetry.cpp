@@ -84,14 +84,37 @@ void TelemetrySampler::start() {
     last_sent_ = net_.metrics().updates_sent;
     last_processed_ = net_.metrics().messages_processed;
     last_rib_ = net_.metrics().rib_changes;
-    const double now_s = net_.scheduler().now().to_seconds();
+    const double now_s = net_.now().to_seconds();
     std::fill(level_since_s_.begin(), level_since_s_.end(), now_s);
+    if (net_.parallel()) {
+      // A partitioned heap has no single queue for a periodic event, so the
+      // sampler rides the window barrier instead (the barrier thread is the
+      // only one running, so the const peeks stay race-free).
+      net_.set_window_observer([this](sim::SimTime window_end) { on_window(window_end); });
+    }
+  }
+  if (net_.parallel()) {
+    next_due_ = net_.now() + cfg_.interval;
+    return;
   }
   task_.start();
 }
 
-void TelemetrySampler::sample() {
-  const double now_s = net_.scheduler().now().to_seconds();
+void TelemetrySampler::on_window(sim::SimTime window_end) {
+  if (!started_) return;
+  // Events with t < window_end have executed, so every due point the window
+  // passed is safe to stamp; the row reads barrier-time state (documented
+  // approximation).
+  while (next_due_ < window_end) {
+    sample_at(next_due_);
+    next_due_ = next_due_ + cfg_.interval;
+  }
+}
+
+void TelemetrySampler::sample() { sample_at(net_.scheduler().now()); }
+
+void TelemetrySampler::sample_at(sim::SimTime now) {
+  const double now_s = now.to_seconds();
   times_s_.push_back(now_s);
 
   const auto& m = net_.metrics();

@@ -102,12 +102,23 @@ class TelemetrySampler {
  private:
   friend struct TelemetryFile;
   void sample();
+  /// One tick's worth of column appends, stamped `now`. The serial periodic
+  /// task passes the scheduler clock; the parallel window observer passes
+  /// each elapsed due point (see on_window).
+  void sample_at(sim::SimTime now);
+  /// Parallel mode: invoked at every window barrier. Samples once per due
+  /// point the window passed. Router state is read at the barrier, not at
+  /// the exact due time, so parallel telemetry is an approximation within
+  /// one lookahead window (and is excluded from the bit-identity claims --
+  /// see DESIGN.md "Parallel execution").
+  void on_window(sim::SimTime window_end);
 
   bgp::Network& net_;
   TelemetryConfig cfg_;
   sim::PeriodicTask task_;
   std::size_t n_routers_;
   bool started_ = false;
+  sim::SimTime next_due_;  ///< parallel mode: next pending sample time
 
   std::vector<double> times_s_;
   std::vector<std::uint32_t> overloaded_;

@@ -41,6 +41,7 @@ bool DynamicMrai::under_down_threshold(bgp::Router& r) const {
 }
 
 void DynamicMrai::assert_single_thread() const {
+  if (parallel_ok_) return;  // Network::enable_parallel vouches for the usage
   const std::thread::id self = std::this_thread::get_id();
   std::thread::id expected{};
   if (!owner_.compare_exchange_strong(expected, self, std::memory_order_relaxed) &&
@@ -49,6 +50,12 @@ void DynamicMrai::assert_single_thread() const {
         "DynamicMrai: instance used from more than one thread -- build one "
         "controller per run; never share one across parallel sweep runs"};
   }
+}
+
+void DynamicMrai::prepare_parallel(std::size_t nodes) {
+  assert_single_thread();  // still single-threaded at this point
+  if (level_.size() < nodes) level_.resize(nodes, 0);
+  parallel_ok_ = true;
 }
 
 sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
@@ -61,12 +68,12 @@ sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
   if (over_up_threshold(r)) {
     if (lvl + 1 < params_.levels.size()) {
       ++lvl;
-      ++ups_;
+      ups_.fetch_add(1, std::memory_order_relaxed);
     }
   } else if (under_down_threshold(r)) {
     if (lvl > 0) {
       --lvl;
-      ++downs_;
+      downs_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return params_.levels[lvl];
@@ -75,15 +82,15 @@ sim::SimTime DynamicMrai::interval(bgp::Router& r, bgp::NodeId /*peer*/) {
 void DynamicMrai::reset() {
   assert_single_thread();
   for (auto& l : level_) l = 0;
-  ups_ = 0;
-  downs_ = 0;
+  ups_.store(0, std::memory_order_relaxed);
+  downs_.store(0, std::memory_order_relaxed);
 }
 
 void DynamicMrai::save_state(std::string& out) const {
   out.clear();
   sim::wire::Writer w{out};
-  w.u64(ups_);
-  w.u64(downs_);
+  w.u64(ups_.load(std::memory_order_relaxed));
+  w.u64(downs_.load(std::memory_order_relaxed));
   w.u64(level_.size());
   for (const std::size_t l : level_) w.u64(l);
 }
@@ -102,8 +109,8 @@ void DynamicMrai::load_state(std::string_view state) {
     }
   }
   if (!rd.done()) throw std::runtime_error{"DynamicMrai: trailing checkpoint bytes"};
-  ups_ = ups;
-  downs_ = downs;
+  ups_.store(ups, std::memory_order_relaxed);
+  downs_.store(downs, std::memory_order_relaxed);
   level_ = std::move(levels);
 }
 

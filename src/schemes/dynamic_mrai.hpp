@@ -59,6 +59,13 @@ class DynamicMrai final : public bgp::MraiController {
 
   sim::SimTime interval(bgp::Router& r, bgp::NodeId peer) override;
 
+  /// Intra-run parallel hardening: presizes `level_` (so no on-demand
+  /// resize can race across partition threads -- each entry is only ever
+  /// touched by its router's owning thread), switches the up/down counters
+  /// to relaxed atomics (stats only; interval() never reads them) and
+  /// disables the single-thread pin.
+  void prepare_parallel(std::size_t nodes) override;
+
   /// Drops every node back to the lowest level (used between the cold-start
   /// convergence and the failure, matching the paper's "the MRAI is set to
   /// 0.5 seconds in the beginning").
@@ -70,8 +77,8 @@ class DynamicMrai final : public bgp::MraiController {
   void load_state(std::string_view state) override;
 
   std::size_t level(bgp::NodeId node) const;
-  std::uint64_t ups() const { return ups_; }
-  std::uint64_t downs() const { return downs_; }
+  std::uint64_t ups() const { return ups_.load(std::memory_order_relaxed); }
+  std::uint64_t downs() const { return downs_.load(std::memory_order_relaxed); }
   const DynamicMraiParams& params() const { return params_; }
 
  private:
@@ -83,8 +90,12 @@ class DynamicMrai final : public bgp::MraiController {
 
   DynamicMraiParams params_;
   std::vector<std::size_t> level_;  // grown on demand, indexed by node id
-  std::uint64_t ups_ = 0;
-  std::uint64_t downs_ = 0;
+  // Relaxed atomics so the parallel mode's concurrent interval() calls can
+  // bump them without a data race; interval() results never depend on them,
+  // so the relaxed ordering cannot perturb simulation behavior.
+  std::atomic<std::uint64_t> ups_{0};
+  std::atomic<std::uint64_t> downs_{0};
+  bool parallel_ok_ = false;  ///< set by prepare_parallel; disables the pin
   mutable std::atomic<std::thread::id> owner_{std::thread::id{}};
 };
 

@@ -90,6 +90,41 @@ EventHandle Scheduler::schedule_at(SimTime at, EventFn fn) {
   return EventHandle{this, i, gen};
 }
 
+EventHandle Scheduler::schedule_keyed(SimTime at, std::uint64_t key40, EventFn fn) {
+  if (at < now_) throw std::logic_error{"Scheduler: cannot schedule into the past"};
+  if (key40 >= kMaxSeq) {
+    throw std::length_error{"Scheduler: keyed-event ordering key exceeds 40 bits"};
+  }
+  const std::uint32_t i = acquire_slot();
+  Slot& s = slot(i);
+  s.fn = std::move(fn);
+  const std::uint64_t gen = s.gen;
+  heap_push(Entry{at, (key40 << kSlotBits) | i});
+  ++live_count_;
+  return EventHandle{this, i, gen};
+}
+
+SimTime Scheduler::next_event_time() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    Slot& s = slot(top.slot());
+    if (!s.cancelled) return top.at;
+    heap_pop();
+    ++s.gen;  // odd -> even: no longer live
+    --live_count_;
+    recycle_slot(top.slot());
+  }
+  return SimTime::max();
+}
+
+void Scheduler::advance_to(SimTime t) {
+  if (t <= now_) return;
+  if (next_event_time() < t) {
+    throw std::logic_error{"Scheduler: advance_to() would skip a pending event"};
+  }
+  now_ = t;
+}
+
 bool Scheduler::step(SimTime limit) {
   while (!heap_.empty()) {
     const Entry top = heap_.front();

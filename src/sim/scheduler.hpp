@@ -59,6 +59,25 @@ class Scheduler {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Schedules `fn` at `at` with a caller-supplied 40-bit ordering key in
+  /// place of the internal insertion sequence: same-time events fire in
+  /// ascending `key40` order regardless of insertion order. Used by the
+  /// parallel execution mode, whose (lane, lane-seq) keys are a pure
+  /// function of simulation state -- so the firing order is independent of
+  /// which thread inserted the event, and of when. Keys must be unique per
+  /// (at, key40) pair within one scheduler; `key40` must be < 2^40.
+  EventHandle schedule_keyed(SimTime at, std::uint64_t key40, EventFn fn);
+
+  /// Firing time of the earliest live event, or SimTime::max() if none.
+  /// Lazily reclaims cancelled entries sitting on top of the heap (so a
+  /// cancelled timer can never freeze the parallel window computation).
+  SimTime next_event_time();
+
+  /// Moves the clock forward to `t` without executing anything. Throws
+  /// std::logic_error if a pending event is scheduled before `t`. Used at
+  /// parallel window barriers to align all partition clocks.
+  void advance_to(SimTime t);
+
   SimTime now() const { return now_; }
 
   bool empty() const { return live_count_ == 0; }

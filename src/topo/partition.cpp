@@ -1,0 +1,104 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bgpsim::topo {
+
+namespace {
+
+std::vector<std::size_t> quotas(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> q(k, n / k);
+  for (std::size_t p = 0; p < n % k; ++p) ++q[p];
+  return q;
+}
+
+}  // namespace
+
+void finalize_stats(PartitionResult& r,
+                    const std::vector<std::vector<std::uint32_t>>& adj) {
+  std::vector<std::size_t> sizes(r.k, 0);
+  for (const std::uint32_t p : r.part_of) ++sizes.at(p);
+  r.max_size = *std::max_element(sizes.begin(), sizes.end());
+  r.min_size = *std::min_element(sizes.begin(), sizes.end());
+  r.cut_edges = 0;
+  for (std::uint32_t v = 0; v < adj.size(); ++v) {
+    for (const std::uint32_t w : adj[v]) {
+      if (v < w && r.part_of[v] != r.part_of[w]) ++r.cut_edges;
+    }
+  }
+}
+
+PartitionResult partition_contiguous(std::size_t n, std::size_t k) {
+  if (k == 0 || k > n) throw std::invalid_argument("partition: need 0 < k <= n");
+  PartitionResult r;
+  r.k = k;
+  r.part_of.resize(n);
+  const auto quota = quotas(n, k);
+  std::size_t v = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < quota[p]; ++i) r.part_of[v++] = static_cast<std::uint32_t>(p);
+  }
+  finalize_stats(r, {});
+  r.min_size = *std::min_element(quota.begin(), quota.end());
+  r.max_size = *std::max_element(quota.begin(), quota.end());
+  return r;
+}
+
+PartitionResult partition_greedy(const std::vector<std::vector<std::uint32_t>>& adj,
+                                 std::size_t k) {
+  const std::size_t n = adj.size();
+  if (k == 0 || k > n) throw std::invalid_argument("partition: need 0 < k <= n");
+  PartitionResult r;
+  r.k = k;
+  constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+  r.part_of.assign(n, kUnassigned);
+  const auto quota = quotas(n, k);
+
+  // gain[v] = number of v's neighbors already inside the partition being
+  // grown. Rebuilt (cheaply, by incremental bumps) for each partition.
+  std::vector<std::uint32_t> gain(n, 0);
+  std::size_t next_seed = 0;  // lowest possibly-unassigned node
+  for (std::size_t p = 0; p < k; ++p) {
+    std::vector<std::uint32_t> frontier;  // unassigned nodes adjacent to p
+    std::size_t taken = 0;
+    while (taken < quota[p]) {
+      // Pick the frontier node with the best FM-style score: edges into the
+      // growing partition minus edges still outside it (2*gain - degree).
+      // Gain alone ties on every frontier node right after a seed and the
+      // ID tie-break then drags in low-ID bridge nodes from other
+      // communities; penalizing external edges keeps the cut tight. Ties
+      // break on lowest ID; if the frontier is empty (disconnected
+      // remainder), seed from the lowest unassigned ID.
+      std::uint32_t pick = kUnassigned;
+      std::int64_t best_score = 0;
+      for (const std::uint32_t f : frontier) {
+        if (r.part_of[f] != kUnassigned) continue;  // stale entry
+        const std::int64_t score = std::int64_t{2} * gain[f] -
+                                   static_cast<std::int64_t>(adj[f].size());
+        if (pick == kUnassigned || score > best_score ||
+            (score == best_score && f < pick)) {
+          pick = f;
+          best_score = score;
+        }
+      }
+      if (pick == kUnassigned) {
+        while (next_seed < n && r.part_of[next_seed] != kUnassigned) ++next_seed;
+        pick = static_cast<std::uint32_t>(next_seed);
+      }
+      r.part_of[pick] = static_cast<std::uint32_t>(p);
+      ++taken;
+      for (const std::uint32_t w : adj[pick]) {
+        if (r.part_of[w] != kUnassigned) continue;
+        if (gain[w] == 0) frontier.push_back(w);
+        ++gain[w];
+      }
+    }
+    // Reset gains touched by this partition before growing the next one.
+    for (const std::uint32_t f : frontier) gain[f] = 0;
+  }
+  finalize_stats(r, adj);
+  return r;
+}
+
+}  // namespace bgpsim::topo

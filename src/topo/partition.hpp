@@ -1,0 +1,46 @@
+// Router-to-thread partitioners for intra-run parallel simulation.
+//
+// Both partitioners are deterministic pure functions of their inputs: the
+// parallel scheduler's reproducibility argument (DESIGN.md "Parallel
+// execution") requires that the partition assignment depends only on the
+// topology and k, never on thread timing or iteration order of hash
+// containers.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace bgpsim::topo {
+
+struct PartitionResult {
+  /// part_of[v] in [0, k) for every node v.
+  std::vector<std::uint32_t> part_of;
+  std::size_t k = 1;
+  /// Undirected edges whose endpoints land in different partitions.
+  std::size_t cut_edges = 0;
+  std::size_t max_size = 0;
+  std::size_t min_size = 0;
+};
+
+/// Splits [0, n) into k contiguous ID ranges of near-equal size (sizes
+/// differ by at most one). Ignores topology; useful as a baseline and for
+/// topologies whose IDs are already locality-ordered (grids).
+PartitionResult partition_contiguous(std::size_t n, std::size_t k);
+
+/// METIS-lite greedy edge-cut partitioner: grows each partition by BFS from
+/// the lowest-numbered unassigned node, preferring the frontier node with
+/// the best internal-minus-external edge score (2 * assigned-neighbor count
+/// - degree, the Fiduccia-Mattheyses move gain), until the partition
+/// reaches its quota (n/k rounded up for the first n%k partitions -- sizes
+/// differ by at most one, so balance is always within the 10% bound).
+/// Deterministic: ties break on lowest node ID.
+PartitionResult partition_greedy(const std::vector<std::vector<std::uint32_t>>& adj,
+                                 std::size_t k);
+
+/// Counts cut edges and size extremes for an assignment (used by both
+/// partitioners and by tests).
+void finalize_stats(PartitionResult& r,
+                    const std::vector<std::vector<std::uint32_t>>& adj);
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,137 @@
+// Partitioner properties: balance, coverage, determinism, degenerate
+// inputs. The parallel scheduler's identity guarantee rests on the
+// assignment being a pure function of (adjacency, k) -- the same topology
+// must land in the same partitions on every run and every machine.
+#include "topo/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "topo/degree_sequence.hpp"
+#include "topo/graph.hpp"
+
+namespace bgpsim {
+namespace {
+
+std::vector<std::vector<std::uint32_t>> adjacency_of(const topo::Graph& g) {
+  std::vector<std::vector<std::uint32_t>> adj(g.size());
+  for (topo::NodeId v = 0; v < g.size(); ++v) {
+    for (const topo::NodeId u : g.neighbors(v)) adj[v].push_back(u);
+  }
+  return adj;
+}
+
+topo::Graph make_skewed(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  auto degrees = topo::skewed_sequence(n, topo::SkewSpec::s70_30(), rng);
+  return topo::realize_degree_sequence(std::move(degrees), rng);
+}
+
+void check_valid(const topo::PartitionResult& r, std::size_t n, std::size_t k) {
+  ASSERT_EQ(r.part_of.size(), n);
+  ASSERT_EQ(r.k, k);
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::uint32_t p : r.part_of) {
+    ASSERT_LT(p, k);
+    ++sizes[p];
+  }
+  for (std::size_t p = 0; p < k; ++p) EXPECT_GT(sizes[p], 0u) << "empty partition " << p;
+  EXPECT_EQ(r.max_size, *std::max_element(sizes.begin(), sizes.end()));
+  EXPECT_EQ(r.min_size, *std::min_element(sizes.begin(), sizes.end()));
+}
+
+TEST(PartitionContiguous, BalancedAndCovering) {
+  for (const std::size_t n : {1u, 7u, 64u, 241u}) {
+    for (std::size_t k = 1; k <= std::min<std::size_t>(n, 8); ++k) {
+      const auto r = topo::partition_contiguous(n, k);
+      check_valid(r, n, k);
+      // Quota split: sizes differ by at most one (well under the 10% bound).
+      EXPECT_LE(r.max_size - r.min_size, 1u) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(PartitionGreedy, BalancedWithinTenPercent) {
+  const auto g = make_skewed(240, 7);
+  const auto adj = adjacency_of(g);
+  for (const std::size_t k : {2u, 3u, 4u, 8u}) {
+    const auto r = topo::partition_greedy(adj, k);
+    check_valid(r, g.size(), k);
+    // Quota-driven growth keeps every partition within 10% of the ideal
+    // n/k share (the ISSUE's balance requirement; quotas actually give
+    // max-min <= 1, but assert the contract, not the implementation).
+    const double ideal = static_cast<double>(g.size()) / static_cast<double>(k);
+    EXPECT_LE(static_cast<double>(r.max_size), ideal * 1.10) << "k=" << k;
+    EXPECT_GE(static_cast<double>(r.min_size), ideal * 0.90 - 1.0) << "k=" << k;
+  }
+}
+
+TEST(PartitionGreedy, DeterministicAcrossCalls) {
+  const auto g = make_skewed(180, 11);
+  const auto adj = adjacency_of(g);
+  const auto a = topo::partition_greedy(adj, 4);
+  const auto b = topo::partition_greedy(adj, 4);
+  EXPECT_EQ(a.part_of, b.part_of);
+  EXPECT_EQ(a.cut_edges, b.cut_edges);
+}
+
+TEST(PartitionGreedy, CutNoWorseThanContiguousOnCommunities) {
+  // Two dense 30-node cliques joined by one bridge edge: the greedy
+  // partitioner must find the obvious 2-cut; a contiguous split of a
+  // scrambled id order generally does not.
+  const std::size_t half = 30;
+  std::vector<std::vector<std::uint32_t>> adj(2 * half);
+  // Interleave ids across the cliques so contiguous ranges mix them.
+  const auto id = [&](std::size_t clique, std::size_t i) {
+    return static_cast<std::uint32_t>(2 * i + clique);
+  };
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = i + 1; j < half; ++j) {
+        adj[id(c, i)].push_back(id(c, j));
+        adj[id(c, j)].push_back(id(c, i));
+      }
+    }
+  }
+  adj[id(0, 0)].push_back(id(1, 0));
+  adj[id(1, 0)].push_back(id(0, 0));
+
+  const auto greedy = topo::partition_greedy(adj, 2);
+  check_valid(greedy, adj.size(), 2);
+  EXPECT_EQ(greedy.cut_edges, 1u);
+}
+
+TEST(PartitionGreedy, CutEdgeCountMatchesAssignment) {
+  const auto g = make_skewed(120, 3);
+  const auto adj = adjacency_of(g);
+  const auto r = topo::partition_greedy(adj, 4);
+  std::size_t cut = 0;
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    for (const std::uint32_t u : adj[v]) {
+      if (v < u && r.part_of[v] != r.part_of[u]) ++cut;
+    }
+  }
+  EXPECT_EQ(r.cut_edges, cut);
+}
+
+TEST(Partition, RejectsDegenerateK) {
+  EXPECT_THROW(topo::partition_contiguous(10, 0), std::invalid_argument);
+  EXPECT_THROW(topo::partition_contiguous(10, 11), std::invalid_argument);
+  std::vector<std::vector<std::uint32_t>> adj(5);
+  EXPECT_THROW(topo::partition_greedy(adj, 0), std::invalid_argument);
+  EXPECT_THROW(topo::partition_greedy(adj, 6), std::invalid_argument);
+}
+
+TEST(Partition, KEqualsNIsSingletons) {
+  std::vector<std::vector<std::uint32_t>> adj(6);
+  const auto r = topo::partition_greedy(adj, 6);
+  check_valid(r, 6, 6);
+  EXPECT_EQ(r.max_size, 1u);
+}
+
+}  // namespace
+}  // namespace bgpsim

@@ -195,6 +195,41 @@ def regress_checkpoint(base, cand, tolerance, gate):
                             events / cand_wall, tolerance)
 
 
+def regress_par(base, cand, tolerance, gate):
+    # The parallel scheduler must be invisible in the results: exact node
+    # and event totals, every thread count bit-identical to the serial
+    # oracle, and the audit green.
+    for field in ("nodes", "events_total"):
+        gate.exact(field, base.get(field), cand.get(field))
+    gate.require(
+        "identical_across_threads",
+        cand.get("identical_across_threads") is True,
+        f"candidate flag = {cand.get('identical_across_threads')}")
+    gate.require(
+        "routes_valid",
+        cand.get("routes_valid") is True,
+        f"candidate flag = {cand.get('routes_valid')}")
+    require_key(cand, "scaling_efficiency")
+    # The subsystem's raison d'etre: the 8-thread converge wall must stay
+    # decisively below the 1-thread wall -- but only on hosts that actually
+    # have the cores (the flag is recorded by the candidate run itself).
+    if cand.get("gate_applicable") is True:
+        speedup = require_key(cand, "speedup")
+        gate.require("speedup", speedup >= 2.0,
+                     f"1-thread/8-thread converge wall = {speedup:.2f}x (need >= 2x)")
+    else:
+        print(f"  --  speedup gate skipped: candidate host has "
+              f"{cand.get('host_cpus')} cpu(s) (< 8)")
+    # Serial-oracle throughput within the usual tolerance (the partitioned
+    # code path must not tax the single-threaded case).
+    events = require_key(cand, "events_total")
+    base_wall = require_key(base, "converge_wall_s_t1")
+    cand_wall = require_key(cand, "converge_wall_s_t1")
+    if base_wall > 0 and cand_wall > 0:
+        gate.throughput("events_per_converge_wall_s_t1", events / base_wall,
+                        events / cand_wall, tolerance)
+
+
 def cmd_regress(args):
     base = load(args.baseline)
     cand = load(args.candidate)
@@ -210,6 +245,8 @@ def cmd_regress(args):
         regress_obs(base, cand, args.tolerance, gate)
     elif suite == "checkpoint":
         regress_checkpoint(base, cand, args.tolerance, gate)
+    elif suite == "par":
+        regress_par(base, cand, args.tolerance, gate)
     else:
         print(f"bench_compare: unknown suite {suite!r}", file=sys.stderr)
         return 2

@@ -69,6 +69,9 @@ Checkpointing (quiescent snapshots; see DESIGN.md and tools/checkpoint_inspect):
   --resume          with --journal: execute only runs missing from the journal
 Run control:
   --seeds K         replicas (default 3)    --seed S  base seed (default 1)
+  --par-threads N   intra-run partition threads (default: BGPSIM_PAR_THREADS,
+                    else 0 = classic serial scheduler; 1 = the partitioned
+                    serial oracle; see DESIGN.md "Parallel execution")
   --csv             CSV output              --help    this text
 )";
 
@@ -116,7 +119,7 @@ int main(int argc, char** argv) {
          "queue", "per-dest-mrai", "withdrawal-mrai", "no-jitter", "ssld", "detection",
          "damping", "prefixes", "recovery", "policy", "seeds", "seed", "csv", "help",
          "trace", "telemetry", "sample-interval", "profile", "checkpoint", "restore",
-         "warm", "journal", "resume"});
+         "warm", "journal", "resume", "par-threads"});
     if (!unknown.empty()) {
       std::fprintf(stderr, "unknown option --%s (try --help)\n", unknown.front().c_str());
       return 2;
@@ -176,9 +179,22 @@ int main(int argc, char** argv) {
     const bool warm = opts.flag("warm");
     const auto journal_path = opts.get_or("journal", "");
     const bool resume = opts.flag("resume");
+    const auto par_threads = static_cast<std::size_t>(opts.get_int("par-threads", 0));
 
     const bool checkpointing = !checkpoint_path.empty() || !restore_path.empty() || warm ||
                                !journal_path.empty();
+    if (par_threads != 0 && (checkpointing || resume)) {
+      // The .bgck/journal formats describe legacy serial state only; the
+      // harness would silently fall back, so fail loudly instead.
+      throw std::invalid_argument{
+          "--par-threads cannot be combined with checkpoint/warm/journal options"};
+    }
+    if (par_threads != 0 && !trace_path.empty()) {
+      // Trace events would be emitted concurrently from partition workers;
+      // the binary sink is single-threaded. Telemetry is fine: it samples
+      // from the window barrier.
+      throw std::invalid_argument{"--trace cannot be combined with --par-threads"};
+    }
     if (!checkpoint_path.empty() && !restore_path.empty()) {
       throw std::invalid_argument{"--checkpoint and --restore are mutually exclusive"};
     }
@@ -195,6 +211,7 @@ int main(int argc, char** argv) {
           "--trace/--telemetry/--profile cannot be combined with checkpointing options"};
     }
 
+    cfg.par_threads = par_threads;
     std::vector<harness::ExperimentConfig> cfgs(std::max<std::size_t>(seeds, 1), cfg);
     for (std::size_t i = 0; i < cfgs.size(); ++i) cfgs[i].seed = cfg.seed + i;
 
@@ -205,6 +222,12 @@ int main(int argc, char** argv) {
     if (!trace_path.empty() || !telemetry_path.empty()) {
       cfgs[0].instrument = [&](bgp::Network& net, std::uint64_t) {
         if (!trace_path.empty()) {
+          if (net.parallel()) {
+            // Reachable via BGPSIM_PAR_THREADS (the --par-threads x --trace
+            // combination is rejected at parse time above).
+            throw std::runtime_error{"--trace requires the serial scheduler; "
+                                     "unset BGPSIM_PAR_THREADS"};
+          }
           trace_sink = std::make_unique<obs::BinaryTraceSink>(trace_path);
           net.set_trace_sink(trace_sink.get());
         }
