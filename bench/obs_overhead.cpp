@@ -15,14 +15,30 @@
 //      disabled pass (samplers are read-only observers) -- only scheduler
 //      event counts may differ, by exactly the sampling ticks.
 //
+// The same workload then repeats on the partitioned parallel scheduler
+// (BGPSIM_PAR_THREADS partitions, default 4) -- once bare, once with a
+// sharded trace sink plus sampler -- encoding the parallel-mode claims
+// (suite "obs_overhead", par_* fields): the instrumented par pass
+// reproduces the bare par pass bit-for-bit (observability perturbs
+// nothing, at any K), and instrumented-par overhead stays under the CI
+// tolerance. Note the par passes are *not* compared against the serial
+// passes: the partitioned scheduler is a documented different-but-valid
+// tiebreak of simultaneous events (see DESIGN.md), and its K-invariance
+// against the K=1 oracle is identity_check --par's job.
+//
 // Usage: obs_overhead [output.json]   (default BENCH_obs.json)
-// Knobs: BGPSIM_N, BGPSIM_SEEDS, BGPSIM_THREADS as usual.
+// Knobs: BGPSIM_N, BGPSIM_SEEDS, BGPSIM_THREADS as usual;
+//        BGPSIM_PAR_THREADS sets the partition count of the par passes only
+//        (it is cleared from the environment so the serial passes cannot
+//        silently inherit it).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "bench_util.hpp"
+#include "obs/binary_trace.hpp"
 #include "obs/telemetry.hpp"
 
 namespace {
@@ -62,12 +78,55 @@ struct Capture {
   std::size_t samples = 0;
 };
 
+/// Counting equivalent of ShardedTraceWriter: the cheapest conforming
+/// parallel sink, so the par-instrumented pass measures the capture plumbing
+/// (per-event stamp bookkeeping included) without disk I/O -- mirroring what
+/// CountingSink does for the serial pass.
+class ShardedCountingSink final : public bgpsim::bgp::ShardedTraceSink {
+ public:
+  explicit ShardedCountingSink(std::size_t partitions) : counts_(partitions) {}
+
+  void on_event(std::size_t partition, const bgpsim::bgp::TraceEvent&,
+                const bgpsim::bgp::TraceOrder&) override {
+    ++counts_[partition].n;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const Slot& c : counts_) t += c.n;
+    return t;
+  }
+
+ private:
+  // One counter per cache line: partition threads bump their slot on every
+  // event, and adjacent unpadded u64s would false-share badly enough to
+  // dominate the very overhead this bench measures.
+  struct alignas(64) Slot {
+    std::uint64_t n = 0;
+  };
+  std::vector<Slot> counts_;
+};
+
+/// Per-run state of the par-instrumented pass.
+struct ParCapture {
+  std::unique_ptr<ShardedCountingSink> sink;
+  std::unique_ptr<bgpsim::obs::TelemetrySampler> sampler;
+  std::uint64_t trace_events = 0;
+  std::size_t samples = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bgpsim;
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
   const std::size_t seeds = bench::seed_count();
+  // Partition count for the par passes. Read and then *cleared*: with the
+  // variable left set, cfg.par_threads == 0 (the serial passes) would
+  // resolve to it inside the harness and the serial baselines would
+  // silently run parallel.
+  const std::size_t par_k = bench::env_or("BGPSIM_PAR_THREADS", 4);
+  unsetenv("BGPSIM_PAR_THREADS");
 
   std::vector<harness::ExperimentConfig> sweep;
   for (const double failure : bench::failure_grid()) {
@@ -117,6 +176,48 @@ int main(int argc, char** argv) {
     identical = same_protocol(disabled[i], instrumented[i]);
   }
 
+  // Pass 3: partitioned parallel scheduler, observability disabled.
+  auto par_cfgs = sweep;
+  for (auto& cfg : par_cfgs) cfg.par_threads = par_k;
+  const auto t_par = Clock::now();
+  const auto par_disabled = harness::run_sweep(par_cfgs);
+  const double par_disabled_s = seconds_since(t_par);
+
+  // Pass 4: parallel + sharded counting sink + sampler (which switches the
+  // sampler to exact barrier-driven sampling and enables the partition
+  // profiler -- the full instrumented-par configuration).
+  auto par_instr_cfgs = par_cfgs;
+  std::vector<ParCapture> par_captures(par_instr_cfgs.size());
+  for (std::size_t i = 0; i < par_instr_cfgs.size(); ++i) {
+    ParCapture* cap = &par_captures[i];
+    const std::size_t k = par_k;
+    par_instr_cfgs[i].instrument = [cap, k](bgp::Network& net, std::uint64_t) {
+      cap->sink = std::make_unique<ShardedCountingSink>(k);
+      net.set_sharded_trace_sink(cap->sink.get());
+      obs::TelemetryConfig tc;
+      cap->sampler = std::make_unique<obs::TelemetrySampler>(net, tc);
+    };
+    par_instr_cfgs[i].on_phase = [cap](harness::RunPhase) { cap->sampler->start(); };
+    par_instr_cfgs[i].on_complete = [cap](bgp::Network& net, std::uint64_t) {
+      cap->trace_events = cap->sink->total();
+      cap->samples = cap->sampler->samples();
+      net.set_sharded_trace_sink(nullptr);
+      cap->sampler.reset();
+    };
+  }
+  const auto t_par_instr = Clock::now();
+  const auto par_instrumented = harness::run_sweep(par_instr_cfgs);
+  const double par_instr_s = seconds_since(t_par_instr);
+
+  // The instrumented par pass must reproduce the bare par pass bit-for-bit
+  // -- the read-only-observer guarantee at K partitions. (The par passes
+  // are deliberately not diffed against the serial passes; the partitioned
+  // scheduler is a different-but-valid tiebreak of simultaneous events.)
+  bool par_identical = par_disabled.size() == par_instrumented.size();
+  for (std::size_t i = 0; par_identical && i < par_disabled.size(); ++i) {
+    par_identical = same_protocol(par_disabled[i], par_instrumented[i]);
+  }
+
   std::uint64_t events = 0;
   for (const auto& r : disabled) events += r.events;
   std::uint64_t trace_events = 0;
@@ -126,13 +227,30 @@ int main(int argc, char** argv) {
     samples += c.samples;
   }
 
+  std::uint64_t par_events = 0;
+  for (const auto& r : par_disabled) par_events += r.events;
+  std::uint64_t par_trace_events = 0;
+  std::uint64_t par_samples = 0;
+  for (const auto& c : par_captures) {
+    par_trace_events += c.trace_events;
+    par_samples += c.samples;
+  }
+
   const double overhead = disabled_s > 0 ? instrumented_s / disabled_s : 0.0;
+  const double par_overhead = par_disabled_s > 0 ? par_instr_s / par_disabled_s : 0.0;
   std::printf("  disabled:     %.3f s  (%.0f events/s)\n", disabled_s,
               disabled_s > 0 ? static_cast<double>(events) / disabled_s : 0.0);
   std::printf("  instrumented: %.3f s  (%.2fx; %llu trace events, %llu samples)\n",
               instrumented_s, overhead, static_cast<unsigned long long>(trace_events),
               static_cast<unsigned long long>(samples));
   std::printf("  protocol results identical: %s\n", identical ? "yes" : "NO (BUG)");
+  std::printf("  par(%zu) disabled:     %.3f s\n", par_k, par_disabled_s);
+  std::printf("  par(%zu) instrumented: %.3f s  (%.2fx; %llu trace events, %llu samples)\n",
+              par_k, par_instr_s, par_overhead,
+              static_cast<unsigned long long>(par_trace_events),
+              static_cast<unsigned long long>(par_samples));
+  std::printf("  par instrumented reproduces bare par: %s\n",
+              par_identical ? "yes" : "NO (BUG)");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -153,7 +271,15 @@ int main(int argc, char** argv) {
                "  \"disabled_events_per_s\": %.0f,\n"
                "  \"instrumented_events_per_s\": %.0f,\n"
                "  \"overhead_ratio\": %.4f,\n"
-               "  \"results_identical\": %s\n"
+               "  \"results_identical\": %s,\n"
+               "  \"par_threads\": %zu,\n"
+               "  \"par_events_total\": %llu,\n"
+               "  \"par_trace_events_total\": %llu,\n"
+               "  \"par_telemetry_samples_total\": %llu,\n"
+               "  \"par_disabled_wall_s\": %.6f,\n"
+               "  \"par_instrumented_wall_s\": %.6f,\n"
+               "  \"par_overhead_ratio\": %.4f,\n"
+               "  \"par_results_identical\": %s\n"
                "}\n",
                bench::node_count(), seeds, sweep.size(),
                static_cast<unsigned long long>(events),
@@ -161,8 +287,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(samples), disabled_s, instrumented_s,
                disabled_s > 0 ? static_cast<double>(events) / disabled_s : 0.0,
                instrumented_s > 0 ? static_cast<double>(events) / instrumented_s : 0.0,
-               overhead, identical ? "true" : "false");
+               overhead, identical ? "true" : "false", par_k,
+               static_cast<unsigned long long>(par_events),
+               static_cast<unsigned long long>(par_trace_events),
+               static_cast<unsigned long long>(par_samples), par_disabled_s, par_instr_s,
+               par_overhead, par_identical ? "true" : "false");
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
-  return identical ? 0 : 2;
+  return identical && par_identical ? 0 : 2;
 }

@@ -93,6 +93,11 @@ int main(int argc, char** argv) {
   base.failure_fraction = 0.002;
   base.scheme = harness::SchemeSpec::constant(2.25);
   base.seed = 1;
+  // Collect the per-window partition profile on every run; the 8-thread
+  // run's summary (imbalance, barrier overhead) lands in BENCH_par.json and
+  // bench_compare.py sanity-gates it. Wall-clock based, so the profile is
+  // deliberately absent from same_results().
+  base.par_profile = true;
 
   std::printf("par_suite: %zu nodes, threads {1,2,4,8}, host has %zu cpu(s)\n", n, host_cpus);
   std::fflush(stdout);
@@ -133,6 +138,13 @@ int main(int argc, char** argv) {
               speedup, efficiency, identical ? "yes" : "NO (BUG)",
               gate_applicable ? "" : "  [speedup gate not applicable on this host]");
 
+  // Partition profile of the 8-thread run (see trace_inspect par_profile
+  // for the full per-window view from a telemetry capture).
+  const harness::RunResult& prof = runs.back().res;
+  std::printf("  8t profile: %llu windows, imbalance %.3f, barrier overhead %.1f%%\n",
+              static_cast<unsigned long long>(prof.par_windows), prof.par_imbalance_factor,
+              prof.par_barrier_overhead * 100.0);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "par_suite: cannot write %s\n", out_path.c_str());
@@ -153,13 +165,18 @@ int main(int argc, char** argv) {
                "  \"total_wall_s_t8\": %.6f,\n"
                "  \"speedup\": %.4f,\n"
                "  \"scaling_efficiency\": %.4f,\n"
+               "  \"par_windows_t8\": %llu,\n"
+               "  \"imbalance_factor_t8\": %.4f,\n"
+               "  \"barrier_overhead_t8\": %.4f,\n"
                "  \"routes_valid\": %s,\n"
                "  \"identical_across_threads\": %s\n"
                "}\n",
                n, host_cpus, gate_applicable ? "true" : "false",
                static_cast<unsigned long long>(runs[0].res.events), converge_wall[0],
                converge_wall[1], converge_wall[2], converge_wall[3], total_wall[0],
-               total_wall.back(), speedup, efficiency, valid ? "true" : "false",
+               total_wall.back(), speedup, efficiency,
+               static_cast<unsigned long long>(prof.par_windows), prof.par_imbalance_factor,
+               prof.par_barrier_overhead, valid ? "true" : "false",
                identical ? "true" : "false");
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <span>
 #include <stdexcept>
 
@@ -111,7 +112,16 @@ Network::Network(const topo::AsRelGraph& ar, BgpConfig cfg,
   }
 }
 
+void Network::begin_injection() {
+  if (par_k_ == 0) return;
+  ++trace_epoch_;
+  injecting_ = true;
+}
+
+void Network::end_injection() { injecting_ = false; }
+
 void Network::start() {
+  begin_injection();
   for (auto& r : routers_) {
     if (!r->originates()) continue;
     // Parallel mode draws the spread from the router's own stream and keys
@@ -128,9 +138,11 @@ void Network::start() {
       r->schedule_event(delay, [router = r.get()] { router->originate(); });
     }
   }
+  end_injection();
 }
 
 void Network::fail_nodes(const std::vector<NodeId>& victims) {
+  begin_injection();
   for (const NodeId v : victims) router(v).fail();
   for (const NodeId v : victims) {
     for (const NodeId peer : router(v).peers()) {
@@ -156,9 +168,11 @@ void Network::fail_nodes(const std::vector<NodeId>& victims) {
       }
     }
   }
+  end_injection();
 }
 
 void Network::recover_nodes(const std::vector<NodeId>& nodes) {
+  begin_injection();
   for (const NodeId v : nodes) router(v).recover();
   for (const NodeId v : nodes) {
     for (const NodeId peer : router(v).peers()) {
@@ -168,6 +182,7 @@ void Network::recover_nodes(const std::vector<NodeId>& nodes) {
     }
   }
   for (const NodeId v : nodes) router(v).originate();
+  end_injection();
 }
 
 void Network::compact_paths() {
@@ -303,7 +318,20 @@ void Network::worker_loop(std::size_t part) {
       seen = window_gen_;
       limit = window_limit_;
     }
-    parts_[part]->sched.run_until(limit);
+    // The profiling flag and busy_ns_ slot are safe to touch here: the
+    // barrier thread writes them strictly before the window-release and
+    // reads busy_ns_ strictly after the window-done hand-off, both under
+    // par_mu_.
+    if (par_profile_enabled_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      parts_[part]->sched.run_until(limit);
+      busy_ns_[part] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      parts_[part]->sched.run_until(limit);
+    }
     {
       std::lock_guard lk{par_mu_};
       ++workers_done_;
@@ -312,7 +340,21 @@ void Network::worker_loop(std::size_t part) {
   }
 }
 
+void Network::ensure_profile_scratch() {
+  par_profile_.partitions = par_k_;
+  busy_ns_.assign(par_k_, 0);
+  prev_executed_.assign(par_k_, 0);
+  if (drain_msgs_.size() != par_k_) {
+    drain_msgs_.assign(par_k_, 0);
+    drain_bytes_.assign(par_k_, 0);
+    drain_reinterned_.assign(par_k_, 0);
+  }
+}
+
 sim::SimTime Network::run_par() {
+  ++trace_epoch_;  // one epoch per run phase; K-independent like the others
+  const bool prof = par_profile_enabled_;
+  if (prof) ensure_profile_scratch();
   for (;;) {
     // Deliver parked cross-partition messages before looking for the next
     // window: the previous window's sends, and -- between run_to_quiescence
@@ -324,13 +366,26 @@ sim::SimTime Network::run_par() {
     sim::SimTime tmin = sim::SimTime::max();
     for (auto& p : parts_) tmin = std::min(tmin, p->sched.next_event_time());
     if (tmin == sim::SimTime::max()) break;  // quiescent
+    if (window_observer_) window_observer_->on_window_start(tmin);
 
     // Conservative window [tmin, tmin + lookahead): any message sent at
     // t >= tmin arrives at t + link_delay >= window end, so partitions
-    // cannot affect each other inside the window. SimTime is integral ns;
-    // run_until is inclusive, hence the -1.
-    const sim::SimTime window_end = tmin + lookahead_;
+    // cannot affect each other inside the window. The observer may pull the
+    // end down to its next due instant -- a shorter window is still
+    // conservative, and the clamp sequence is a pure function of (tmin,
+    // due) so it is identical at every thread count. SimTime is integral
+    // ns; run_until is inclusive, hence the -1.
+    sim::SimTime window_end = tmin + lookahead_;
+    if (window_observer_) {
+      const sim::SimTime due = window_observer_->due_ceiling();
+      if (due > tmin && due < window_end) window_end = due;
+    }
     const sim::SimTime limit = sim::SimTime::from_ns(window_end.ns() - 1);
+    if (prof) {
+      for (std::size_t p = 0; p < par_k_; ++p) {
+        prev_executed_[p] = parts_[p]->sched.executed_events();
+      }
+    }
     if (!workers_.empty()) {
       {
         std::lock_guard lk{par_mu_};
@@ -340,15 +395,39 @@ sim::SimTime Network::run_par() {
       }
       par_cv_.notify_all();
     }
-    parts_[0]->sched.run_until(limit);
+    if (prof) {
+      const auto t0 = std::chrono::steady_clock::now();
+      parts_[0]->sched.run_until(limit);
+      busy_ns_[0] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    } else {
+      parts_[0]->sched.run_until(limit);
+    }
     if (!workers_.empty()) {
       std::unique_lock lk{par_mu_};
       par_cv_.wait(lk, [&] { return workers_done_ == workers_.size(); });
     }
     // Workers are parked again: cross-partition sends from this window sit
     // in the mailboxes and are drained at the top of the next iteration.
+    if (prof) {
+      par_profile_.window_start_s.push_back(tmin.to_seconds());
+      par_profile_.window_end_s.push_back(window_end.to_seconds());
+      for (std::size_t p = 0; p < par_k_; ++p) {
+        par_profile_.busy_s.push_back(static_cast<double>(busy_ns_[p]) * 1e-9);
+        par_profile_.executed.push_back(parts_[p]->sched.executed_events() -
+                                        prev_executed_[p]);
+        par_profile_.mailbox_msgs.push_back(drain_msgs_[p]);
+        par_profile_.mailbox_bytes.push_back(drain_bytes_[p]);
+        par_profile_.reinterned.push_back(drain_reinterned_[p]);
+        drain_msgs_[p] = 0;
+        drain_bytes_[p] = 0;
+        drain_reinterned_[p] = 0;
+      }
+    }
     merge_metrics();
-    if (window_observer_) window_observer_(window_end);
+    if (window_observer_) window_observer_->on_window_end(window_end);
   }
   merge_metrics();
   return now();
@@ -388,13 +467,19 @@ void Network::drain_mailboxes() {
   // partition-independent (time, lane, seq) key that fixes its execution
   // order -- but keeping it deterministic makes the heap layout, and thus
   // any tie-breaking-by-slot bug, reproducible too.
+  const bool prof = par_profile_enabled_ && !drain_msgs_.empty();
   for (std::size_t sp = 0; sp < par_k_; ++sp) {
     for (std::size_t dp = 0; dp < par_k_; ++dp) {
       auto& box = mailbox_[sp * par_k_ + dp];
       for (auto& env : box) {
+        if (prof) {
+          ++drain_msgs_[dp];
+          drain_bytes_[dp] += sizeof(Envelope) + env.hops.size() * sizeof(AsId);
+        }
 #ifndef BGPSIM_DEEP_COPY_PATHS
         if (!env.msg.withdraw) {
           env.msg.path = parts_[dp]->paths.intern(std::span<const AsId>{env.hops});
+          if (prof) ++drain_reinterned_[dp];
         }
 #endif
         schedule_delivery(*parts_[dp], env.at, env.key, std::move(env.msg));
@@ -443,6 +528,78 @@ void Network::advance_all(sim::SimTime t) {
     return;
   }
   for (auto& p : parts_) p->sched.advance_to(t);
+}
+
+void Network::emit_trace_par(const TraceEvent& event) {
+  // Routers only report events about themselves, so during a window the
+  // emitting thread IS the owner of partition p -- the per-partition
+  // ShardCtx and sink stream need no locking.
+  const std::uint32_t p = part_of_[event.router];
+  if (injecting_) {
+    // Main-thread injection (start / fail / recover): no scheduler callback
+    // is executing, so order by a global emission sequence instead. All
+    // injection events within one epoch share the same timestamp, and the
+    // epoch-first merge comparison keeps them ahead of the following run.
+    shard_trace_->on_event(p, event, TraceOrder{trace_epoch_, injection_seq_++, 0});
+    return;
+  }
+  Partition& part = *parts_[p];
+  auto& ctx = part.shard;
+  const std::uint64_t key = part.sched.current_key();
+  const sim::SimTime at = part.sched.now();
+  if (ctx.last_key != key || ctx.last_at != at) {
+    ctx.last_key = key;
+    ctx.last_at = at;
+    ctx.emit = 0;
+  }
+  shard_trace_->on_event(p, event, TraceOrder{trace_epoch_, key, ctx.emit++});
+}
+
+double ParProfile::imbalance_factor() const {
+  if (empty() || partitions == 0) return 0.0;
+  double sum_max = 0.0;
+  double sum_mean = 0.0;
+  for (std::size_t w = 0; w < windows(); ++w) {
+    double worst = 0.0;
+    double total = 0.0;
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const double b = busy_s[w * partitions + p];
+      worst = std::max(worst, b);
+      total += b;
+    }
+    sum_max += worst;
+    sum_mean += total / static_cast<double>(partitions);
+  }
+  return sum_mean > 0.0 ? sum_max / sum_mean : 1.0;
+}
+
+double ParProfile::barrier_overhead_fraction() const {
+  if (empty() || partitions == 0) return 0.0;
+  double sum_busy = 0.0;
+  double sum_max = 0.0;
+  for (std::size_t w = 0; w < windows(); ++w) {
+    double worst = 0.0;
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const double b = busy_s[w * partitions + p];
+      worst = std::max(worst, b);
+      sum_busy += b;
+    }
+    sum_max += worst;
+  }
+  const double span = static_cast<double>(partitions) * sum_max;
+  return span > 0.0 ? 1.0 - sum_busy / span : 0.0;
+}
+
+std::vector<std::uint64_t> ParProfile::critical_histogram() const {
+  std::vector<std::uint64_t> hist(partitions, 0);
+  for (std::size_t w = 0; w < windows(); ++w) {
+    std::size_t argmax = 0;
+    for (std::size_t p = 1; p < partitions; ++p) {
+      if (busy_s[w * partitions + p] > busy_s[w * partitions + argmax]) argmax = p;
+    }
+    if (!hist.empty()) ++hist[argmax];
+  }
+  return hist;
 }
 
 double Network::min_path_capacity_remaining() const {

@@ -27,6 +27,57 @@
 
 namespace bgpsim::bgp {
 
+/// Barrier-thread hook into the conservative-window driver. All three
+/// methods run with the workers parked, so const peeks at router state are
+/// race-free. The due-time ceiling lets a sampler shorten a window so that
+/// its next sample instant lands exactly on a barrier -- that is what makes
+/// parallel telemetry exact rather than an approximation (see
+/// obs::TelemetrySampler).
+class WindowObserver {
+ public:
+  virtual ~WindowObserver() = default;
+  /// Called after the mailbox drain and next-window computation, before any
+  /// window event runs. Every event executed so far has t < the previous
+  /// window end, and every pending event has t >= tmin -- so sample instants
+  /// <= tmin can be taken here exactly.
+  virtual void on_window_start(sim::SimTime tmin) = 0;
+  /// Called after the window's events have run and metrics merged; every
+  /// event with t < window_end has executed, none at or after it has.
+  virtual void on_window_end(sim::SimTime window_end) = 0;
+  /// Next instant the observer wants a barrier at, or SimTime::max() for no
+  /// ceiling. run_par() clamps a window end down to this when it falls
+  /// strictly inside the window.
+  virtual sim::SimTime due_ceiling() const = 0;
+};
+
+/// Per-window, per-partition execution profile collected by run_par() when
+/// enable_par_profile() is on. Row-major [window * partitions + p] columns;
+/// busy times are host wall-clock (nondeterministic), everything else is a
+/// pure function of the simulation.
+struct ParProfile {
+  std::size_t partitions = 0;
+  std::vector<double> window_start_s;  ///< per window: tmin, sim seconds
+  std::vector<double> window_end_s;    ///< per window: (possibly clamped) end
+  std::vector<double> busy_s;          ///< wall-clock inside run_until
+  std::vector<std::uint64_t> executed;       ///< events run this window
+  std::vector<std::uint64_t> mailbox_msgs;   ///< cross-partition msgs drained into p
+  std::vector<std::uint64_t> mailbox_bytes;  ///< approx bytes of those envelopes
+  std::vector<std::uint64_t> reinterned;     ///< paths re-interned at the drain
+
+  std::size_t windows() const { return window_start_s.size(); }
+  bool empty() const { return window_start_s.empty(); }
+
+  /// Mean over windows of (slowest partition busy time / mean partition
+  /// busy time); 1.0 = perfectly balanced. Returns 0 when empty.
+  double imbalance_factor() const;
+  /// Fraction of total worker wall-time spent waiting at barriers:
+  /// 1 - sum(busy) / (partitions * sum of per-window max busy). 0 when empty.
+  double barrier_overhead_fraction() const;
+  /// Per-partition count of windows in which it was the slowest (the
+  /// critical partition).
+  std::vector<std::uint64_t> critical_histogram() const;
+};
+
 class Network {
  public:
   /// Flat network: node i is AS i's single router and originates prefix i.
@@ -149,24 +200,52 @@ class Network {
   /// at >= window_end by the lookahead argument).
   void transmit_par(UpdateMessage msg, sim::SimTime at, std::uint64_t key);
 
-  /// Parallel-mode observer invoked on the barrier thread at the end of
-  /// every window (after mailbox drain and metrics merge) with the window
-  /// end time; the telemetry sampler hooks this instead of a scheduled
-  /// periodic event, which a partitioned heap cannot support.
-  void set_window_observer(std::function<void(sim::SimTime)> obs) {
-    window_observer_ = std::move(obs);
-  }
+  /// Installs the parallel-mode window observer (non-owning; nullptr to
+  /// remove). The telemetry sampler hooks this instead of a scheduled
+  /// periodic event, which a partitioned heap cannot support; its due-time
+  /// ceiling turns window barriers into exact sample instants.
+  void set_window_observer(WindowObserver* obs) { window_observer_ = obs; }
+
+  /// Turns on per-window partition profiling (see ParProfile). Only
+  /// meaningful in parallel mode; zero-cost until the next run when off.
+  void enable_par_profile() { par_profile_enabled_ = true; }
+  bool par_profile_enabled() const { return par_profile_enabled_; }
+  const ParProfile& par_profile() const { return par_profile_; }
 
   /// Tightest path-table capacity across partitions (== paths()'s in
   /// serial mode); the harness warns when this drops under 10%.
   double min_path_capacity_remaining() const;
 
   /// Installs a trace sink (non-owning; pass nullptr to disable). With no
-  /// sink, routers skip event construction entirely.
-  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
-  bool tracing() const { return trace_ != nullptr; }
+  /// sink, routers skip event construction entirely. Rejected in parallel
+  /// mode: a single sink would be hit concurrently from every worker --
+  /// install a ShardedTraceSink instead.
+  void set_trace_sink(TraceSink* sink) {
+    if (sink != nullptr && par_k_ != 0) {
+      throw std::logic_error{
+          "Network: a plain TraceSink would race across partition workers in "
+          "parallel mode; use set_sharded_trace_sink()"};
+    }
+    trace_ = sink;
+  }
+  /// Installs the parallel-mode sharded trace sink (non-owning; nullptr to
+  /// disable). Each partition's events go to its own shard stream, stamped
+  /// with a deterministic TraceOrder (see trace.hpp); requires parallel
+  /// mode.
+  void set_sharded_trace_sink(ShardedTraceSink* sink) {
+    if (sink != nullptr && par_k_ == 0) {
+      throw std::logic_error{
+          "Network: set_sharded_trace_sink() requires parallel mode"};
+    }
+    shard_trace_ = sink;
+  }
+  bool tracing() const { return trace_ != nullptr || shard_trace_ != nullptr; }
   void emit_trace(const TraceEvent& event) {
-    if (trace_ != nullptr) trace_->on_event(event);
+    if (trace_ != nullptr) {
+      trace_->on_event(event);
+    } else if (shard_trace_ != nullptr) {
+      emit_trace_par(event);
+    }
   }
 
  private:
@@ -182,6 +261,16 @@ class Network {
     NetMetrics metrics;
     PathTable paths;
     std::vector<NodeId> members;
+    /// Trace-emission context, touched only by the partition's own thread:
+    /// tracks the (at, key) of the last traced callback so repeated
+    /// emissions within one callback get consecutive TraceOrder::emit
+    /// indices. (at, key) pairs never repeat -- per-lane sequences are
+    /// monotone -- so a plain last-value compare suffices.
+    struct ShardCtx {
+      sim::SimTime last_at;
+      std::uint64_t last_key = ~std::uint64_t{0};
+      std::uint32_t emit = 0;
+    } shard;
   };
 
   /// A cross-partition message parked until the window barrier. In interned
@@ -203,6 +292,16 @@ class Network {
   void merge_metrics();
   void schedule_delivery(Partition& part, sim::SimTime at, std::uint64_t key,
                          UpdateMessage msg);
+  /// Routes one parallel-mode trace event to its partition's shard with a
+  /// deterministic (epoch, key, emit) ordering stamp.
+  void emit_trace_par(const TraceEvent& event);
+  /// Marks the start of a main-thread injection phase (start / fail /
+  /// recover): bumps the trace epoch and routes emissions through the
+  /// global injection sequence instead of scheduler keys.
+  void begin_injection();
+  void end_injection();
+  /// Grows/reset the per-window profiling scratch (barrier thread only).
+  void ensure_profile_scratch();
 
   BgpConfig cfg_;
   std::shared_ptr<MraiController> mrai_;
@@ -216,6 +315,7 @@ class Network {
   std::vector<topo::Point> positions_;
   NetMetrics metrics_;
   TraceSink* trace_ = nullptr;
+  ShardedTraceSink* shard_trace_ = nullptr;
   bool policy_routing_ = false;
   double path_capacity_low_water_ = 1.0;
 
@@ -226,7 +326,7 @@ class Network {
   std::vector<std::uint32_t> part_of_;  ///< NodeId -> partition
   std::vector<sim::Rng> par_rngs_;      ///< per-router streams (splitmix64 of seed, id)
   std::vector<std::vector<Envelope>> mailbox_;  ///< [src * k + dst]
-  std::function<void(sim::SimTime)> window_observer_;
+  WindowObserver* window_observer_ = nullptr;
   std::vector<std::thread> workers_;  ///< k - 1 threads; main drives partition 0
   std::mutex par_mu_;
   std::condition_variable par_cv_;
@@ -234,6 +334,22 @@ class Network {
   std::size_t workers_done_ = 0;
   sim::SimTime window_limit_;
   bool shutdown_ = false;
+
+  // --- parallel trace ordering (main/barrier thread writes, workers read
+  // between the window-release and window-done mutex hand-offs) ---
+  bool injecting_ = false;      ///< inside start()/fail_nodes()/recover_nodes()
+  std::uint32_t trace_epoch_ = 0;   ///< bumped per harness entry point
+  std::uint64_t injection_seq_ = 0; ///< global order of injection-time events
+
+  // --- partition profiling (barrier thread owns everything except
+  // busy_ns_[p], written by partition p under the barrier hand-off) ---
+  bool par_profile_enabled_ = false;
+  ParProfile par_profile_;
+  std::vector<std::uint64_t> busy_ns_;          ///< per partition, this window
+  std::vector<std::uint64_t> prev_executed_;    ///< per partition, at window start
+  std::vector<std::uint64_t> drain_msgs_;       ///< per dst partition, this round
+  std::vector<std::uint64_t> drain_bytes_;
+  std::vector<std::uint64_t> drain_reinterned_;
 };
 
 }  // namespace bgpsim::bgp

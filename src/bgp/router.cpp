@@ -516,6 +516,10 @@ double Router::utilization_estimate() const {
   return busy_tracker_.peek_rate(sched().now());
 }
 
+double Router::utilization_estimate_at(sim::SimTime at) const {
+  return busy_tracker_.peek_rate(at);
+}
+
 double Router::message_rate_estimate() const {
   return msg_tracker_.peek_rate(sched().now());
 }

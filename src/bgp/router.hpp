@@ -85,6 +85,12 @@ class Router {
   /// floating-point state the dynamic-MRAI monitors read later.
   double utilization_estimate() const;
   double message_rate_estimate() const;
+  /// Utilization decayed to an explicit instant instead of the router's own
+  /// scheduler clock. The parallel telemetry sampler reads at a window
+  /// boundary, where partition-local clocks legitimately differ by thread
+  /// count -- decaying to the sample instant keeps the column a pure
+  /// function of simulation history (`at` must be >= every executed event).
+  double utilization_estimate_at(sim::SimTime at) const;
   /// Cumulative per-router update traffic (cheap taps for the telemetry
   /// sampler; NetMetrics only has network-wide totals).
   std::uint64_t updates_sent() const { return updates_sent_; }

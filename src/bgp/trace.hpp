@@ -65,6 +65,35 @@ class TraceSink {
   virtual void on_event(const TraceEvent& event) = 0;
 };
 
+/// Deterministic ordering stamp attached to every parallel-mode trace
+/// event. The tuple (epoch, at, key, emit) is globally unique, independent
+/// of the partition count, and sorting shard contents by it reproduces the
+/// serial (K=1) emission order exactly:
+///   epoch  bumped at every harness entry point (start / fail / recover /
+///          each run phase) -- counts only main-thread calls, so it is
+///          K-independent and dominates the comparison,
+///   at     the event's simulation timestamp,
+///   key    the 40-bit (lane, seq) scheduler key of the executing event
+///          (a pure function of history), or a global injection sequence
+///          for events emitted outside any scheduled callback,
+///   emit   emission index within one (at, key) callback.
+struct TraceOrder {
+  std::uint32_t epoch = 0;
+  std::uint64_t key = 0;
+  std::uint32_t emit = 0;
+};
+
+/// Parallel-mode trace receiver: one on_event stream per partition, each
+/// called only from that partition's worker thread during a window (and
+/// from the barrier thread between windows), so implementations need no
+/// locking as long as per-partition state is kept separate.
+class ShardedTraceSink {
+ public:
+  virtual ~ShardedTraceSink() = default;
+  virtual void on_event(std::size_t partition, const TraceEvent& event,
+                        const TraceOrder& order) = 0;
+};
+
 /// Counts events per kind.
 class CountingSink final : public TraceSink {
  public:

@@ -229,6 +229,7 @@ PreparedRun prepare_run(const ExperimentConfig& cfg, bool allow_par = true) {
   if (allow_par) {
     if (const std::size_t par = resolve_par_threads(cfg); par != 0) {
       pr.net->enable_parallel(par);
+      if (cfg.par_profile) pr.net->enable_par_profile();
     }
   }
 
@@ -318,6 +319,12 @@ RunResult finish_run(const ExperimentConfig& cfg, PreparedRun& pr) {
   res.batch_dropped = m.batch_dropped;
   res.events = net->executed_events();
   warn_if_paths_nearly_full(*net);
+  if (net->parallel() && net->par_profile_enabled()) {
+    const bgp::ParProfile& prof = net->par_profile();
+    res.par_windows = prof.windows();
+    res.par_imbalance_factor = prof.imbalance_factor();
+    res.par_barrier_overhead = prof.barrier_overhead_fraction();
+  }
 
   const auto t_audit = Clock::now();
   const auto audit = audit_routes(*net);

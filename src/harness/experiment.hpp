@@ -112,6 +112,10 @@ struct ExperimentConfig {
   /// under harness_thread_cap(). Checkpoint capture/restore paths always
   /// run legacy serial regardless of this setting.
   std::size_t par_threads = 0;
+  /// Collect the per-window partition profile during parallel runs
+  /// (Network::enable_par_profile): fills RunResult::par_windows /
+  /// par_imbalance_factor / par_barrier_overhead. No effect on serial runs.
+  bool par_profile = false;
   /// Quiet gap inserted between cold-start convergence and the failure.
   sim::SimTime pre_failure_gap = sim::SimTime::seconds(1.0);
   /// When true, after the post-failure convergence quiesces the failed
@@ -164,6 +168,12 @@ struct RunResult {
   bool routes_valid = false;         ///< post-failure audit verdict
   std::string audit_error;           ///< first violation, when !routes_valid
   PhaseTimings timing;               ///< host wall-clock per phase
+  /// Partition-profile summary (only when cfg.par_profile and the run was
+  /// parallel). Busy times are host wall-clock, so like `timing` these are
+  /// never part of determinism comparisons.
+  std::uint64_t par_windows = 0;
+  double par_imbalance_factor = 0.0;
+  double par_barrier_overhead = 0.0;
 };
 
 RunResult run_experiment(const ExperimentConfig& cfg);

@@ -330,7 +330,14 @@ std::vector<RunResult> run_sweep_resumable(const std::vector<ExperimentConfig>& 
     }
     snaps.resize(first_member.size());
     ThreadPool::instance().for_each_index(first_member.size(), threads, [&](std::size_t g) {
-      snaps[g] = converge_snapshot(configs[first_member[g]]);
+      // Hooks stripped for the same reason as run_sweep_warm: an observer
+      // attached here would bind to the throwaway converge network and
+      // dangle into the restored runs below.
+      ExperimentConfig snap_cfg = configs[first_member[g]];
+      snap_cfg.instrument = nullptr;
+      snap_cfg.on_phase = nullptr;
+      snap_cfg.on_complete = nullptr;
+      snaps[g] = converge_snapshot(snap_cfg);
     });
   }
 

@@ -159,7 +159,17 @@ std::vector<RunResult> run_sweep_warm(const std::vector<ExperimentConfig>& confi
   const std::size_t threads = harness_threads();
   std::vector<Snapshot> snaps(first_member.size());
   ThreadPool::instance().for_each_index(first_member.size(), threads, [&](std::size_t g) {
-    snaps[g] = converge_snapshot(configs[first_member[g]]);
+    // The snapshot pass runs with the observer hooks stripped: a sampler or
+    // sink attached via `instrument` would bind to this throwaway network
+    // (destroyed right after capture) and dangle into the real runs below.
+    // Observers see only the restore-side runs, whose phases start at the
+    // failure -- exactly the warm-start semantics documented in
+    // warmstart.hpp.
+    ExperimentConfig snap_cfg = configs[first_member[g]];
+    snap_cfg.instrument = nullptr;
+    snap_cfg.on_phase = nullptr;
+    snap_cfg.on_complete = nullptr;
+    snaps[g] = converge_snapshot(snap_cfg);
   });
   ThreadPool::instance().for_each_index(configs.size(), threads, [&](std::size_t i) {
     out[i] = run_experiment_from(configs[i], snaps[group_index[i]]);

@@ -1,5 +1,6 @@
 #include "obs/binary_trace.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -9,6 +10,17 @@ namespace {
 
 constexpr std::size_t kHeaderSize = 24;
 constexpr std::uint8_t kPayloadV1 = 30;
+constexpr std::uint8_t kPayloadV2 = 46;  ///< v1 + u32 epoch + u64 key + u32 emit
+
+std::string dir_of(const std::string& p) {
+  const auto slash = p.find_last_of('/');
+  return slash == std::string::npos ? std::string{} : p.substr(0, slash + 1);
+}
+
+std::string base_of(const std::string& p) {
+  const auto slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
 
 void put_u16(unsigned char* p, std::uint16_t v) {
   p[0] = static_cast<unsigned char>(v & 0xFF);
@@ -39,20 +51,63 @@ std::uint64_t get_u64(const unsigned char* p) {
   return v;
 }
 
-}  // namespace
-
-BinaryTraceSink::BinaryTraceSink(const std::string& path) : path_{path} {
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    throw std::runtime_error{"BinaryTraceSink: cannot open " + path};
-  }
+std::FILE* open_bgtr(const std::string& path, std::uint16_t version) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return nullptr;
   unsigned char header[kHeaderSize] = {};
   std::memcpy(header, kTraceMagic, 4);
-  put_u16(header + 4, kTraceVersion);
+  put_u16(header + 4, version);
   put_u16(header + 6, 0);
   put_u64(header + 8, 0);  // event count, patched on close
   put_u64(header + 16, kHeaderSize);
-  std::fwrite(header, 1, kHeaderSize, file_);
+  std::fwrite(header, 1, kHeaderSize, f);
+  return f;
+}
+
+void patch_count_and_close(std::FILE* f, std::uint64_t written) {
+  unsigned char count[8];
+  put_u64(count, written);
+  std::fseek(f, 8, SEEK_SET);
+  std::fwrite(count, 1, 8, f);
+  std::fclose(f);
+}
+
+void encode_v1(unsigned char* p, const bgp::TraceEvent& event) {
+  p[0] = static_cast<unsigned char>(event.kind);
+  p[1] = event.withdraw ? 1 : 0;
+  put_u64(p + 2, static_cast<std::uint64_t>(event.at.ns()));
+  put_u32(p + 10, event.router);
+  put_u32(p + 14, event.peer);
+  put_u32(p + 18, event.prefix);
+  put_u32(p + 22, static_cast<std::uint32_t>(event.batch_size));
+  put_u32(p + 26, event.path_len);
+}
+
+bool decode_v1(const unsigned char* p, bgp::TraceEvent& ev) {
+  const auto kind = p[0];
+  if (kind >= bgp::TraceEvent::kNumKinds) return false;
+  ev.kind = static_cast<bgp::TraceEvent::Kind>(kind);
+  ev.withdraw = (p[1] & 1) != 0;
+  ev.at = sim::SimTime::from_ns(static_cast<std::int64_t>(get_u64(p + 2)));
+  ev.router = get_u32(p + 10);
+  ev.peer = get_u32(p + 14);
+  ev.prefix = get_u32(p + 18);
+  ev.batch_size = get_u32(p + 22);
+  ev.path_len = get_u32(p + 26);
+  return true;
+}
+
+std::string shard_path(const std::string& manifest_path, std::size_t i) {
+  return manifest_path + ".shard" + std::to_string(i);
+}
+
+}  // namespace
+
+BinaryTraceSink::BinaryTraceSink(const std::string& path) : path_{path} {
+  file_ = open_bgtr(path, kTraceVersion);
+  if (file_ == nullptr) {
+    throw std::runtime_error{"BinaryTraceSink: cannot open " + path};
+  }
 }
 
 BinaryTraceSink::~BinaryTraceSink() { close(); }
@@ -61,26 +116,83 @@ void BinaryTraceSink::on_event(const bgp::TraceEvent& event) {
   if (file_ == nullptr) return;
   unsigned char rec[1 + kPayloadV1];
   rec[0] = kPayloadV1;
-  rec[1] = static_cast<unsigned char>(event.kind);
-  rec[2] = event.withdraw ? 1 : 0;
-  put_u64(rec + 3, static_cast<std::uint64_t>(event.at.ns()));
-  put_u32(rec + 11, event.router);
-  put_u32(rec + 15, event.peer);
-  put_u32(rec + 19, event.prefix);
-  put_u32(rec + 23, static_cast<std::uint32_t>(event.batch_size));
-  put_u32(rec + 27, event.path_len);
+  encode_v1(rec + 1, event);
   std::fwrite(rec, 1, sizeof(rec), file_);
   ++written_;
 }
 
 void BinaryTraceSink::close() {
   if (file_ == nullptr) return;
-  unsigned char count[8];
-  put_u64(count, written_);
-  std::fseek(file_, 8, SEEK_SET);
-  std::fwrite(count, 1, 8, file_);
-  std::fclose(file_);
+  patch_count_and_close(file_, written_);
   file_ = nullptr;
+}
+
+ShardedTraceWriter::ShardedTraceWriter(const std::string& path, std::size_t partitions)
+    : path_{path} {
+  if (partitions == 0) {
+    throw std::invalid_argument{"ShardedTraceWriter: need at least one partition"};
+  }
+  // Manifest first: a run that dies mid-capture leaves a manifest pointing
+  // at truncated shards, which the readers tolerate.
+  std::FILE* mf = std::fopen(path.c_str(), "wb");
+  if (mf == nullptr) {
+    throw std::runtime_error{"ShardedTraceWriter: cannot open " + path};
+  }
+  unsigned char head[12] = {};
+  std::memcpy(head, kTraceManifestMagic, 4);
+  put_u16(head + 4, kTraceManifestVersion);
+  put_u16(head + 6, 0);
+  put_u32(head + 8, static_cast<std::uint32_t>(partitions));
+  std::fwrite(head, 1, sizeof(head), mf);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    const std::string name = base_of(shard_path(path, i));
+    unsigned char len[2];
+    put_u16(len, static_cast<std::uint16_t>(name.size()));
+    std::fwrite(len, 1, 2, mf);
+    std::fwrite(name.data(), 1, name.size(), mf);
+  }
+  const bool ok = std::ferror(mf) == 0;
+  std::fclose(mf);
+  if (!ok) throw std::runtime_error{"ShardedTraceWriter: write failed for " + path};
+
+  files_.resize(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) {
+    files_[i].file = open_bgtr(shard_path(path, i), kTraceShardVersion);
+    if (files_[i].file == nullptr) {
+      close();
+      throw std::runtime_error{"ShardedTraceWriter: cannot open " + shard_path(path, i)};
+    }
+  }
+}
+
+ShardedTraceWriter::~ShardedTraceWriter() { close(); }
+
+void ShardedTraceWriter::on_event(std::size_t partition, const bgp::TraceEvent& event,
+                                  const bgp::TraceOrder& order) {
+  Shard& s = files_[partition];
+  if (s.file == nullptr) return;
+  unsigned char rec[1 + kPayloadV2];
+  rec[0] = kPayloadV2;
+  encode_v1(rec + 1, event);
+  put_u32(rec + 1 + kPayloadV1, order.epoch);
+  put_u64(rec + 1 + kPayloadV1 + 4, order.key);
+  put_u32(rec + 1 + kPayloadV1 + 12, order.emit);
+  std::fwrite(rec, 1, sizeof(rec), s.file);
+  ++s.written;
+}
+
+void ShardedTraceWriter::close() {
+  for (Shard& s : files_) {
+    if (s.file == nullptr) continue;
+    patch_count_and_close(s.file, s.written);
+    s.file = nullptr;
+  }
+}
+
+std::uint64_t ShardedTraceWriter::events_written() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : files_) total += s.written;
+  return total;
 }
 
 TraceFile read_trace_file(const std::string& path) {
@@ -95,7 +207,7 @@ TraceFile read_trace_file(const std::string& path) {
     throw std::runtime_error{"read_trace_file: " + path + " is not a bgpsim trace"};
   }
   out.version = get_u16(header + 4);
-  if (out.version == 0 || out.version > kTraceVersion) {
+  if (out.version == 0 || out.version > kTraceShardVersion) {
     std::fclose(f);
     throw std::runtime_error{"read_trace_file: unsupported trace version " +
                              std::to_string(out.version)};
@@ -121,24 +233,159 @@ TraceFile read_trace_file(const std::string& path) {
       break;
     }
     bgp::TraceEvent ev;
-    const auto kind = payload[0];
-    if (kind >= bgp::TraceEvent::kNumKinds) {
+    if (!decode_v1(payload, ev)) {
       out.truncated = true;
       break;
     }
-    ev.kind = static_cast<bgp::TraceEvent::Kind>(kind);
-    ev.withdraw = (payload[1] & 1) != 0;
-    ev.at = sim::SimTime::from_ns(static_cast<std::int64_t>(get_u64(payload + 2)));
-    ev.router = get_u32(payload + 10);
-    ev.peer = get_u32(payload + 14);
-    ev.prefix = get_u32(payload + 18);
-    ev.batch_size = get_u32(payload + 22);
-    ev.path_len = get_u32(payload + 26);
     out.events.push_back(ev);
   }
   std::fclose(f);
   if (declared != out.events.size()) out.truncated = true;
   return out;
+}
+
+TraceShardFile read_trace_shard(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"read_trace_shard: cannot open " + path};
+
+  TraceShardFile out;
+  unsigned char header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize ||
+      std::memcmp(header, kTraceMagic, 4) != 0) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_shard: " + path + " is not a bgpsim trace"};
+  }
+  out.version = get_u16(header + 4);
+  if (out.version != kTraceShardVersion) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_shard: " + path + " is not a trace shard (version " +
+                             std::to_string(out.version) + ")"};
+  }
+  const std::uint64_t declared = get_u64(header + 8);
+  const std::uint64_t first = get_u64(header + 16);
+  if (first < kHeaderSize || std::fseek(f, static_cast<long>(first), SEEK_SET) != 0) {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_shard: malformed header in " + path};
+  }
+  if (declared > 0) {
+    out.events.reserve(declared);
+    out.orders.reserve(declared);
+  }
+
+  for (;;) {
+    unsigned char len;
+    if (std::fread(&len, 1, 1, f) != 1) break;  // clean EOF
+    unsigned char payload[255];
+    if (std::fread(payload, 1, len, f) != len) {
+      out.truncated = true;  // writer died mid-record
+      break;
+    }
+    if (len < kPayloadV2) {
+      out.truncated = true;  // a shard record without its merge stamp
+      break;
+    }
+    bgp::TraceEvent ev;
+    if (!decode_v1(payload, ev)) {
+      out.truncated = true;
+      break;
+    }
+    bgp::TraceOrder ord;
+    ord.epoch = get_u32(payload + kPayloadV1);
+    ord.key = get_u64(payload + kPayloadV1 + 4);
+    ord.emit = get_u32(payload + kPayloadV1 + 12);
+    out.events.push_back(ev);
+    out.orders.push_back(ord);
+  }
+  std::fclose(f);
+  if (declared != out.events.size()) out.truncated = true;
+  return out;
+}
+
+TraceManifest read_trace_manifest(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"read_trace_manifest: cannot open " + path};
+
+  const auto fail = [&](const std::string& why) -> TraceManifest {
+    std::fclose(f);
+    throw std::runtime_error{"read_trace_manifest: " + path + ": " + why};
+  };
+
+  unsigned char head[12];
+  if (std::fread(head, 1, sizeof(head), f) != sizeof(head) ||
+      std::memcmp(head, kTraceManifestMagic, 4) != 0) {
+    return fail("not a bgpsim trace manifest");
+  }
+  TraceManifest out;
+  out.version = get_u16(head + 4);
+  if (out.version == 0 || out.version > kTraceManifestVersion) {
+    return fail("unsupported manifest version " + std::to_string(out.version));
+  }
+  const std::uint32_t count = get_u32(head + 8);
+  const std::string dir = dir_of(path);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    unsigned char len_buf[2];
+    if (std::fread(len_buf, 1, 2, f) != 2) return fail("truncated shard list");
+    const std::uint16_t len = get_u16(len_buf);
+    std::string name(len, '\0');
+    if (len != 0 && std::fread(name.data(), 1, len, f) != len) {
+      return fail("truncated shard name");
+    }
+    out.shard_paths.push_back(dir + name);
+  }
+  std::fclose(f);
+  return out;
+}
+
+TraceFile read_merged_trace(const std::string& manifest_path) {
+  const TraceManifest man = read_trace_manifest(manifest_path);
+
+  struct Stamped {
+    bgp::TraceEvent ev;
+    bgp::TraceOrder ord;
+  };
+  TraceFile out;
+  out.version = kTraceShardVersion;
+  std::vector<Stamped> all;
+  for (const std::string& sp : man.shard_paths) {
+    TraceShardFile shard = read_trace_shard(sp);
+    if (shard.truncated) out.truncated = true;
+    for (std::size_t i = 0; i < shard.events.size(); ++i) {
+      all.push_back(Stamped{shard.events[i], shard.orders[i]});
+    }
+  }
+  // (epoch, at, key, emit) tuples are globally unique and shared with the
+  // serial K=1 capture, so a plain sort reconstructs the serial emission
+  // order exactly (stability is irrelevant: no ties exist).
+  std::sort(all.begin(), all.end(), [](const Stamped& a, const Stamped& b) {
+    if (a.ord.epoch != b.ord.epoch) return a.ord.epoch < b.ord.epoch;
+    if (a.ev.at != b.ev.at) return a.ev.at < b.ev.at;
+    if (a.ord.key != b.ord.key) return a.ord.key < b.ord.key;
+    return a.ord.emit < b.ord.emit;
+  });
+  out.events.reserve(all.size());
+  for (const Stamped& s : all) out.events.push_back(s.ev);
+  return out;
+}
+
+std::uint64_t write_merged_trace(const std::string& manifest_path,
+                                 const std::string& out_path) {
+  const TraceFile merged = read_merged_trace(manifest_path);
+  BinaryTraceSink sink{out_path};
+  for (const bgp::TraceEvent& ev : merged.events) sink.on_event(ev);
+  sink.close();
+  return sink.events_written();
+}
+
+TraceFile load_trace_any(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error{"load_trace_any: cannot open " + path};
+  char magic[4] = {};
+  const std::size_t got = std::fread(magic, 1, 4, f);
+  std::fclose(f);
+  if (got == 4 && std::memcmp(magic, kTraceManifestMagic, 4) == 0) {
+    return read_merged_trace(path);
+  }
+  return read_trace_file(path);
 }
 
 }  // namespace bgpsim::obs

@@ -14,6 +14,23 @@
 // fields a later version appends, and lets the reader detect truncation
 // (a partial record at EOF) instead of decoding garbage. ~31 MB per 10^6
 // events; a CountingSink-grade cost when writing (one buffered fwrite).
+//
+// Parallel capture (ShardedTraceWriter) writes one shard file per
+// partition -- no cross-thread contention -- plus a manifest at the user's
+// path:
+//
+//   manifest ("BGTM"):  magic | u16 version | u16 reserved | u32 shards
+//                       | per shard: u16 name_len | basename bytes
+//   shard:              a BGTR file at version 2 whose records append the
+//                       deterministic merge stamp to the v1 payload
+//   payload v2 (46 B):  payload v1 | u32 epoch | u64 key | u32 emit
+//
+// Shards live next to the manifest as "<path>.shard<N>". Each shard is
+// emitted in ascending (epoch, at, key, emit) order and the stamps are a
+// pure function of simulation history (bgp::TraceOrder), so the k-way merge
+// (read_merged_trace / write_merged_trace) reconstructs the serial K=1
+// event sequence -- and thus a byte-identical v1 trace -- at any partition
+// count.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +44,10 @@ namespace bgpsim::obs {
 
 inline constexpr char kTraceMagic[4] = {'B', 'G', 'T', 'R'};
 inline constexpr std::uint16_t kTraceVersion = 1;
+/// Shard layout: v1 payload + (epoch, key, emit) merge stamp.
+inline constexpr std::uint16_t kTraceShardVersion = 2;
+inline constexpr char kTraceManifestMagic[4] = {'B', 'G', 'T', 'M'};
+inline constexpr std::uint16_t kTraceManifestVersion = 1;
 
 /// TraceSink that appends every event to `path`. Throws std::runtime_error
 /// if the file cannot be opened. close() (or destruction) flushes and
@@ -53,6 +74,41 @@ class BinaryTraceSink final : public bgp::TraceSink {
   std::uint64_t written_ = 0;
 };
 
+/// Parallel-capture sink: one BGTR v2 shard per partition plus a "BGTM"
+/// manifest at `path`. The manifest is written up front, so a crashed run
+/// leaves a manifest pointing at truncated-but-readable shards (same
+/// philosophy as the v1 truncation tolerance). close() (or destruction)
+/// patches every shard header.
+class ShardedTraceWriter final : public bgp::ShardedTraceSink {
+ public:
+  ShardedTraceWriter(const std::string& path, std::size_t partitions);
+  ~ShardedTraceWriter() override;
+
+  ShardedTraceWriter(const ShardedTraceWriter&) = delete;
+  ShardedTraceWriter& operator=(const ShardedTraceWriter&) = delete;
+
+  void on_event(std::size_t partition, const bgp::TraceEvent& event,
+                const bgp::TraceOrder& order) override;
+
+  /// Flushes and closes every shard. Idempotent.
+  void close();
+
+  std::uint64_t events_written() const;
+  std::size_t partitions() const { return files_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  // Cache-line padded: each partition thread bumps its own `written` on
+  // every event, and unpadded 16-byte slots would false-share across the
+  // hottest path in a parallel capture.
+  struct alignas(64) Shard {
+    std::FILE* file = nullptr;
+    std::uint64_t written = 0;
+  };
+  std::string path_;
+  std::vector<Shard> files_;
+};
+
 struct TraceFile {
   std::uint16_t version = 0;
   /// True when the header count was never patched (writer died) or the last
@@ -61,8 +117,49 @@ struct TraceFile {
   std::vector<bgp::TraceEvent> events;
 };
 
-/// Reads a trace written by BinaryTraceSink. Throws std::runtime_error on a
-/// missing file, bad magic, or unsupported (newer-major) layout.
+/// Reads a trace written by BinaryTraceSink (or one shard's events, stamps
+/// dropped). Throws std::runtime_error on a missing file, bad magic, or
+/// unsupported (newer-major) layout.
 TraceFile read_trace_file(const std::string& path);
+
+/// One shard with its merge stamps (orders[i] belongs to events[i]).
+struct TraceShardFile {
+  std::uint16_t version = 0;
+  bool truncated = false;
+  std::vector<bgp::TraceEvent> events;
+  std::vector<bgp::TraceOrder> orders;
+};
+
+/// Reads a BGTR v2 shard, tolerating truncation like read_trace_file.
+/// Throws on a missing file, bad magic, or a pre-shard (v1) version.
+TraceShardFile read_trace_shard(const std::string& path);
+
+/// Parsed "BGTM" manifest; shard paths are resolved relative to the
+/// manifest's directory.
+struct TraceManifest {
+  std::uint16_t version = 0;
+  std::vector<std::string> shard_paths;
+};
+
+/// Reads a manifest written by ShardedTraceWriter. Throws on a missing
+/// file, bad magic, or unsupported version.
+TraceManifest read_trace_manifest(const std::string& path);
+
+/// Reads every shard named by the manifest at `path` and k-way merges them
+/// by (epoch, at, key, emit) into the serial event order. `truncated` is
+/// set if any shard was truncated (the merge then covers the surviving
+/// records).
+TraceFile read_merged_trace(const std::string& manifest_path);
+
+/// Merges the shards behind `manifest_path` and writes the result as a
+/// plain v1 trace at `out_path` -- byte-identical to a serial capture of
+/// the same run. Returns the number of events written.
+std::uint64_t write_merged_trace(const std::string& manifest_path,
+                                 const std::string& out_path);
+
+/// Loads either a plain/v2 BGTR file or, transparently, a BGTM manifest
+/// (merging its shards). This is what the inspection tooling uses so every
+/// subcommand accepts both capture modes.
+TraceFile load_trace_any(const std::string& path);
 
 }  // namespace bgpsim::obs

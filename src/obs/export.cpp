@@ -168,6 +168,31 @@ void write_perfetto(const std::vector<bgp::TraceEvent>& events, std::ostream& os
              num(ts) + ",\"args\":{\"depth\":" + std::to_string(t.queue_depth[i]) + "}}");
       }
     }
+    if (t.has_partitions()) {
+      const auto& p = t.partitions;
+      const std::string part_pid = std::to_string(t.n_routers + 1);
+      emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + part_pid +
+           ",\"args\":{\"name\":\"partitions\"}}");
+      for (std::size_t q = 0; q < p.partitions; ++q) {
+        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + part_pid +
+             ",\"tid\":" + std::to_string(q) + ",\"args\":{\"name\":\"partition " +
+             std::to_string(q) + "\"}}");
+      }
+      for (std::size_t w = 0; w < p.windows(); ++w) {
+        const double start = p.window_start_s[w] * 1e6;
+        const double dur = std::max((p.window_end_s[w] - p.window_start_s[w]) * 1e6, 0.0);
+        for (std::size_t q = 0; q < p.partitions; ++q) {
+          const std::size_t i = w * p.partitions + q;
+          emit("{\"ph\":\"X\",\"cat\":\"window\",\"name\":\"window\",\"pid\":" + part_pid +
+               ",\"tid\":" + std::to_string(q) + ",\"ts\":" + num(start) +
+               ",\"dur\":" + num(dur) + ",\"args\":{\"busy_s\":" + num(p.busy_s[i]) +
+               ",\"executed\":" + std::to_string(p.executed[i]) +
+               ",\"mailbox_msgs\":" + std::to_string(p.mailbox_msgs[i]) +
+               ",\"mailbox_bytes\":" + std::to_string(p.mailbox_bytes[i]) +
+               ",\"reinterned\":" + std::to_string(p.reinterned[i]) + "}}");
+        }
+      }
+    }
   }
 
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";

@@ -16,6 +16,11 @@
 //                  kMraiStarted with kMraiExpired
 //   pid n_routers  synthetic "network" track holding rollup counters when a
 //                  telemetry file is supplied
+//   pid n_routers+1  synthetic "partitions" track group when the telemetry
+//                  file carries a parallel-run partition profile: one thread
+//                  per partition with an "X" slice per conservative window
+//                  (ts/dur in sim time, args = busy wall-time, executed
+//                  events, mailbox traffic, re-interned paths)
 //
 // Spans still open at the end of the trace are closed at the final event's
 // timestamp so a truncated capture stays loadable.

@@ -76,6 +76,10 @@ TelemetrySampler::TelemetrySampler(bgp::Network& net, TelemetryConfig cfg)
   level_since_s_.assign(n_routers_, 0.0);
 }
 
+TelemetrySampler::~TelemetrySampler() {
+  if (observer_registered_) net_.set_window_observer(nullptr);
+}
+
 void TelemetrySampler::start() {
   if (!started_) {
     // Baselines only on the first call: a restart (next run phase) keeps the
@@ -86,11 +90,15 @@ void TelemetrySampler::start() {
     last_rib_ = net_.metrics().rib_changes;
     const double now_s = net_.now().to_seconds();
     std::fill(level_since_s_.begin(), level_since_s_.end(), now_s);
-    if (net_.parallel()) {
+    if (net_.parallel() && !observer_registered_) {
       // A partitioned heap has no single queue for a periodic event, so the
-      // sampler rides the window barrier instead (the barrier thread is the
-      // only one running, so the const peeks stay race-free).
-      net_.set_window_observer([this](sim::SimTime window_end) { on_window(window_end); });
+      // sampler rides the window barriers instead; due_ceiling() turns each
+      // due point into a barrier, making the samples exact (see header).
+      // Profiling rides along: a telemetry file from a parallel run always
+      // carries the partition columns.
+      net_.set_window_observer(this);
+      observer_registered_ = true;
+      net_.enable_par_profile();
     }
   }
   if (net_.parallel()) {
@@ -100,12 +108,49 @@ void TelemetrySampler::start() {
   task_.start();
 }
 
-void TelemetrySampler::on_window(sim::SimTime window_end) {
+void TelemetrySampler::reset() {
+  started_ = false;
+  next_due_ = sim::SimTime{};
+  times_s_.clear();
+  overloaded_.clear();
+  sent_delta_.clear();
+  processed_delta_.clear();
+  rib_delta_.clear();
+  max_queue_.clear();
+  last_sent_ = 0;
+  last_processed_ = 0;
+  last_rib_ = 0;
+  unfinished_work_s_.clear();
+  queue_depth_.clear();
+  mrai_level_.clear();
+  busy_frac_.clear();
+  cum_sent_.clear();
+  cum_recv_.clear();
+  level_residency_s_.clear();
+  level_stay_hist_.reset();
+  prev_level_.assign(n_routers_, 0);
+  level_since_s_.assign(n_routers_, 0.0);
+}
+
+void TelemetrySampler::on_window_start(sim::SimTime tmin) {
   if (!started_) return;
-  // Events with t < window_end have executed, so every due point the window
-  // passed is safe to stamp; the row reads barrier-time state (documented
-  // approximation).
-  while (next_due_ < window_end) {
+  // Everything executed so far has t < the previous window end (all dues up
+  // to which were already stamped); everything pending has t >= tmin. A due
+  // point D <= tmin stamped here therefore reflects exactly the events with
+  // t < D.
+  while (next_due_ <= tmin) {
+    sample_at(next_due_);
+    next_due_ = next_due_ + cfg_.interval;
+  }
+}
+
+void TelemetrySampler::on_window_end(sim::SimTime window_end) {
+  if (!started_) return;
+  // run_par() clamped the window end down to due_ceiling() when that fell
+  // inside the window, so the only due point a finished window can cover
+  // lands exactly on its end -- where events with t < D have all executed
+  // and none at or after D has.
+  while (next_due_ <= window_end) {
     sample_at(next_due_);
     next_due_ = next_due_ + cfg_.interval;
   }
@@ -148,8 +193,11 @@ void TelemetrySampler::sample_at(sim::SimTime now) {
       unfinished_work_s_.push_back(static_cast<float>(work.to_seconds()));
       queue_depth_.push_back(static_cast<std::uint32_t>(queue));
       mrai_level_.push_back(static_cast<std::uint8_t>(lvl));
+      // Decay to the sample instant, not the router's scheduler clock: in
+      // parallel mode the partition clocks at a window boundary depend on
+      // the partitioning, but `now` does not.
       busy_frac_.push_back(
-          r.alive() ? static_cast<float>(r.utilization_estimate()) : 0.0f);
+          r.alive() ? static_cast<float>(r.utilization_estimate_at(now)) : 0.0f);
       cum_sent_.push_back(static_cast<std::uint32_t>(r.updates_sent()));
       cum_recv_.push_back(static_cast<std::uint32_t>(r.updates_received()));
     }
@@ -194,9 +242,13 @@ void TelemetrySampler::write_file(const std::string& path) const {
   if (f == nullptr) {
     throw std::runtime_error{"TelemetrySampler: cannot write " + path};
   }
+  const bgp::ParProfile& prof = net_.par_profile();
+  const bool with_partitions = net_.parallel() && !prof.empty();
+  std::uint16_t flags = cfg_.per_router ? 1 : 0;
+  if (with_partitions) flags |= 2;
   std::fwrite(kTelemetryMagic, 1, 4, f);
   write_scalar<std::uint16_t>(f, kTelemetryVersion);
-  write_scalar<std::uint16_t>(f, cfg_.per_router ? 1 : 0);
+  write_scalar<std::uint16_t>(f, flags);
   write_scalar<std::uint32_t>(f, static_cast<std::uint32_t>(n_routers_));
   write_scalar<std::int64_t>(f, cfg_.interval.ns());
   write_scalar<std::int64_t>(f, cfg_.overload_threshold.ns());
@@ -218,6 +270,17 @@ void TelemetrySampler::write_file(const std::string& path) const {
   }
   write_scalar<std::uint32_t>(f, static_cast<std::uint32_t>(level_residency_s_.size()));
   write_column(f, level_residency_s_);
+  if (with_partitions) {
+    write_scalar<std::uint32_t>(f, static_cast<std::uint32_t>(prof.partitions));
+    write_scalar<std::uint64_t>(f, prof.windows());
+    write_column(f, prof.window_start_s);
+    write_column(f, prof.window_end_s);
+    write_column(f, prof.busy_s);
+    write_column(f, prof.executed);
+    write_column(f, prof.mailbox_msgs);
+    write_column(f, prof.mailbox_bytes);
+    write_column(f, prof.reinterned);
+  }
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   if (!ok) throw std::runtime_error{"TelemetrySampler: write failed for " + path};
@@ -296,6 +359,21 @@ TelemetryFile read_telemetry_file(const std::string& path) {
   }
   std::uint32_t n_levels = 0;
   ok = ok && read_scalar(f, n_levels) && read_column(f, t.level_residency_s, n_levels);
+  if (ok && (flags & 2) != 0) {
+    std::uint32_t n_parts = 0;
+    std::uint64_t n_windows = 0;
+    ok = read_scalar(f, n_parts) && read_scalar(f, n_windows);
+    if (ok) {
+      auto& p = t.partitions;
+      p.partitions = n_parts;
+      const auto w = static_cast<std::size_t>(n_windows);
+      const std::size_t wk = w * n_parts;
+      ok = read_column(f, p.window_start_s, w) && read_column(f, p.window_end_s, w) &&
+           read_column(f, p.busy_s, wk) && read_column(f, p.executed, wk) &&
+           read_column(f, p.mailbox_msgs, wk) && read_column(f, p.mailbox_bytes, wk) &&
+           read_column(f, p.reinterned, wk);
+    }
+  }
   if (!ok) return fail("truncated columns");
   std::fclose(f);
   return t;

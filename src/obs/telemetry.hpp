@@ -23,6 +23,17 @@
 // boundaries shift by at most one interval while every relative measurement
 // stays exact (bench/obs_overhead.cpp enforces this).
 //
+// Parallel mode samples exactly, not approximately: the sampler registers
+// as the Network's WindowObserver and publishes its next due instant as a
+// due-time ceiling, so run_par() ends a window exactly on each sample
+// instant. A sample stamped D therefore reflects precisely the events with
+// t < D, at every thread count -- the sample columns are bit-identical
+// across K >= 1 (the sampler-determinism test enforces K=1 vs K=4). With
+// partition profiling on (enabled automatically when the sampler attaches
+// to a parallel network), the file also carries the per-window ParProfile
+// columns; those include host wall-clock busy times and are excluded from
+// the determinism claim.
+//
 // write_file() serializes everything into a versioned little-endian binary
 // ("BGTL"); read_telemetry_file() loads it back, and trace_inspect exports
 // it as CSV/JSON or extracts single series.
@@ -41,7 +52,8 @@
 namespace bgpsim::obs {
 
 inline constexpr char kTelemetryMagic[4] = {'B', 'G', 'T', 'L'};
-inline constexpr std::uint16_t kTelemetryVersion = 1;
+/// v2 appends the optional partition-profile section (flags bit 1).
+inline constexpr std::uint16_t kTelemetryVersion = 2;
 
 struct TelemetryConfig {
   sim::SimTime interval = sim::SimTime::seconds(0.1);
@@ -65,15 +77,23 @@ enum class RouterMetric : std::uint8_t {
 };
 const char* to_string(RouterMetric m);
 
-class TelemetrySampler {
+class TelemetrySampler final : public bgp::WindowObserver {
  public:
   TelemetrySampler(bgp::Network& net, TelemetryConfig cfg);
+  ~TelemetrySampler() override;
 
   /// First sample one interval from now; self-terminates at quiescence.
   /// Call again before the next run_to_quiescence() phase to keep sampling
   /// (idempotent while ticking; harness users wire this to
   /// ExperimentConfig::on_phase).
   void start();
+
+  /// Forgets every accumulated sample, baseline and histogram, as if the
+  /// sampler were freshly constructed (the window-observer registration is
+  /// kept). The next start() re-baselines from the network's then-current
+  /// counters -- warm-start/restore paths call this so a replayed failure's
+  /// telemetry begins cleanly at restore time.
+  void reset();
 
   std::size_t samples() const { return times_s_.size(); }
   std::size_t routers() const { return n_routers_; }
@@ -104,20 +124,25 @@ class TelemetrySampler {
   void sample();
   /// One tick's worth of column appends, stamped `now`. The serial periodic
   /// task passes the scheduler clock; the parallel window observer passes
-  /// each elapsed due point (see on_window).
+  /// each due point as its window boundary reaches it.
   void sample_at(sim::SimTime now);
-  /// Parallel mode: invoked at every window barrier. Samples once per due
-  /// point the window passed. Router state is read at the barrier, not at
-  /// the exact due time, so parallel telemetry is an approximation within
-  /// one lookahead window (and is excluded from the bit-identity claims --
-  /// see DESIGN.md "Parallel execution").
-  void on_window(sim::SimTime window_end);
+
+  // WindowObserver (parallel mode). Due points <= tmin are stamped before a
+  // window runs; due_ceiling() makes run_par() end a window exactly on the
+  // next due point, which on_window_end then stamps. Either way a sample at
+  // D sees exactly the events with t < D -- see the header comment.
+  void on_window_start(sim::SimTime tmin) override;
+  void on_window_end(sim::SimTime window_end) override;
+  sim::SimTime due_ceiling() const override {
+    return started_ ? next_due_ : sim::SimTime::max();
+  }
 
   bgp::Network& net_;
   TelemetryConfig cfg_;
   sim::PeriodicTask task_;
   std::size_t n_routers_;
   bool started_ = false;
+  bool observer_registered_ = false;
   sim::SimTime next_due_;  ///< parallel mode: next pending sample time
 
   std::vector<double> times_s_;
@@ -167,6 +192,12 @@ struct TelemetryFile {
   std::vector<std::uint32_t> cum_recv;
 
   std::vector<double> level_residency_s;
+
+  /// v2 partition-profile section (empty for serial/unprofiled runs); the
+  /// summary helpers -- imbalance_factor(), barrier_overhead_fraction(),
+  /// critical_histogram() -- live on bgp::ParProfile.
+  bgp::ParProfile partitions;
+  bool has_partitions() const { return !partitions.empty(); }
 
   std::size_t samples() const { return times_s.size(); }
   /// Per-router series for one metric, as doubles.

@@ -145,6 +145,7 @@ bool Scheduler::step(SimTime limit) {
     }
     now_ = top.at;
     ++executed_;
+    current_key_ = top.key >> kSlotBits;
     s.fn();
     // The slot only joins the free list after the callback returns, so
     // events the callback schedules cannot clobber it.

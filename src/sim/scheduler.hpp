@@ -98,6 +98,13 @@ class Scheduler {
   /// Total events executed (cancelled events are not counted).
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Ordering key (the 40-bit sequence / lane key, slot bits stripped) of
+  /// the event currently executing -- valid only inside an event callback.
+  /// Parallel-mode tracing stamps emitted events with this key: it is a
+  /// pure function of simulation history, so it orders trace shards
+  /// identically at every thread count.
+  std::uint64_t current_key() const { return current_key_; }
+
   /// Snapshot of the kernel clock and counters, capturable only at
   /// quiescence: with an empty heap there are no events in flight, so this
   /// plus the domain state IS the full scheduler state.
@@ -185,6 +192,7 @@ class Scheduler {
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t current_key_ = 0;
   std::size_t live_count_ = 0;
 };
 

@@ -1,0 +1,234 @@
+// Parallel-mode observability guarantees:
+//
+//   1. Merge identity: the k-way merge of a sharded parallel capture is
+//      byte-identical to the K=1 capture of the same run -- on the same
+//      240-node workload the ParIdentity suite pins, at K in {1, 2, 4}.
+//   2. Truncation tolerance: a shard cut mid-record merges down to the
+//      surviving complete records, flagged, mirroring the v1 reader.
+//   3. Exact barrier telemetry: the sampler's .bgtl columns from a K=4 run
+//      match the K=1 run sample-for-sample (the partition-profile section,
+//      being wall-clock, is the one deliberate exception).
+//   4. The reset() seam forgets samples so warm-start paths restart clean.
+//   5. The partition profiler produces sane summaries through the harness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../bgp/test_util.hpp"
+#include "bgp/network.hpp"
+#include "harness/experiment.hpp"
+#include "obs/binary_trace.hpp"
+#include "obs/telemetry.hpp"
+
+namespace bgpsim::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tmp_path(const std::string& name) { return ::testing::TempDir() + name; }
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.good()) << path;
+  return std::string{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+harness::ExperimentConfig base_config(std::size_t n) {
+  harness::ExperimentConfig cfg;
+  cfg.topology.kind = harness::TopologySpec::Kind::kSkewed;
+  cfg.topology.n = n;
+  cfg.topology.skew = topo::SkewSpec::s70_30();
+  cfg.failure_fraction = 0.05;
+  cfg.scheme = harness::SchemeSpec::constant(0.5);
+  cfg.seed = 3;
+  return cfg;
+}
+
+/// Runs the config at `par` threads with a ShardedTraceWriter attached and
+/// returns the path of the merged v1 trace.
+std::string capture_merged(const harness::ExperimentConfig& base, std::size_t par) {
+  const std::string manifest = tmp_path("par_trace_k" + std::to_string(par) + ".bgtr");
+  const std::string merged = manifest + ".merged";
+  harness::ExperimentConfig cfg = base;
+  cfg.par_threads = par;
+  std::unique_ptr<ShardedTraceWriter> writer;
+  cfg.instrument = [&](bgp::Network& net, std::uint64_t) {
+    writer = std::make_unique<ShardedTraceWriter>(manifest, net.par_threads());
+    net.set_sharded_trace_sink(writer.get());
+  };
+  cfg.on_complete = [&](bgp::Network& net, std::uint64_t) {
+    net.set_sharded_trace_sink(nullptr);
+    writer->close();
+  };
+  const auto res = harness::run_experiment(cfg);
+  EXPECT_TRUE(res.routes_valid) << res.audit_error;
+  EXPECT_GT(writer->events_written(), 0u);
+  EXPECT_EQ(write_merged_trace(manifest, merged), writer->events_written());
+  return merged;
+}
+
+TEST(ShardedTrace, MergedCaptureByteIdenticalAcrossThreadCounts) {
+  const auto cfg = base_config(240);
+  const std::string k1 = capture_merged(cfg, 1);
+  const std::string k2 = capture_merged(cfg, 2);
+  const std::string k4 = capture_merged(cfg, 4);
+
+  const std::string golden = file_bytes(k1);
+  ASSERT_GT(golden.size(), 24u);  // more than a bare header
+  EXPECT_EQ(file_bytes(k2), golden) << "K=2 merge diverges from the K=1 capture";
+  EXPECT_EQ(file_bytes(k4), golden) << "K=4 merge diverges from the K=1 capture";
+
+  // The merged file is a plain v1 trace: the ordinary reader takes it.
+  const auto merged = read_trace_file(k1);
+  EXPECT_EQ(merged.version, kTraceVersion);
+  EXPECT_FALSE(merged.truncated);
+  EXPECT_GT(merged.events.size(), 0u);
+}
+
+TEST(ShardedTrace, ManifestRoundTripAndTransparentLoad) {
+  const std::string manifest = tmp_path("shard_roundtrip.bgtr");
+  {
+    ShardedTraceWriter w{manifest, 3};
+    EXPECT_EQ(w.partitions(), 3u);
+    bgp::TraceEvent e;
+    e.kind = bgp::TraceEvent::Kind::kRibChanged;
+    for (std::uint64_t i = 0; i < 9; ++i) {
+      e.at = sim::SimTime::from_ns(static_cast<std::int64_t>(i) * 1000);
+      e.router = static_cast<bgp::NodeId>(i);
+      w.on_event(i % 3, e, bgp::TraceOrder{0, i, 0});
+    }
+    w.close();
+    EXPECT_EQ(w.events_written(), 9u);
+  }
+  const auto m = read_trace_manifest(manifest);
+  EXPECT_EQ(m.version, kTraceManifestVersion);
+  ASSERT_EQ(m.shard_paths.size(), 3u);
+  for (const auto& p : m.shard_paths) EXPECT_TRUE(fs::exists(p)) << p;
+
+  // load_trace_any sniffs the BGTM magic and merges; events come back in
+  // global key order even though they round-robined across shards.
+  const auto t = load_trace_any(manifest);
+  EXPECT_FALSE(t.truncated);
+  ASSERT_EQ(t.events.size(), 9u);
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(t.events[i].router, static_cast<bgp::NodeId>(i));
+  }
+}
+
+TEST(ShardedTrace, TruncatedShardKeepsCompletePrefix) {
+  const std::string manifest = tmp_path("shard_trunc.bgtr");
+  {
+    ShardedTraceWriter w{manifest, 2};
+    bgp::TraceEvent e;
+    e.kind = bgp::TraceEvent::Kind::kUpdateSent;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      e.at = sim::SimTime::from_ns(static_cast<std::int64_t>(i) * 1000);
+      e.router = static_cast<bgp::NodeId>(i);
+      w.on_event(i % 2, e, bgp::TraceOrder{0, i, 0});
+    }
+    w.close();
+  }
+  // Cut the last record of shard 1 in half: the merge must keep every
+  // complete record (all of shard 0, shard 1 minus its final event) and
+  // flag the truncation instead of decoding garbage.
+  const std::string shard1 = manifest + ".shard1";
+  fs::resize_file(shard1, fs::file_size(shard1) - 10);
+  const auto t = read_merged_trace(manifest);
+  EXPECT_TRUE(t.truncated);
+  ASSERT_EQ(t.events.size(), 7u);
+  // Router 7 held the clipped record (key 7 went to shard 1).
+  for (const auto& e : t.events) EXPECT_NE(e.router, 7u);
+}
+
+TEST(ParTelemetry, ColumnsIdenticalAcrossThreadCounts) {
+  const auto base = base_config(120);
+  const auto capture = [&](std::size_t par) {
+    harness::ExperimentConfig cfg = base;
+    cfg.par_threads = par;
+    const std::string path = tmp_path("par_telemetry_k" + std::to_string(par) + ".bgtl");
+    std::unique_ptr<TelemetrySampler> sampler;
+    cfg.instrument = [&](bgp::Network& net, std::uint64_t) {
+      TelemetryConfig tc;
+      sampler = std::make_unique<TelemetrySampler>(net, tc);
+    };
+    cfg.on_phase = [&](harness::RunPhase) { sampler->start(); };
+    cfg.on_complete = [&](bgp::Network&, std::uint64_t) {
+      sampler->write_file(path);
+      sampler.reset();
+    };
+    const auto res = harness::run_experiment(cfg);
+    EXPECT_TRUE(res.routes_valid) << res.audit_error;
+    return read_telemetry_file(path);
+  };
+
+  const TelemetryFile a = capture(1);
+  const TelemetryFile b = capture(4);
+  ASSERT_GT(a.samples(), 0u);
+  // Sample-for-sample identity of every deterministic column. The
+  // partition-profile section is wall-clock and varies by K by design.
+  EXPECT_EQ(a.times_s, b.times_s);
+  EXPECT_EQ(a.overloaded, b.overloaded);
+  EXPECT_EQ(a.sent_delta, b.sent_delta);
+  EXPECT_EQ(a.processed_delta, b.processed_delta);
+  EXPECT_EQ(a.rib_delta, b.rib_delta);
+  EXPECT_EQ(a.max_queue, b.max_queue);
+  EXPECT_EQ(a.unfinished_work_s, b.unfinished_work_s);
+  EXPECT_EQ(a.queue_depth, b.queue_depth);
+  EXPECT_EQ(a.mrai_level, b.mrai_level);
+  EXPECT_EQ(a.busy_frac, b.busy_frac);
+  EXPECT_EQ(a.cum_sent, b.cum_sent);
+  EXPECT_EQ(a.cum_recv, b.cum_recv);
+  EXPECT_EQ(a.level_residency_s, b.level_residency_s);
+  // Both parallel runs carry the partition profile, sized to their K.
+  ASSERT_TRUE(a.has_partitions());
+  ASSERT_TRUE(b.has_partitions());
+  EXPECT_EQ(a.partitions.partitions, 1u);
+  EXPECT_EQ(b.partitions.partitions, 4u);
+  EXPECT_GT(b.partitions.windows(), 0u);
+}
+
+TEST(ParTelemetry, ResetForgetsSamplesAndRestartsClean) {
+  auto net = std::make_unique<bgp::Network>(
+      bgp::testing::ring(6), bgp::testing::deterministic_config(),
+      std::make_shared<bgp::FixedMrai>(sim::SimTime::seconds(0.5)), 1);
+  TelemetryConfig tc;
+  tc.interval = sim::SimTime::seconds(0.05);
+  TelemetrySampler sampler{*net, tc};
+  sampler.start();
+  net->start();
+  net->run_to_quiescence();
+  ASSERT_GT(sampler.samples(), 0u);
+
+  sampler.reset();
+  EXPECT_EQ(sampler.samples(), 0u);
+  EXPECT_EQ(sampler.level_residency_s().size(), 0u);
+
+  // A fresh start() after reset() baselines at the *current* counters, so
+  // the first post-reset delta reflects only post-reset activity.
+  sampler.start();
+  net->scheduler().schedule_after(sim::SimTime::seconds(1.0), [&] { net->fail_nodes({0}); });
+  net->run_to_quiescence();
+  EXPECT_GT(sampler.samples(), 0u);
+  ASSERT_FALSE(sampler.sent_delta().empty());
+  EXPECT_LT(sampler.sent_delta().front(), 100u);  // not the whole cold start again
+}
+
+TEST(ParProfile, HarnessSummaryIsSane) {
+  auto cfg = base_config(120);
+  cfg.par_threads = 4;
+  cfg.par_profile = true;
+  const auto res = harness::run_experiment(cfg);
+  ASSERT_TRUE(res.routes_valid) << res.audit_error;
+  EXPECT_GT(res.par_windows, 0u);
+  EXPECT_GE(res.par_imbalance_factor, 1.0);
+  EXPECT_GE(res.par_barrier_overhead, 0.0);
+  EXPECT_LE(res.par_barrier_overhead, 1.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::obs

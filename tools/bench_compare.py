@@ -168,6 +168,22 @@ def regress_obs(base, cand, tolerance, gate):
     overhead = require_key(cand, "overhead_ratio")
     gate.require("overhead_ratio", overhead < 3.0,
                  f"instrumented/disabled wall = {overhead:.2f}x (sanity bound 3x)")
+    # Parallel-mode claims: the par passes (disabled and sharded-capture
+    # instrumented alike) must reproduce the serial protocol results
+    # bit-for-bit, the par event totals are machine-independent, and the
+    # instrumented-par overhead must stay under 5% -- the sharded sink plus
+    # exact barrier sampling were designed to be off the partition workers'
+    # critical path.
+    gate.exact("par_threads", base.get("par_threads"), cand.get("par_threads"))
+    gate.exact("par_events_total", base.get("par_events_total"),
+               cand.get("par_events_total"))
+    gate.require(
+        "par_results_identical",
+        cand.get("par_results_identical") is True,
+        f"candidate flag = {cand.get('par_results_identical')}")
+    par_overhead = require_key(cand, "par_overhead_ratio")
+    gate.require("par_overhead_ratio", par_overhead < 1.05,
+                 f"par instrumented/disabled wall = {par_overhead:.3f}x (need < 1.05x)")
 
 
 def regress_checkpoint(base, cand, tolerance, gate):
@@ -220,6 +236,17 @@ def regress_par(base, cand, tolerance, gate):
     else:
         print(f"  --  speedup gate skipped: candidate host has "
               f"{cand.get('host_cpus')} cpu(s) (< 8)")
+    # Partition profile of the 8-thread run: present and sane. The values
+    # themselves are host-dependent wall-clock ratios, so only invariants
+    # are gated (max/mean >= 1 by construction; overhead is a fraction).
+    gate.require("par_windows_t8", require_key(cand, "par_windows_t8") > 0,
+                 f"windows = {cand.get('par_windows_t8')}")
+    imbalance = require_key(cand, "imbalance_factor_t8")
+    gate.require("imbalance_factor_t8", imbalance >= 1.0,
+                 f"imbalance = {imbalance:.3f} (>= 1 by construction)")
+    barrier = require_key(cand, "barrier_overhead_t8")
+    gate.require("barrier_overhead_t8", 0.0 <= barrier <= 1.0,
+                 f"barrier overhead = {barrier:.3f} (fraction)")
     # Serial-oracle throughput within the usual tolerance (the partitioned
     # code path must not tax the single-threaded case).
     events = require_key(cand, "events_total")

@@ -53,8 +53,12 @@ Protocol knobs:
   --recovery        also measure re-convergence after the region recovers
   --policy          Gao-Rexford policy routing (degree-inferred relations)
 Observability (captures the base-seed run; see tools/trace_inspect):
-  --trace FILE      stream every trace event to a binary .bgtr file
+  --trace FILE      stream every trace event to a binary .bgtr file; with
+                    --par-threads N this writes FILE (a manifest) plus
+                    FILE.shard0..N-1 -- reassemble with `trace_inspect merge`
   --telemetry FILE  periodic per-router/network samples to a .bgtl file
+                    (composes with every mode, including --par-threads,
+                    --warm and --restore)
   --sample-interval S   telemetry sampling period seconds (default 0.1)
   --profile FILE    sweep wall-clock/utilization profile as JSON
 Checkpointing (quiescent snapshots; see DESIGN.md and tools/checkpoint_inspect):
@@ -189,12 +193,6 @@ int main(int argc, char** argv) {
       throw std::invalid_argument{
           "--par-threads cannot be combined with checkpoint/warm/journal options"};
     }
-    if (par_threads != 0 && !trace_path.empty()) {
-      // Trace events would be emitted concurrently from partition workers;
-      // the binary sink is single-threaded. Telemetry is fine: it samples
-      // from the window barrier.
-      throw std::invalid_argument{"--trace cannot be combined with --par-threads"};
-    }
     if (!checkpoint_path.empty() && !restore_path.empty()) {
       throw std::invalid_argument{"--checkpoint and --restore are mutually exclusive"};
     }
@@ -204,11 +202,23 @@ int main(int argc, char** argv) {
     if (resume && journal_path.empty()) {
       throw std::invalid_argument{"--resume requires --journal FILE"};
     }
-    if (checkpointing && (!trace_path.empty() || !telemetry_path.empty() || !profile_path.empty())) {
-      // Warm runs skip the cold-start phase, so trace/telemetry capture and
-      // the sweep profile would silently miss most of the run.
+    if ((!checkpoint_path.empty() || warm) && !trace_path.empty()) {
+      // Snapshot *capture* converges on a throwaway network that is torn
+      // down right after the checkpoint is taken, so a trace attached there
+      // would record only part of the cold phase and then dangle. Telemetry
+      // is fine -- the sampler starts fresh at restore time and covers the
+      // failure phase, which is all a warm run simulates. To trace a warm
+      // failure phase, capture the snapshot first and rerun with --restore.
       throw std::invalid_argument{
-          "--trace/--telemetry/--profile cannot be combined with checkpointing options"};
+          "--trace cannot be combined with snapshot capture (--checkpoint/--warm): "
+          "the converge pass is discarded after the snapshot; use --restore to "
+          "trace the warm failure phase"};
+    }
+    if (checkpointing && !profile_path.empty()) {
+      // The sweep profiler instruments run_sweep_profiled only; the
+      // checkpointing drivers never fill it, so the JSON would be empty.
+      throw std::invalid_argument{
+          "--profile cannot be combined with checkpointing options"};
     }
 
     cfg.par_threads = par_threads;
@@ -218,18 +228,27 @@ int main(int argc, char** argv) {
     // Capture hooks go on the base-seed config only, so no other run (or
     // pool thread) ever touches the sink/sampler.
     std::unique_ptr<obs::BinaryTraceSink> trace_sink;
+    std::unique_ptr<obs::ShardedTraceWriter> shard_writer;
     std::unique_ptr<obs::TelemetrySampler> sampler;
+    // Set around converge_snapshot below: that pass builds a throwaway
+    // network (destroyed right after capture), and an observer bound to it
+    // would dangle into the warm run that follows.
+    bool in_snapshot_converge = false;
     if (!trace_path.empty() || !telemetry_path.empty()) {
       cfgs[0].instrument = [&](bgp::Network& net, std::uint64_t) {
+        if (in_snapshot_converge) return;
         if (!trace_path.empty()) {
           if (net.parallel()) {
-            // Reachable via BGPSIM_PAR_THREADS (the --par-threads x --trace
-            // combination is rejected at parse time above).
-            throw std::runtime_error{"--trace requires the serial scheduler; "
-                                     "unset BGPSIM_PAR_THREADS"};
+            // Partition workers emit concurrently, so each partition gets
+            // its own shard; `trace_inspect merge` (or export/diff, which
+            // merge transparently) reconstructs the serial-identical trace.
+            shard_writer =
+                std::make_unique<obs::ShardedTraceWriter>(trace_path, net.par_threads());
+            net.set_sharded_trace_sink(shard_writer.get());
+          } else {
+            trace_sink = std::make_unique<obs::BinaryTraceSink>(trace_path);
+            net.set_trace_sink(trace_sink.get());
           }
-          trace_sink = std::make_unique<obs::BinaryTraceSink>(trace_path);
-          net.set_trace_sink(trace_sink.get());
         }
         if (!telemetry_path.empty()) {
           obs::TelemetryConfig tc;
@@ -258,6 +277,16 @@ int main(int argc, char** argv) {
                        trace_path.c_str());
           trace_sink.reset();
         }
+        if (shard_writer) {
+          net.set_sharded_trace_sink(nullptr);
+          shard_writer->close();
+          std::fprintf(stderr,
+                       "trace: %llu events -> %s + %zu shards "
+                       "(reassemble: trace_inspect merge %s)\n",
+                       static_cast<unsigned long long>(shard_writer->events_written()),
+                       trace_path.c_str(), shard_writer->partitions(), trace_path.c_str());
+          shard_writer.reset();
+        }
       };
     }
 
@@ -278,7 +307,9 @@ int main(int argc, char** argv) {
       for (std::size_t i = 1; i < cfgs.size(); ++i)
         runs.push_back(harness::run_experiment(cfgs[i]));
     } else if (!checkpoint_path.empty()) {
+      in_snapshot_converge = true;
       const auto snap = harness::converge_snapshot(cfgs[0]);
+      in_snapshot_converge = false;
       bgp::write_checkpoint_file(checkpoint_path, snap.checkpoint);
       std::fprintf(stderr, "checkpoint: %zu state bytes -> %s\n", snap.checkpoint.state.size(),
                    checkpoint_path.c_str());

@@ -4,11 +4,15 @@
 //   trace_inspect summary RUN.bgtl            telemetry overview
 //   trace_inspect filter RUN.bgtr --kind update-sent --router 3 --from 1.0
 //   trace_inspect export RUN.bgtr --format perfetto --telemetry RUN.bgtl --out out.json
-//   trace_inspect diff A.bgtr B.bgtr          exit 1 when event counts differ
+//   trace_inspect diff A.bgtr B.bgtr          exit 1 when the traces differ
+//   trace_inspect merge RUN.bgtr --out M.bgtr reassemble a sharded par capture
+//   trace_inspect par_profile RUN.bgtl        partition/scaling profile
 //   trace_inspect telemetry RUN.bgtl --router 3 --metric unfinished_work
 //
-// Both capture formats are autodetected by magic ("BGTR" binary trace,
-// "BGTL" telemetry), so `summary` takes either.
+// Capture formats are autodetected by magic ("BGTR" binary trace, "BGTM"
+// sharded-trace manifest, "BGTL" telemetry); every trace subcommand accepts
+// a manifest and merges its shards transparently.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,12 +41,23 @@ constexpr const char* kUsage = R"(trace_inspect -- bgpsim trace / telemetry insp
       --format jsonl|perfetto (default jsonl)
       --telemetry FILE   merge telemetry counters (perfetto only)
       --out FILE         write there instead of stdout
-  trace_inspect diff A B                  compare per-kind event counts;
-                                          exit 1 when they differ
+  trace_inspect diff A B                  compare traces record by record;
+                                          exit 1 (with the first divergence
+                                          and differing count) on mismatch
+  trace_inspect merge FILE [OPTS]         merge a sharded parallel capture
+                                          (BGTM manifest) into a plain v1
+                                          .bgtr, byte-identical to a serial
+                                          capture of the same run
+      --out FILE         output path (default FILE.merged.bgtr)
+  trace_inspect par_profile FILE          per-partition scaling profile from
+                                          a parallel run's telemetry file
   trace_inspect telemetry FILE [OPTS]     extract one per-router series
       --router ID (default 0)
       --metric unfinished_work|queue|level|busy|sent|received
       --format csv|json (default csv)
+
+Trace FILEs may be plain .bgtr captures or the manifest a parallel run
+writes (--par-threads N x --trace); shards are merged transparently.
 )";
 
 std::string detect_magic(const std::string& path) {
@@ -63,11 +78,13 @@ std::optional<bgp::TraceEvent::Kind> kind_from(const std::string& name) {
 
 int cmd_summary(const std::string& path) {
   const auto magic = detect_magic(path);
-  if (magic == std::string{obs::kTraceMagic, 4}) {
-    const auto trace = obs::read_trace_file(path);
+  const bool manifest = magic == std::string{obs::kTraceManifestMagic, 4};
+  if (magic == std::string{obs::kTraceMagic, 4} || manifest) {
+    const auto trace = obs::load_trace_any(path);
     obs::StatsSink stats;
     for (const auto& e : trace.events) stats.on_event(e);
     std::cout << path << ": trace v" << trace.version
+              << (manifest ? " (merged from shards)" : "")
               << (trace.truncated ? " (TRUNCATED)" : "") << "\n"
               << stats.report();
     return 0;
@@ -99,6 +116,10 @@ int cmd_summary(const std::string& path) {
       }
       std::cout << "\n";
     }
+    if (t.has_partitions()) {
+      std::cout << "partition profile: " << t.partitions.partitions << " partitions x "
+                << t.partitions.windows() << " windows (see `trace_inspect par_profile`)\n";
+    }
     return 0;
   }
   std::fprintf(stderr, "error: %s is neither a bgpsim trace nor telemetry file\n",
@@ -107,7 +128,7 @@ int cmd_summary(const std::string& path) {
 }
 
 int cmd_filter(const std::string& path, const harness::Options& opts) {
-  const auto trace = obs::read_trace_file(path);
+  const auto trace = obs::load_trace_any(path);
   std::optional<bgp::TraceEvent::Kind> kind;
   if (const auto k = opts.get("kind")) {
     kind = kind_from(*k);
@@ -137,7 +158,7 @@ int cmd_filter(const std::string& path, const harness::Options& opts) {
 }
 
 int cmd_export(const std::string& path, const harness::Options& opts) {
-  const auto trace = obs::read_trace_file(path);
+  const auto trace = obs::load_trace_any(path);
   const auto format = opts.get_or("format", "jsonl");
 
   obs::TelemetryFile telemetry;
@@ -171,30 +192,113 @@ int cmd_export(const std::string& path, const harness::Options& opts) {
   return os->good() ? 0 : 2;
 }
 
+// Record-by-record comparison (sharded captures are merged first). Reports
+// the index of the first divergence plus the total differing-record count,
+// and exits non-zero on any mismatch so CI can gate on it directly.
 int cmd_diff(const std::string& a_path, const std::string& b_path) {
-  const auto a = obs::read_trace_file(a_path);
-  const auto b = obs::read_trace_file(b_path);
+  const auto a = obs::load_trace_any(a_path);
+  const auto b = obs::load_trace_any(b_path);
   bgp::CountingSink ca;
   bgp::CountingSink cb;
   for (const auto& e : a.events) ca.on_event(e);
   for (const auto& e : b.events) cb.on_event(e);
 
-  bool differ = false;
   for (std::size_t k = 0; k < bgp::TraceEvent::kNumKinds; ++k) {
     const auto kind = static_cast<bgp::TraceEvent::Kind>(k);
     if (ca.count(kind) == cb.count(kind)) continue;
-    differ = true;
     std::printf("%-20s %12llu %12llu\n", bgp::to_string(kind),
                 static_cast<unsigned long long>(ca.count(kind)),
                 static_cast<unsigned long long>(cb.count(kind)));
   }
-  if (differ) {
-    std::printf("traces differ: %llu vs %llu events\n",
-                static_cast<unsigned long long>(ca.total()),
-                static_cast<unsigned long long>(cb.total()));
-    return 1;
+
+  const auto equal = [](const bgp::TraceEvent& x, const bgp::TraceEvent& y) {
+    return x.at == y.at && x.kind == y.kind && x.router == y.router && x.peer == y.peer &&
+           x.prefix == y.prefix && x.withdraw == y.withdraw &&
+           x.batch_size == y.batch_size && x.path_len == y.path_len;
+  };
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  std::size_t first_divergence = common;  // `common` = no divergence in overlap
+  std::uint64_t differing = 0;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (equal(a.events[i], b.events[i])) continue;
+    if (differing == 0) first_divergence = i;
+    ++differing;
   }
-  std::printf("traces match: %llu events\n", static_cast<unsigned long long>(ca.total()));
+  const std::uint64_t tail =
+      static_cast<std::uint64_t>(std::max(a.events.size(), b.events.size()) - common);
+
+  if (differing == 0 && tail == 0) {
+    std::printf("traces match: %llu events\n", static_cast<unsigned long long>(ca.total()));
+    return 0;
+  }
+  if (differing > 0) {
+    std::printf("first divergence at record %zu:\n  a: %s\n  b: %s\n", first_divergence,
+                a.events[first_divergence].to_string().c_str(),
+                b.events[first_divergence].to_string().c_str());
+  } else {
+    std::printf("first divergence at record %zu: only one trace has it\n", common);
+  }
+  std::printf("traces differ: %llu differing records, %llu length mismatch (%zu vs %zu events)\n",
+              static_cast<unsigned long long>(differing),
+              static_cast<unsigned long long>(tail), a.events.size(), b.events.size());
+  return 1;
+}
+
+int cmd_merge(const std::string& path, const harness::Options& opts) {
+  if (detect_magic(path) != std::string{obs::kTraceManifestMagic, 4}) {
+    std::fprintf(stderr, "error: %s is not a sharded-trace manifest (BGTM)\n", path.c_str());
+    return 2;
+  }
+  const auto out = opts.get_or("out", path + ".merged.bgtr");
+  const std::uint64_t n = obs::write_merged_trace(path, out);
+  std::printf("merged %llu events -> %s\n", static_cast<unsigned long long>(n), out.c_str());
+  return 0;
+}
+
+int cmd_par_profile(const std::string& path) {
+  if (detect_magic(path) != std::string{obs::kTelemetryMagic, 4}) {
+    std::fprintf(stderr, "error: %s is not a telemetry file (BGTL)\n", path.c_str());
+    return 2;
+  }
+  const auto t = obs::read_telemetry_file(path);
+  if (!t.has_partitions()) {
+    std::fprintf(stderr,
+                 "error: %s carries no partition profile (captured from a serial run, "
+                 "or written by a pre-v2 sampler)\n",
+                 path.c_str());
+    return 2;
+  }
+  const auto& p = t.partitions;
+  std::printf("partitions: %zu  windows: %zu\n", p.partitions, p.windows());
+  std::printf("imbalance factor: %.3f  barrier overhead: %.1f%%\n", p.imbalance_factor(),
+              p.barrier_overhead_fraction() * 100.0);
+
+  std::vector<double> busy(p.partitions, 0.0);
+  std::vector<std::uint64_t> executed(p.partitions, 0);
+  std::vector<std::uint64_t> msgs(p.partitions, 0);
+  std::vector<std::uint64_t> bytes(p.partitions, 0);
+  std::vector<std::uint64_t> reinterned(p.partitions, 0);
+  for (std::size_t w = 0; w < p.windows(); ++w) {
+    for (std::size_t q = 0; q < p.partitions; ++q) {
+      const std::size_t i = w * p.partitions + q;
+      busy[q] += p.busy_s[i];
+      executed[q] += p.executed[i];
+      msgs[q] += p.mailbox_msgs[i];
+      bytes[q] += p.mailbox_bytes[i];
+      reinterned[q] += p.reinterned[i];
+    }
+  }
+  const auto critical = p.critical_histogram();
+  std::printf("%4s %12s %12s %14s %14s %12s %10s\n", "part", "busy_s", "executed",
+              "mailbox_msgs", "mailbox_bytes", "reinterned", "critical");
+  for (std::size_t q = 0; q < p.partitions; ++q) {
+    std::printf("%4zu %12.6f %12llu %14llu %14llu %12llu %10llu\n", q, busy[q],
+                static_cast<unsigned long long>(executed[q]),
+                static_cast<unsigned long long>(msgs[q]),
+                static_cast<unsigned long long>(bytes[q]),
+                static_cast<unsigned long long>(reinterned[q]),
+                static_cast<unsigned long long>(critical[q]));
+  }
   return 0;
 }
 
@@ -268,6 +372,8 @@ int main(int argc, char** argv) {
     if (cmd == "summary") return cmd_summary(need_file());
     if (cmd == "filter") return cmd_filter(need_file(), opts);
     if (cmd == "export") return cmd_export(need_file(), opts);
+    if (cmd == "merge") return cmd_merge(need_file(), opts);
+    if (cmd == "par_profile") return cmd_par_profile(need_file());
     if (cmd == "telemetry") return cmd_telemetry(need_file(), opts);
     if (cmd == "diff") {
       if (pos.size() < 3) throw std::invalid_argument{"diff needs two trace files"};
